@@ -1,0 +1,132 @@
+package hydro
+
+// Ablation benchmarks for the design choices DESIGN.md §3 calls out: what
+// each optimization buys, measured by switching it off.
+
+import (
+	"fmt"
+	"testing"
+
+	"hydro/internal/chestnut"
+	"hydro/internal/datalog"
+	"hydro/internal/flow"
+	"hydro/internal/lattice"
+	"hydro/internal/storage"
+)
+
+// Ablation: hash index on vs off for point lookups (the access-path choice
+// of §5.1).
+func BenchmarkAblationIndexedLookup(b *testing.B) {
+	tbl := chestnut.Build("t", "id", chestnut.Design{Layout: storage.LayoutHash})
+	for i := 0; i < 10000; i++ {
+		tbl.Insert(storage.Row{"id": fmt.Sprintf("k%05d", i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup("id", fmt.Sprintf("k%05d", i%10000))
+	}
+}
+
+func BenchmarkAblationScanLookup(b *testing.B) {
+	tbl := chestnut.Build("t", "id", chestnut.Design{Layout: storage.LayoutHeap})
+	for i := 0; i < 10000; i++ {
+		tbl.Insert(storage.Row{"id": fmt.Sprintf("k%05d", i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup("id", fmt.Sprintf("k%05d", i%10000))
+	}
+}
+
+// Ablation: relation lookup through the on-demand column index vs a forced
+// full scan (datalog join inner loop).
+func BenchmarkAblationDatalogIndexed(b *testing.B) {
+	r := datalog.NewRelation("t", 2)
+	for i := 0; i < 5000; i++ {
+		r.Insert(datalog.Tuple{int64(i % 100), int64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup([]int{0}, []any{int64(i % 100)})
+	}
+}
+
+func BenchmarkAblationDatalogScan(b *testing.B) {
+	r := datalog.NewRelation("t", 2)
+	for i := 0; i < 5000; i++ {
+		r.Insert(datalog.Tuple{int64(i % 100), int64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Full enumeration stands in for a lookup with no usable index.
+		for range r.Tuples() {
+			break
+		}
+	}
+}
+
+// Ablation: static (incremental) vs per-tick join state — Hydroflow's
+// 'static vs 'tick persistence choice (§8.1).
+func BenchmarkAblationJoinStatic(b *testing.B) {
+	benchJoin(b, flow.Static)
+}
+
+func BenchmarkAblationJoinPerTick(b *testing.B) {
+	benchJoin(b, flow.PerTick)
+}
+
+func benchJoin(b *testing.B, p flow.Persistence) {
+	g := flow.NewGraph()
+	l := g.NewSource("l")
+	r := g.NewSource("r")
+	j := g.Join(l.Handle, r.Handle, "j",
+		func(v flow.Row) any { return v.(int) % 64 },
+		func(v flow.Row) any { return v.(int) % 64 },
+		p)
+	g.ForEach(j, "sink", func(v flow.Row) {})
+	// Build side preloaded for the static case.
+	for i := 0; i < 512; i++ {
+		r.Push(i)
+	}
+	g.RunTick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Push(i)
+		g.RunTick()
+	}
+}
+
+// Ablation: lattice-cell change suppression — emitting only on growth vs a
+// plain map stage that forwards every input (§8.1 lattice pipelining).
+func BenchmarkAblationLatticeCellSuppression(b *testing.B) {
+	g := flow.NewGraph()
+	src := g.NewSource("s")
+	m := flow.MergeFn{
+		Merge: func(a, c flow.Row) flow.Row { return a.(lattice.Max[int]).Merge(c.(lattice.Max[int])) },
+		Equal: func(a, c flow.Row) bool { return a.(lattice.Max[int]).Equal(c.(lattice.Max[int])) },
+	}
+	cell := g.NewLatticeCell(src.Handle, "max", lattice.NewMax(0), m, flow.Static)
+	downstream := 0
+	g.ForEach(cell.Handle, "sink", func(v flow.Row) { downstream++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Dominated inputs: the cell suppresses all but the first.
+		src.Push(lattice.NewMax(0))
+		g.RunTick()
+	}
+	if downstream > 1 {
+		b.Fatalf("suppression failed: %d emissions", downstream)
+	}
+}
+
+func BenchmarkAblationNoSuppression(b *testing.B) {
+	g := flow.NewGraph()
+	src := g.NewSource("s")
+	forwarded := g.Map(src.Handle, "fwd", func(v flow.Row) flow.Row { return v })
+	g.ForEach(forwarded, "sink", func(v flow.Row) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Push(lattice.NewMax(0))
+		g.RunTick()
+	}
+}

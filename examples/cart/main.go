@@ -1,0 +1,59 @@
+// Command cart demonstrates the Dynamo shopping-cart design of §7.1 and
+// the *seal placement* optimization: cart updates are coordination-free
+// CRDT merges across replicas; checkout needs agreement only on the final
+// manifest, and moving that decision to the (unreplicated) client makes the
+// whole lifecycle coordination-free — each replica checks out unilaterally
+// once its contents catch up to the sealed manifest.
+package main
+
+import (
+	"fmt"
+
+	"hydro/internal/crdt"
+)
+
+func main() {
+	// Three replicas of one user's cart, updated divergently (e.g. the
+	// user's phone and laptop hitting different datacenters).
+	r1 := crdt.NewCart("r1").AddItem("book", 1)
+	r2 := crdt.NewCart("r2").AddItem("pen", 2)
+	r2Early := r2                               // snapshot of r2's state before gossip, used below
+	r3 := crdt.NewCart("r3").AddItem("book", 1) // concurrent duplicate add
+
+	fmt.Println("replica manifests before any exchange:")
+	fmt.Printf("  r1: %q\n  r2: %q\n  r3: %q\n", r1.Manifest(), r2.Manifest(), r3.Manifest())
+
+	// Anti-entropy gossip: merges in any order converge (ACI).
+	r1 = r1.Merge(r2).Merge(r3)
+	r2 = r2.Merge(r1)
+	r3 = r3.Merge(r2)
+	fmt.Printf("\nafter gossip, converged manifest: %q\n", r1.Manifest())
+
+	// The client seals unilaterally — no coordination round. The seal is
+	// itself lattice state (an LWW register), so it propagates by the same
+	// gossip as everything else.
+	client := r1.Seal(1000)
+	manifest, _ := client.Sealed()
+	fmt.Printf("\nclient seals the cart: manifest=%q (no replica coordination)\n", manifest)
+
+	// A lagging replica — one that saw only r2's updates plus the seal
+	// (message reordering delivered the checkout decision first) — cannot
+	// check out yet...
+	lagging := crdt.NewCart("r4").Merge(r2Early).Merge(sealOnly(client))
+	fmt.Printf("lagging replica checked out? %v (contents %q != manifest)\n",
+		lagging.CheckedOut(), lagging.Manifest())
+
+	// ...until the remaining updates arrive; then checkout is local+free.
+	lagging = lagging.Merge(client)
+	fmt.Printf("after catching up:        %v (contents %q)\n",
+		lagging.CheckedOut(), lagging.Manifest())
+
+	fmt.Println("\ncoordination rounds used for the entire checkout: 0")
+}
+
+// sealOnly extracts just the seal register, modeling a replica that heard
+// the seal before the cart contents (message reordering).
+func sealOnly(c *crdt.Cart) *crdt.Cart {
+	empty := crdt.NewCart("seal-carrier")
+	return empty.Merge(c.WithoutItems())
+}

@@ -1,0 +1,55 @@
+// Command futures demonstrates Appendix A.2: Ray-style promises/futures
+// lifted onto the transducer. Four promises launch, local work proceeds
+// while they execute, and ray.get-style resolution drives the event loop
+// until all futures land. Lazy kickoff is shown as the alternate semantics
+// the appendix mentions.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hydro/internal/lift/future"
+	"hydro/internal/transducer"
+)
+
+func main() {
+	rt := transducer.New("node1", 9)
+	rt.SetDelay(func(r *rand.Rand) int { return 1 + r.Intn(2) })
+
+	e := future.NewEngine(rt, future.Eager)
+
+	// futures = [f.remote(i) for i in range(4)]
+	f := func(arg any) any { return arg.(int) * arg.(int) }
+	var futures []future.Future
+	for i := 0; i < 4; i++ {
+		futures = append(futures, e.Remote(f, i))
+	}
+
+	// x = g() — local work runs while the promises execute.
+	x := 0
+	for i := 1; i <= 100; i++ {
+		x += i
+	}
+	fmt.Printf("local g() finished first: x = %d\n", x)
+	fmt.Printf("futures resolved before get? %v\n", futures[0].Resolved())
+
+	// print(ray.get(futures))
+	results, err := e.Get(futures, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ray.get(futures) = %v\n", results)
+
+	// Lazy kickoff: promises wait in a table until demanded.
+	rt2 := transducer.New("node2", 10)
+	rt2.SetDelay(func(r *rand.Rand) int { return 1 })
+	lazy := future.NewEngine(rt2, future.Lazy)
+	a := lazy.Remote(f, 7)
+	b := lazy.Remote(f, 8)
+	rt2.RunUntilIdle(20)
+	fmt.Printf("\nlazy engine launched %d of 2 promises before demand\n", lazy.Launched)
+	got, _ := lazy.Get([]future.Future{a}, 100)
+	fmt.Printf("after demanding the first: launched=%d, value=%v\n", lazy.Launched, got[0])
+	_ = b // never demanded, never runs
+}

@@ -1,0 +1,190 @@
+// Package chestnut is a data-layout synthesizer in the style of the
+// Chestnut system the paper cites in §5.2: given a table's workload profile
+// (point lookups, range scans, inserts, per column), it enumerates candidate
+// physical designs (heap / hash / B+-tree primary layout, plus secondary
+// hash indexes) and picks the cheapest under a cost model. Experiment E3
+// measures the resulting speedup against the naive heap layout, checking
+// the paper's "up to 42×" claim shape.
+package chestnut
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydro/internal/storage"
+)
+
+// Workload profiles expected operation mix for one table.
+type Workload struct {
+	TableRows int
+	// PointLookups[col] = expected point lookups per period against col.
+	PointLookups map[string]float64
+	// RangeScans = expected key-range scans per period (key column only).
+	RangeScans float64
+	// Inserts per period.
+	Inserts float64
+}
+
+// Design is one candidate physical design.
+type Design struct {
+	Layout    storage.Layout
+	Secondary []string // columns with secondary hash indexes
+	Cost      float64
+}
+
+func (d Design) String() string {
+	s := d.Layout.String()
+	if len(d.Secondary) > 0 {
+		s += fmt.Sprintf("+idx%v", d.Secondary)
+	}
+	return fmt.Sprintf("%s (cost %.1f)", s, d.Cost)
+}
+
+// Cost-model constants: abstract row-touch units.
+const (
+	costHashProbe   = 1.0
+	costTreeProbe   = 3.0 // ~depth
+	costRowInsert   = 1.0
+	costIndexUpkeep = 0.5 // per secondary index per insert
+	costTreeInsert  = 3.0
+)
+
+// Cost estimates the per-period cost of a design under a workload — the
+// "cost model that estimates the cost of each query" of §5.1.
+func Cost(d Design, w Workload, keyCol string) float64 {
+	n := float64(w.TableRows)
+	if n < 1 {
+		n = 1
+	}
+	cost := 0.0
+	secondary := map[string]bool{}
+	for _, c := range d.Secondary {
+		secondary[c] = true
+	}
+	for col, freq := range w.PointLookups {
+		var per float64
+		switch {
+		case col == keyCol && d.Layout == storage.LayoutHash:
+			per = costHashProbe
+		case col == keyCol && d.Layout == storage.LayoutBTree:
+			per = costTreeProbe
+		case secondary[col]:
+			per = costHashProbe
+		default:
+			per = n // full scan
+		}
+		cost += freq * per
+	}
+	// Range scans: B+-tree pays for rows in range (assume 10%); others
+	// scan everything.
+	if w.RangeScans > 0 {
+		per := n
+		if d.Layout == storage.LayoutBTree {
+			per = math.Max(1, n*0.1)
+		}
+		cost += w.RangeScans * per
+	}
+	insertCost := costRowInsert
+	if d.Layout == storage.LayoutBTree {
+		insertCost = costTreeInsert
+	}
+	insertCost += float64(len(d.Secondary)) * costIndexUpkeep
+	cost += w.Inserts * insertCost
+	return cost
+}
+
+// Synthesize enumerates designs for a table and returns them sorted by
+// cost, cheapest first. cols are the non-key columns eligible for secondary
+// indexes.
+func Synthesize(keyCol string, cols []string, w Workload) []Design {
+	layouts := []storage.Layout{storage.LayoutHeap, storage.LayoutHash, storage.LayoutBTree}
+	// Enumerate secondary index subsets (cap the powerset for sanity).
+	subsets := [][]string{nil}
+	for _, c := range cols {
+		cur := len(subsets)
+		for i := 0; i < cur; i++ {
+			s := append(append([]string{}, subsets[i]...), c)
+			subsets = append(subsets, s)
+		}
+	}
+	var out []Design
+	for _, l := range layouts {
+		for _, sec := range subsets {
+			d := Design{Layout: l, Secondary: sec}
+			d.Cost = Cost(d, w, keyCol)
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		// Tie-break: fewer indexes, simpler layout.
+		if len(out[i].Secondary) != len(out[j].Secondary) {
+			return len(out[i].Secondary) < len(out[j].Secondary)
+		}
+		return out[i].Layout < out[j].Layout
+	})
+	return out
+}
+
+// Best returns the cheapest design.
+func Best(keyCol string, cols []string, w Workload) Design {
+	return Synthesize(keyCol, cols, w)[0]
+}
+
+// Build materializes a design as a storage.Table.
+func Build(name, keyCol string, d Design) *storage.Table {
+	t := storage.NewTable(name, keyCol, d.Layout)
+	for _, c := range d.Secondary {
+		t.AddSecondaryIndex(c)
+	}
+	return t
+}
+
+// Advisor supports incremental re-synthesis (§5.2 "workload changes ...
+// motivate incremental synthesis"): feed it observed operations and ask
+// whether the current design should change.
+type Advisor struct {
+	KeyCol  string
+	Cols    []string
+	Current Design
+	// Observed counts since last Decide.
+	w Workload
+	// HysteresisRatio guards against flapping: a new design must beat the
+	// current one by this factor.
+	HysteresisRatio float64
+}
+
+// NewAdvisor starts from an initial design.
+func NewAdvisor(keyCol string, cols []string, initial Design) *Advisor {
+	return &Advisor{KeyCol: keyCol, Cols: cols, Current: initial, HysteresisRatio: 1.2,
+		w: Workload{PointLookups: map[string]float64{}}}
+}
+
+// ObserveLookup records a point lookup against col.
+func (a *Advisor) ObserveLookup(col string) { a.w.PointLookups[col]++ }
+
+// ObserveRange records a range scan.
+func (a *Advisor) ObserveRange() { a.w.RangeScans++ }
+
+// ObserveInsert records an insert.
+func (a *Advisor) ObserveInsert() { a.w.Inserts++; a.w.TableRows++ }
+
+// SetRows sets the table cardinality estimate.
+func (a *Advisor) SetRows(n int) { a.w.TableRows = n }
+
+// Decide returns a better design if one beats the current by the hysteresis
+// ratio, and resets observation counters.
+func (a *Advisor) Decide() (Design, bool) {
+	best := Best(a.KeyCol, a.Cols, a.w)
+	cur := a.Current
+	cur.Cost = Cost(cur, a.w, a.KeyCol)
+	a.w = Workload{PointLookups: map[string]float64{}, TableRows: a.w.TableRows}
+	if best.Cost*a.HysteresisRatio < cur.Cost {
+		a.Current = best
+		return best, true
+	}
+	return cur, false
+}

@@ -1,0 +1,156 @@
+package chestnut
+
+import (
+	"fmt"
+	"testing"
+
+	"hydro/internal/storage"
+)
+
+func TestLookupHeavyPicksHash(t *testing.T) {
+	w := Workload{
+		TableRows:    10000,
+		PointLookups: map[string]float64{"id": 1000},
+		Inserts:      10,
+	}
+	d := Best("id", []string{"country"}, w)
+	if d.Layout != storage.LayoutHash {
+		t.Fatalf("picked %v, want hash for lookup-heavy workload", d)
+	}
+	if len(d.Secondary) != 0 {
+		t.Fatalf("unnecessary secondary indexes: %v", d)
+	}
+}
+
+func TestRangeHeavyPicksBTree(t *testing.T) {
+	w := Workload{
+		TableRows:  10000,
+		RangeScans: 500,
+		Inserts:    10,
+	}
+	d := Best("id", nil, w)
+	if d.Layout != storage.LayoutBTree {
+		t.Fatalf("picked %v, want btree for range-heavy workload", d)
+	}
+}
+
+func TestInsertOnlyPicksHeap(t *testing.T) {
+	w := Workload{TableRows: 1000, Inserts: 10000}
+	d := Best("id", []string{"a", "b"}, w)
+	if d.Layout == storage.LayoutBTree || len(d.Secondary) != 0 {
+		t.Fatalf("picked %v, want cheap-write design for insert-only workload", d)
+	}
+}
+
+func TestNonKeyLookupsJustifySecondaryIndex(t *testing.T) {
+	w := Workload{
+		TableRows:    100000,
+		PointLookups: map[string]float64{"country": 500},
+		Inserts:      100,
+	}
+	d := Best("id", []string{"country", "age"}, w)
+	found := false
+	for _, c := range d.Secondary {
+		if c == "country" {
+			found = true
+		}
+		if c == "age" {
+			t.Fatalf("indexed unqueried column: %v", d)
+		}
+	}
+	if !found {
+		t.Fatalf("country index not chosen: %v", d)
+	}
+}
+
+func TestCostMonotoneInTableSizeForScans(t *testing.T) {
+	d := Design{Layout: storage.LayoutHeap}
+	small := Cost(d, Workload{TableRows: 100, PointLookups: map[string]float64{"x": 10}}, "id")
+	big := Cost(d, Workload{TableRows: 100000, PointLookups: map[string]float64{"x": 10}}, "id")
+	if big <= small {
+		t.Fatal("scan cost must grow with table size")
+	}
+}
+
+func TestSynthesizeOrdering(t *testing.T) {
+	w := Workload{TableRows: 1000, PointLookups: map[string]float64{"id": 100}}
+	designs := Synthesize("id", []string{"c"}, w)
+	for i := 1; i < len(designs); i++ {
+		if designs[i].Cost < designs[i-1].Cost {
+			t.Fatal("designs not sorted by cost")
+		}
+	}
+	if len(designs) != 6 { // 3 layouts × 2 subsets
+		t.Fatalf("enumerated %d designs, want 6", len(designs))
+	}
+}
+
+func TestBuildMaterializesDesign(t *testing.T) {
+	d := Design{Layout: storage.LayoutHash, Secondary: []string{"country"}}
+	tbl := Build("users", "id", d)
+	for i := 0; i < 100; i++ {
+		tbl.Insert(storage.Row{"id": fmt.Sprintf("u%d", i), "country": fmt.Sprintf("c%d", i%3)})
+	}
+	before := tbl.Stats
+	if got := tbl.Lookup("country", "c1"); len(got) == 0 {
+		t.Fatal("indexed lookup failed")
+	}
+	if tbl.Stats.Scans != before.Scans {
+		t.Fatal("design's secondary index not built")
+	}
+}
+
+// The synthesized design actually beats naive heap on a real table — the
+// empirical half of E3 (the bench in bench_test.go reports the factor).
+func TestSynthesizedBeatsNaiveEmpirically(t *testing.T) {
+	const rows = 20000
+	w := Workload{
+		TableRows:    rows,
+		PointLookups: map[string]float64{"id": 1000},
+		Inserts:      10,
+	}
+	best := Best("id", nil, w)
+	naive := Build("t", "id", Design{Layout: storage.LayoutHeap})
+	smart := Build("t", "id", best)
+	for i := 0; i < rows; i++ {
+		r := storage.Row{"id": fmt.Sprintf("u%06d", i)}
+		naive.Insert(r)
+		smart.Insert(r)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("u%06d", i*37)
+		naive.Lookup("id", key)
+		smart.Lookup("id", key)
+	}
+	if smart.Stats.RowsTouched*100 > naive.Stats.RowsTouched {
+		t.Fatalf("synthesized design touched %d rows vs naive %d; want ≥100× reduction",
+			smart.Stats.RowsTouched, naive.Stats.RowsTouched)
+	}
+}
+
+func TestAdvisorIncrementalResynthesis(t *testing.T) {
+	a := NewAdvisor("id", []string{"country"}, Design{Layout: storage.LayoutHeap})
+	a.SetRows(50000)
+	// Phase 1: lookup-heavy observation window.
+	for i := 0; i < 1000; i++ {
+		a.ObserveLookup("id")
+	}
+	d, changed := a.Decide()
+	if !changed || d.Layout != storage.LayoutHash {
+		t.Fatalf("advisor should switch to hash: %v changed=%v", d, changed)
+	}
+	// Phase 2: tiny workload — hysteresis prevents flapping.
+	a.ObserveLookup("id")
+	if _, changed := a.Decide(); changed {
+		t.Fatal("advisor flapped on negligible evidence")
+	}
+	// Phase 3: range-heavy shift.
+	a.SetRows(50000)
+	for i := 0; i < 2000; i++ {
+		a.ObserveRange()
+	}
+	d, changed = a.Decide()
+	if !changed || d.Layout != storage.LayoutBTree {
+		t.Fatalf("advisor should switch to btree: %v changed=%v", d, changed)
+	}
+}

@@ -1,0 +1,260 @@
+// Package cluster simulates the cloud substrate of §6 and §9: machines with
+// nested failure domains (VM ⊂ rack ⊂ DC ⊂ AZ), per-class cost and speed,
+// fault injection, and hosting of transducer runtimes over the simulated
+// network. It is the stand-in for real cloud hardware (DESIGN.md §5).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"hydro/internal/simnet"
+	"hydro/internal/transducer"
+)
+
+// Domain names a failure-domain granularity, ordered by scope.
+type Domain string
+
+// Failure domains, smallest to largest.
+const (
+	VM   Domain = "vm"
+	Rack Domain = "rack"
+	DC   Domain = "dc"
+	AZ   Domain = "az"
+)
+
+// MachineClass describes hardware capability and price (the target facet's
+// raw material, §9.1).
+type MachineClass struct {
+	Name string
+	// SpeedFactor divides compute latency: 2.0 runs handlers twice as fast
+	// as the baseline.
+	SpeedFactor float64
+	// CostPerHour in abstract units.
+	CostPerHour float64
+	// GPU reports accelerator availability (the likelihood handler's
+	// processor=gpu constraint).
+	GPU bool
+}
+
+// Standard machine classes used by the experiments.
+var (
+	ClassSmall = MachineClass{Name: "small", SpeedFactor: 1.0, CostPerHour: 0.10}
+	ClassLarge = MachineClass{Name: "large", SpeedFactor: 2.5, CostPerHour: 0.45}
+	ClassGPU   = MachineClass{Name: "gpu", SpeedFactor: 4.0, CostPerHour: 2.50, GPU: true}
+)
+
+// Machine is one simulated host.
+type Machine struct {
+	ID    string
+	VM    string
+	Rack  string
+	DC    string
+	AZ    string
+	Class MachineClass
+	up    bool
+}
+
+// Up reports whether the machine is running.
+func (m *Machine) Up() bool { return m.up }
+
+// DomainID returns the machine's identifier within the given domain.
+func (m *Machine) DomainID(d Domain) string {
+	switch d {
+	case VM:
+		return m.VM
+	case Rack:
+		return m.Rack
+	case DC:
+		return m.DC
+	case AZ:
+		return m.AZ
+	}
+	return m.ID
+}
+
+// Topology is a set of machines.
+type Topology struct {
+	Machines []*Machine
+}
+
+// NewTopology builds a symmetric topology: azs availability zones, each
+// with racksPerAZ racks of machinesPerRack machines of the given class.
+// Machine IDs look like "az1-r2-m3".
+func NewTopology(azs, racksPerAZ, machinesPerRack int, class MachineClass) *Topology {
+	t := &Topology{}
+	for a := 1; a <= azs; a++ {
+		for r := 1; r <= racksPerAZ; r++ {
+			for m := 1; m <= machinesPerRack; m++ {
+				id := fmt.Sprintf("az%d-r%d-m%d", a, r, m)
+				t.Machines = append(t.Machines, &Machine{
+					ID:    id,
+					VM:    id,
+					Rack:  fmt.Sprintf("az%d-r%d", a, r),
+					DC:    fmt.Sprintf("az%d-dc", a),
+					AZ:    fmt.Sprintf("az%d", a),
+					Class: class,
+					up:    true,
+				})
+			}
+		}
+	}
+	return t
+}
+
+// Add appends a machine (for heterogeneous clusters, e.g. a GPU pool).
+func (t *Topology) Add(m *Machine) {
+	m.up = true
+	t.Machines = append(t.Machines, m)
+}
+
+// Get returns the machine with the given ID, or nil.
+func (t *Topology) Get(id string) *Machine {
+	for _, m := range t.Machines {
+		if m.ID == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// DomainValues returns the distinct identifiers of a domain, sorted.
+func (t *Topology) DomainValues(d Domain) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range t.Machines {
+		v := m.DomainID(d)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SpreadAcross picks n machines in n distinct instances of domain d,
+// preferring up machines. It errors when fewer than n distinct domains have
+// an available machine — the availability facet's feasibility check (§6).
+func (t *Topology) SpreadAcross(d Domain, n int) ([]*Machine, error) {
+	byDomain := map[string]*Machine{}
+	for _, m := range t.Machines {
+		if !m.up {
+			continue
+		}
+		key := m.DomainID(d)
+		if byDomain[key] == nil {
+			byDomain[key] = m
+		}
+	}
+	if len(byDomain) < n {
+		return nil, fmt.Errorf("cluster: need %d distinct %s domains, only %d available", n, d, len(byDomain))
+	}
+	keys := make([]string, 0, len(byDomain))
+	for k := range byDomain {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Machine, n)
+	for i := 0; i < n; i++ {
+		out[i] = byDomain[keys[i]]
+	}
+	return out, nil
+}
+
+// Cluster couples a topology, the simulated network, and hosted transducer
+// runtimes. Rounds interleave network delivery with one tick per runtime —
+// the co-simulation loop that stands in for real concurrent execution.
+type Cluster struct {
+	Net   *simnet.Network
+	Topo  *Topology
+	hosts map[string]*transducer.Runtime // machine ID → runtime
+	order []string
+}
+
+// New builds a cluster over a topology.
+func New(topo *Topology, cfg simnet.Config) *Cluster {
+	c := &Cluster{
+		Net:   simnet.New(cfg),
+		Topo:  topo,
+		hosts: map[string]*transducer.Runtime{},
+	}
+	return c
+}
+
+// Host places a runtime on a machine: the runtime's remote sends route over
+// the network, and network deliveries land in the runtime's mailboxes.
+func (c *Cluster) Host(machineID string, rt *transducer.Runtime) {
+	m := c.Topo.Get(machineID)
+	if m == nil {
+		panic(fmt.Sprintf("cluster: unknown machine %q", machineID))
+	}
+	c.hosts[machineID] = rt
+	c.order = append(c.order, machineID)
+	sort.Strings(c.order)
+	c.Net.SetDomain(machineID, m.AZ)
+	rt.Remote = func(node string, msg transducer.Message) {
+		c.Net.Send(machineID, node, msg)
+	}
+	c.Net.AddNode(machineID, func(now simnet.Time, nm simnet.Message) {
+		if tm, ok := nm.Payload.(transducer.Message); ok {
+			rt.Deliver(tm)
+		}
+	})
+}
+
+// Runtime returns the runtime hosted on a machine.
+func (c *Cluster) Runtime(machineID string) *transducer.Runtime { return c.hosts[machineID] }
+
+// FailDomain marks every machine in the named domain instance as down (e.g.
+// FailDomain(AZ, "az1") takes out a whole availability zone). It returns the
+// failed machine IDs.
+func (c *Cluster) FailDomain(d Domain, instance string) []string {
+	var failed []string
+	for _, m := range c.Topo.Machines {
+		if m.DomainID(d) == instance && m.up {
+			m.up = false
+			c.Net.SetDown(m.ID, true)
+			failed = append(failed, m.ID)
+		}
+	}
+	return failed
+}
+
+// Recover brings a machine back up (with its state intact — crash-recovery
+// with durable state; amnesia restarts are modeled by swapping the runtime).
+func (c *Cluster) Recover(machineID string) {
+	if m := c.Topo.Get(machineID); m != nil {
+		m.up = true
+		c.Net.SetDown(machineID, false)
+	}
+}
+
+// Round advances the co-simulation: deliver network traffic for the given
+// virtual duration, then tick every hosted runtime on an up machine once.
+func (c *Cluster) Round(netSlice simnet.Time) {
+	c.Net.RunUntil(c.Net.Now() + netSlice)
+	for _, id := range c.order {
+		if m := c.Topo.Get(id); m != nil && m.up {
+			c.hosts[id].Tick()
+		}
+	}
+}
+
+// RunRounds executes n rounds with the given per-round network slice.
+func (c *Cluster) RunRounds(n int, netSlice simnet.Time) {
+	for i := 0; i < n; i++ {
+		c.Round(netSlice)
+	}
+}
+
+// UpCount returns the number of up machines hosting runtimes.
+func (c *Cluster) UpCount() int {
+	n := 0
+	for _, id := range c.order {
+		if m := c.Topo.Get(id); m != nil && m.up {
+			n++
+		}
+	}
+	return n
+}

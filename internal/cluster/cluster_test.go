@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydro/internal/datalog"
+	"hydro/internal/simnet"
+	"hydro/internal/transducer"
+)
+
+func TestTopologyShape(t *testing.T) {
+	topo := NewTopology(3, 2, 4, ClassSmall)
+	if len(topo.Machines) != 24 {
+		t.Fatalf("machines = %d, want 24", len(topo.Machines))
+	}
+	if got := topo.DomainValues(AZ); len(got) != 3 {
+		t.Fatalf("AZs = %v", got)
+	}
+	if got := topo.DomainValues(Rack); len(got) != 6 {
+		t.Fatalf("racks = %v", got)
+	}
+	m := topo.Get("az2-r1-m3")
+	if m == nil || m.AZ != "az2" || m.Rack != "az2-r1" || m.DomainID(DC) != "az2-dc" {
+		t.Fatalf("machine lookup broken: %+v", m)
+	}
+}
+
+func TestSpreadAcross(t *testing.T) {
+	topo := NewTopology(3, 2, 2, ClassSmall)
+	ms, err := topo.SpreadAcross(AZ, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.AZ] {
+			t.Fatal("two replicas share an AZ")
+		}
+		seen[m.AZ] = true
+	}
+	if _, err := topo.SpreadAcross(AZ, 4); err == nil {
+		t.Fatal("must fail when asking for more domains than exist")
+	}
+}
+
+func TestSpreadSkipsDownMachines(t *testing.T) {
+	topo := NewTopology(2, 1, 1, ClassSmall)
+	c := New(topo, simnet.DefaultConfig(1))
+	c.FailDomain(AZ, "az1")
+	if _, err := topo.SpreadAcross(AZ, 2); err == nil {
+		t.Fatal("down AZ should be unavailable for placement")
+	}
+	if ms, err := topo.SpreadAcross(AZ, 1); err != nil || ms[0].AZ != "az2" {
+		t.Fatalf("placement = %v, %v", ms, err)
+	}
+}
+
+func fixedDelay(r *rand.Rand) int { return 1 }
+
+func TestHostedRuntimesExchangeMessages(t *testing.T) {
+	topo := NewTopology(2, 1, 1, ClassSmall)
+	c := New(topo, simnet.Config{Seed: 1, MinLatency: 10, MaxLatency: 10})
+
+	a := transducer.New("az1-r1-m1", 1)
+	a.SetDelay(fixedDelay)
+	b := transducer.New("az2-r1-m1", 2)
+	b.SetDelay(fixedDelay)
+
+	var got []transducer.Message
+	a.RegisterHandler("kick", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.Send("az2-r1-m1/work", datalog.Tuple{"payload"})
+	})
+	b.RegisterHandler("work", func(tx *transducer.Tx, msg transducer.Message) {
+		got = append(got, msg)
+	})
+	c.Host("az1-r1-m1", a)
+	c.Host("az2-r1-m1", b)
+
+	a.Inject("kick", datalog.Tuple{})
+	c.RunRounds(6, 100)
+	if len(got) != 1 || got[0].Payload[0] != "payload" {
+		t.Fatalf("cross-node message = %v", got)
+	}
+	if got[0].From != "az1-r1-m1" {
+		t.Fatalf("sender identity lost: %q", got[0].From)
+	}
+}
+
+func TestFailDomainStopsTraffic(t *testing.T) {
+	topo := NewTopology(2, 1, 2, ClassSmall)
+	c := New(topo, simnet.Config{Seed: 1, MinLatency: 10, MaxLatency: 10})
+
+	sender := transducer.New("az1-r1-m1", 1)
+	sender.SetDelay(fixedDelay)
+	receiver := transducer.New("az2-r1-m1", 2)
+	receiver.SetDelay(fixedDelay)
+	var got int
+	sender.RegisterHandler("kick", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.Send("az2-r1-m1/work", datalog.Tuple{})
+	})
+	receiver.RegisterHandler("work", func(tx *transducer.Tx, msg transducer.Message) { got++ })
+	c.Host("az1-r1-m1", sender)
+	c.Host("az2-r1-m1", receiver)
+
+	failed := c.FailDomain(AZ, "az2")
+	if len(failed) != 2 {
+		t.Fatalf("failed = %v", failed)
+	}
+	sender.Inject("kick", datalog.Tuple{})
+	c.RunRounds(6, 100)
+	if got != 0 {
+		t.Fatal("failed AZ received traffic")
+	}
+	if c.UpCount() != 1 {
+		t.Fatalf("up hosts = %d", c.UpCount())
+	}
+	// Recovery restores delivery for *new* messages.
+	c.Recover("az2-r1-m1")
+	sender.Inject("kick", datalog.Tuple{})
+	c.RunRounds(6, 100)
+	if got != 1 {
+		t.Fatalf("recovered machine got %d messages, want 1", got)
+	}
+}
+
+func TestMachineClasses(t *testing.T) {
+	if !ClassGPU.GPU || ClassSmall.GPU {
+		t.Fatal("GPU flags wrong")
+	}
+	if ClassLarge.CostPerHour <= ClassSmall.CostPerHour {
+		t.Fatal("large must cost more than small")
+	}
+	topo := NewTopology(1, 1, 1, ClassSmall)
+	topo.Add(&Machine{ID: "gpu-1", VM: "gpu-1", Rack: "gpu-r", DC: "gpu-dc", AZ: "az9", Class: ClassGPU})
+	if m := topo.Get("gpu-1"); m == nil || !m.Up() || !m.Class.GPU {
+		t.Fatal("heterogeneous add broken")
+	}
+}

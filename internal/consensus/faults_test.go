@@ -1,0 +1,102 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"hydro/internal/simnet"
+)
+
+// Fault-injection tests: Paxos safety and liveness under lossy and
+// partitioned networks, beyond the clean-network tests in paxos_test.go.
+
+func TestDecidesUnderMessageLoss(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 21, MinLatency: 10, MaxLatency: 100, DropRate: 0.15})
+	g := NewGroup(net, 3, 21)
+	for i := 0; i < 5; i++ {
+		g.Propose("p0", fmt.Sprintf("v%d", i))
+		net.Drain(40000) // timeouts retransmit through the loss
+	}
+	net.Drain(400000)
+	log := agreeOnPrefix(t, g)
+	seen := map[string]bool{}
+	for _, v := range log {
+		if seen[v.(string)] {
+			t.Fatalf("duplicate decision for %v despite dedup: %v", v, log)
+		}
+		seen[v.(string)] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("decided %d distinct values, want 5: %v", len(seen), log)
+	}
+}
+
+func TestSafetyAcrossPartitionAndHeal(t *testing.T) {
+	net := newNet(22)
+	g := NewGroup(net, 5, 22)
+	g.Propose("p0", "before")
+	net.Drain(100000)
+
+	// Partition p0,p1 away from p2,p3,p4: only the majority side can make
+	// progress.
+	for _, a := range []string{"p0", "p1"} {
+		for _, b := range []string{"p2", "p3", "p4"} {
+			net.Partition(a, b)
+		}
+	}
+	g.Propose("p0", "minority-side") // cannot decide yet
+	g.Propose("p2", "majority-side") // can decide
+	net.Drain(30000)
+	if len(g.Log("p2")) < 2 {
+		t.Fatalf("majority side stalled: %v", g.Log("p2"))
+	}
+	minorityLog := g.Log("p0")
+	for _, v := range minorityLog {
+		if v == "minority-side" {
+			t.Fatal("minority partition decided a value")
+		}
+	}
+
+	// Heal: the minority's proposal must eventually decide, and all logs
+	// must agree (no divergent history from the partition era).
+	for _, a := range []string{"p0", "p1"} {
+		for _, b := range []string{"p2", "p3", "p4"} {
+			net.Heal(a, b)
+		}
+	}
+	net.Drain(800000)
+	log := agreeOnPrefix(t, g)
+	found := map[string]bool{}
+	for _, v := range log {
+		found[v.(string)] = true
+	}
+	for _, want := range []string{"before", "minority-side", "majority-side"} {
+		if !found[want] {
+			t.Fatalf("value %q lost across partition/heal: %v", want, log)
+		}
+	}
+}
+
+func TestRepeatedLeaderCrashes(t *testing.T) {
+	net := newNet(23)
+	g := NewGroup(net, 5, 23)
+	// Crash each would-be leader in turn; with 5 nodes we can lose 2.
+	g.Propose("p0", "a")
+	net.Drain(100000)
+	net.SetDown("p0", true)
+	g.Propose("p1", "b")
+	net.Drain(300000)
+	net.SetDown("p1", true)
+	g.Propose("p2", "c")
+	net.Drain(600000)
+	log := agreeOnPrefix(t, g)
+	found := map[string]bool{}
+	for _, v := range log {
+		found[v.(string)] = true
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !found[want] {
+			t.Fatalf("value %q lost across leader crashes: %v", want, log)
+		}
+	}
+}

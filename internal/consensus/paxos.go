@@ -1,0 +1,386 @@
+// Package consensus implements multi-decree Paxos over the simulated
+// network. It is the "traditional heavyweight" coordination mechanism from
+// §7.2 — the thing CALM analysis lets monotone code avoid, and the thing
+// Hydrolysis inserts at coordination points (serializable handlers,
+// state-machine replication for the availability facet).
+//
+// The implementation is the classic collapsed-roles design: every node is
+// proposer, acceptor and learner. A node becomes leader by completing
+// phase 1 (prepare/promise) for a ballot; it then runs phase 2
+// (accept/accepted) per log slot. Timeouts with per-node randomized backoff
+// restore liveness after leader failure.
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hydro/internal/simnet"
+)
+
+// Ballot orders proposal rounds. Uniqueness comes from embedding the node
+// index: ballot = round*len(peers) + nodeIndex.
+type Ballot int64
+
+type prepareMsg struct {
+	Ballot Ballot
+}
+
+type promiseMsg struct {
+	Ballot   Ballot
+	Accepted map[int]acceptedVal // slot → highest accepted
+}
+
+type acceptMsg struct {
+	Ballot Ballot
+	Slot   int
+	Value  entry
+}
+
+type acceptedMsg struct {
+	Ballot Ballot
+	Slot   int
+}
+
+type decideMsg struct {
+	Slot  int
+	Value entry
+}
+
+type nackMsg struct {
+	Promised Ballot
+}
+
+type timeoutMsg struct {
+	Seq uint64
+}
+
+type acceptedVal struct {
+	Ballot Ballot
+	Value  entry
+}
+
+// entry is a proposed command tagged with a unique proposal ID. A command
+// may occupy more than one slot when its original proposer times out and
+// re-proposes while the first accept quietly succeeds; the learner dedupes
+// by ID at application time — the standard SMR at-most-once discipline.
+type entry struct {
+	ID    string
+	Value any
+}
+
+// Node is one Paxos participant.
+type Node struct {
+	name  string
+	index int
+	peers []string // includes self
+	net   *simnet.Network
+	rng   *rand.Rand
+
+	// Acceptor state.
+	promised Ballot
+	accepted map[int]acceptedVal
+
+	// Proposer/leader state.
+	ballot      Ballot
+	leader      bool
+	phase1Votes map[string]promiseMsg
+	pending     []entry       // values waiting for a slot
+	inFlight    map[int]entry // slot → value being accepted
+	acceptVotes map[int]map[string]bool
+	nextSlot    int
+	proposeSeq  uint64
+	timeoutSeq  uint64
+	backoffBase simnet.Time
+
+	// Learner state.
+	log     map[int]entry
+	decided int // count of decided slots
+
+	// OnDecide, when set, is invoked once per distinct command in slot
+	// order as the log becomes contiguous (state-machine application).
+	// Duplicate slots for the same proposal ID are skipped.
+	OnDecide func(slot int, value any)
+	applied  int
+	seenIDs  map[string]bool
+}
+
+// Group is a set of Paxos nodes sharing a network.
+type Group struct {
+	Nodes map[string]*Node
+	names []string
+	net   *simnet.Network
+}
+
+// NewGroup wires n Paxos nodes named "p0".."p{n-1}" into the network.
+func NewGroup(net *simnet.Network, n int, seed int64) *Group {
+	g := &Group{Nodes: map[string]*Node{}, net: net}
+	for i := 0; i < n; i++ {
+		g.names = append(g.names, fmt.Sprintf("p%d", i))
+	}
+	for i, name := range g.names {
+		node := &Node{
+			name:        name,
+			index:       i,
+			peers:       g.names,
+			net:         net,
+			rng:         rand.New(rand.NewSource(seed + int64(i))),
+			accepted:    map[int]acceptedVal{},
+			phase1Votes: map[string]promiseMsg{},
+			inFlight:    map[int]entry{},
+			acceptVotes: map[int]map[string]bool{},
+			log:         map[int]entry{},
+			seenIDs:     map[string]bool{},
+			backoffBase: 2000,
+		}
+		g.Nodes[name] = node
+		net.AddNode(name, node.handle)
+	}
+	return g
+}
+
+// Names returns the node names in index order.
+func (g *Group) Names() []string { return append([]string(nil), g.names...) }
+
+// Propose submits a value through the given node.
+func (g *Group) Propose(node string, value any) {
+	n := g.Nodes[node]
+	n.proposeSeq++
+	n.pending = append(n.pending, entry{ID: fmt.Sprintf("%s#%d", n.name, n.proposeSeq), Value: value})
+	n.kick()
+}
+
+// Log returns a node's decided command sequence: the dense slot prefix with
+// duplicate proposal IDs collapsed (at-most-once application order).
+func (g *Group) Log(node string) []any {
+	n := g.Nodes[node]
+	var out []any
+	seen := map[string]bool{}
+	for slot := 0; ; slot++ {
+		e, ok := n.log[slot]
+		if !ok {
+			return out
+		}
+		if seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		out = append(out, e.Value)
+	}
+}
+
+// DecidedCount returns the number of decided slots at a node.
+func (g *Group) DecidedCount(node string) int { return g.Nodes[node].decided }
+
+func (n *Node) majority() int { return len(n.peers)/2 + 1 }
+
+func (n *Node) bcast(payload any) {
+	for _, p := range n.peers {
+		if p == n.name {
+			// Deliver to self through the network too, keeping one code
+			// path (self messages get latency like any other).
+			n.net.Send(n.name, n.name, payload)
+			continue
+		}
+		n.net.Send(n.name, p, payload)
+	}
+}
+
+// kick starts (or continues) proposing if there is work.
+func (n *Node) kick() {
+	if len(n.pending) == 0 && len(n.inFlight) == 0 {
+		return
+	}
+	if n.leader {
+		n.pump()
+		return
+	}
+	n.startPhase1()
+}
+
+func (n *Node) startPhase1() {
+	// Choose a ballot above anything seen, tagged with our index.
+	round := int64(n.promised)/int64(len(n.peers)) + 1
+	n.ballot = Ballot(round*int64(len(n.peers)) + int64(n.index))
+	n.phase1Votes = map[string]promiseMsg{}
+	n.leader = false
+	n.bcast(prepareMsg{Ballot: n.ballot})
+	n.armTimeout()
+}
+
+func (n *Node) armTimeout() {
+	n.timeoutSeq++
+	// Randomized backoff avoids dueling leaders.
+	delay := n.backoffBase + simnet.Time(n.rng.Int63n(int64(n.backoffBase)))
+	n.net.After(n.name, delay, timeoutMsg{Seq: n.timeoutSeq})
+}
+
+// pump assigns pending values to slots and sends accepts (leader only).
+func (n *Node) pump() {
+	for len(n.pending) > 0 {
+		v := n.pending[0]
+		n.pending = n.pending[1:]
+		for {
+			if _, used := n.log[n.nextSlot]; used {
+				n.nextSlot++
+				continue
+			}
+			if _, used := n.inFlight[n.nextSlot]; used {
+				n.nextSlot++
+				continue
+			}
+			break
+		}
+		slot := n.nextSlot
+		n.nextSlot++
+		n.inFlight[slot] = v
+		n.acceptVotes[slot] = map[string]bool{}
+		n.bcast(acceptMsg{Ballot: n.ballot, Slot: slot, Value: v})
+	}
+	if len(n.inFlight) > 0 {
+		n.armTimeout()
+	}
+}
+
+func (n *Node) handle(now simnet.Time, msg simnet.Message) {
+	switch m := msg.Payload.(type) {
+	case prepareMsg:
+		if m.Ballot > n.promised {
+			n.promised = m.Ballot
+			if m.Ballot != n.ballot {
+				n.leader = false
+			}
+			acc := make(map[int]acceptedVal, len(n.accepted))
+			for s, av := range n.accepted {
+				acc[s] = av
+			}
+			n.net.Send(n.name, msg.From, promiseMsg{Ballot: m.Ballot, Accepted: acc})
+		} else {
+			n.net.Send(n.name, msg.From, nackMsg{Promised: n.promised})
+		}
+	case promiseMsg:
+		if m.Ballot != n.ballot || n.leader {
+			return
+		}
+		n.phase1Votes[msg.From] = m
+		if len(n.phase1Votes) < n.majority() {
+			return
+		}
+		n.leader = true
+		// Re-propose the highest-ballot accepted value per slot.
+		repropose := map[int]acceptedVal{}
+		for _, pm := range n.phase1Votes {
+			for slot, av := range pm.Accepted {
+				if _, done := n.log[slot]; done {
+					continue
+				}
+				if cur, ok := repropose[slot]; !ok || av.Ballot > cur.Ballot {
+					repropose[slot] = av
+				}
+			}
+		}
+		slots := make([]int, 0, len(repropose))
+		for s := range repropose {
+			slots = append(slots, s)
+		}
+		sort.Ints(slots)
+		for _, s := range slots {
+			n.inFlight[s] = repropose[s].Value
+			n.acceptVotes[s] = map[string]bool{}
+			n.bcast(acceptMsg{Ballot: n.ballot, Slot: s, Value: repropose[s].Value})
+			if s >= n.nextSlot {
+				n.nextSlot = s + 1
+			}
+		}
+		n.pump()
+	case acceptMsg:
+		if m.Ballot >= n.promised {
+			n.promised = m.Ballot
+			n.accepted[m.Slot] = acceptedVal{Ballot: m.Ballot, Value: m.Value}
+			n.net.Send(n.name, msg.From, acceptedMsg{Ballot: m.Ballot, Slot: m.Slot})
+		} else {
+			n.net.Send(n.name, msg.From, nackMsg{Promised: n.promised})
+		}
+	case acceptedMsg:
+		if m.Ballot != n.ballot || !n.leader {
+			return
+		}
+		votes, ok := n.acceptVotes[m.Slot]
+		if !ok {
+			return
+		}
+		votes[msg.From] = true
+		if len(votes) >= n.majority() {
+			v := n.inFlight[m.Slot]
+			delete(n.inFlight, m.Slot)
+			delete(n.acceptVotes, m.Slot)
+			n.bcast(decideMsg{Slot: m.Slot, Value: v})
+		}
+	case decideMsg:
+		if _, done := n.log[m.Slot]; !done {
+			n.log[m.Slot] = m.Value
+			n.decided++
+			// Drop any local re-proposal of the now-decided command.
+			n.dropCommand(m.Value.ID)
+			n.applyContiguous()
+		}
+	case nackMsg:
+		if m.Promised > n.ballot {
+			n.leader = false
+			// A higher ballot exists; back off and retry via timeout.
+		}
+	case timeoutMsg:
+		if m.Seq != n.timeoutSeq {
+			return // stale timer
+		}
+		// Re-queue undecided in-flight values and retry leadership.
+		var slots []int
+		for s := range n.inFlight {
+			slots = append(slots, s)
+		}
+		sort.Ints(slots)
+		for _, s := range slots {
+			n.pending = append(n.pending, n.inFlight[s])
+			delete(n.inFlight, s)
+			delete(n.acceptVotes, s)
+		}
+		if len(n.pending) > 0 {
+			n.startPhase1()
+		}
+	}
+}
+
+func (n *Node) applyContiguous() {
+	for {
+		e, ok := n.log[n.applied]
+		if !ok {
+			return
+		}
+		if !n.seenIDs[e.ID] {
+			n.seenIDs[e.ID] = true
+			if n.OnDecide != nil {
+				n.OnDecide(n.applied, e.Value)
+			}
+		}
+		n.applied++
+	}
+}
+
+// dropCommand removes a command from pending and in-flight proposals once
+// it is known decided (prevents duplicate slots where we can).
+func (n *Node) dropCommand(id string) {
+	kept := n.pending[:0]
+	for _, e := range n.pending {
+		if e.ID != id {
+			kept = append(kept, e)
+		}
+	}
+	n.pending = kept
+	for slot, e := range n.inFlight {
+		if e.ID == id {
+			delete(n.inFlight, slot)
+			delete(n.acceptVotes, slot)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"hydro/internal/simnet"
+)
+
+func newNet(seed int64) *simnet.Network {
+	return simnet.New(simnet.Config{Seed: seed, MinLatency: 10, MaxLatency: 100})
+}
+
+// agreeOnPrefix checks the fundamental safety property: all logs are
+// prefixes of one another (no divergent decisions).
+func agreeOnPrefix(t *testing.T, g *Group) []any {
+	t.Helper()
+	var longest []any
+	for _, name := range g.Names() {
+		if g.net.Down(name) {
+			continue
+		}
+		log := g.Log(name)
+		if len(log) > len(longest) {
+			longest = log
+		}
+	}
+	for _, name := range g.Names() {
+		if g.net.Down(name) {
+			continue
+		}
+		log := g.Log(name)
+		for i, v := range log {
+			if longest[i] != v {
+				t.Fatalf("log divergence at slot %d on %s: %v vs %v", i, name, v, longest[i])
+			}
+		}
+	}
+	return longest
+}
+
+func TestSingleProposalDecides(t *testing.T) {
+	net := newNet(1)
+	g := NewGroup(net, 3, 1)
+	g.Propose("p0", "hello")
+	net.Drain(10000)
+	log := agreeOnPrefix(t, g)
+	if len(log) != 1 || log[0] != "hello" {
+		t.Fatalf("log = %v", log)
+	}
+	for _, n := range g.Names() {
+		if got := g.Log(n); len(got) != 1 {
+			t.Fatalf("node %s log = %v", n, got)
+		}
+	}
+}
+
+func TestManyProposalsAllDecideExactlyOnce(t *testing.T) {
+	net := newNet(2)
+	g := NewGroup(net, 5, 2)
+	want := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		v := fmt.Sprintf("v%d", i)
+		want[v] = true
+		g.Propose(g.Names()[i%5], v)
+		net.RunUntil(net.Now() + 500)
+	}
+	net.Drain(200000)
+	log := agreeOnPrefix(t, g)
+	got := map[string]int{}
+	for _, v := range log {
+		got[v.(string)]++
+	}
+	for v := range want {
+		if got[v] != 1 {
+			t.Fatalf("value %s decided %d times (log %v)", v, got[v], log)
+		}
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log has %d entries, want %d", len(log), len(want))
+	}
+}
+
+func TestConcurrentProposersConverge(t *testing.T) {
+	net := newNet(3)
+	g := NewGroup(net, 3, 3)
+	// Dueling proposers: both start at once.
+	g.Propose("p0", "from-p0")
+	g.Propose("p1", "from-p1")
+	g.Propose("p2", "from-p2")
+	net.Drain(400000)
+	log := agreeOnPrefix(t, g)
+	seen := map[string]int{}
+	for _, v := range log {
+		seen[v.(string)]++
+	}
+	for _, v := range []string{"from-p0", "from-p1", "from-p2"} {
+		if seen[v] != 1 {
+			t.Fatalf("value %s decided %d times; log=%v", v, seen[v], log)
+		}
+	}
+}
+
+func TestSurvivesMinorityFailure(t *testing.T) {
+	net := newNet(4)
+	g := NewGroup(net, 5, 4)
+	g.Propose("p0", "a")
+	net.Drain(100000)
+	// Kill two of five (a minority, f=2).
+	net.SetDown("p3", true)
+	net.SetDown("p4", true)
+	g.Propose("p0", "b")
+	g.Propose("p1", "c")
+	net.Drain(400000)
+	log := agreeOnPrefix(t, g)
+	if len(log) != 3 {
+		t.Fatalf("log = %v, want 3 entries despite 2 failures", log)
+	}
+}
+
+func TestLeaderFailoverReproposesValue(t *testing.T) {
+	net := newNet(5)
+	g := NewGroup(net, 3, 5)
+	g.Propose("p0", "first")
+	net.Drain(100000)
+	// p0 (the established leader) dies; p1 must take over.
+	net.SetDown("p0", true)
+	g.Propose("p1", "second")
+	net.Drain(600000)
+	var p1log, p2log []any
+	p1log, p2log = g.Log("p1"), g.Log("p2")
+	if len(p1log) < 2 || len(p2log) < 2 {
+		t.Fatalf("failover did not decide: p1=%v p2=%v", p1log, p2log)
+	}
+	found := false
+	for _, v := range p1log {
+		if v == "second" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("second value lost after failover: %v", p1log)
+	}
+	agreeOnPrefix(t, g)
+}
+
+func TestNoProgressWithoutMajority(t *testing.T) {
+	net := newNet(6)
+	g := NewGroup(net, 3, 6)
+	net.SetDown("p1", true)
+	net.SetDown("p2", true)
+	g.Propose("p0", "stuck")
+	// Bounded drain: timeouts keep rescheduling, so cap events.
+	net.Drain(5000)
+	if got := g.Log("p0"); len(got) != 0 {
+		t.Fatalf("decided without majority: %v", got)
+	}
+	// Heal one node: majority restored, value decides.
+	net.SetDown("p1", false)
+	net.Drain(400000)
+	if got := g.Log("p0"); len(got) != 1 || got[0] != "stuck" {
+		t.Fatalf("log after heal = %v", got)
+	}
+}
+
+func TestOnDecideAppliesInOrder(t *testing.T) {
+	net := newNet(7)
+	g := NewGroup(net, 3, 7)
+	var applied []int
+	g.Nodes["p2"].OnDecide = func(slot int, v any) {
+		applied = append(applied, slot)
+	}
+	for i := 0; i < 8; i++ {
+		g.Propose("p0", i)
+		net.RunUntil(net.Now() + 300)
+	}
+	net.Drain(200000)
+	if len(applied) != 8 {
+		t.Fatalf("applied %d slots, want 8", len(applied))
+	}
+	for i, s := range applied {
+		if s != i {
+			t.Fatalf("out-of-order application: %v", applied)
+		}
+	}
+}
+
+func TestDeterministicOutcome(t *testing.T) {
+	run := func() []any {
+		net := newNet(42)
+		g := NewGroup(net, 3, 42)
+		g.Propose("p0", "x")
+		g.Propose("p1", "y")
+		net.Drain(200000)
+		return g.Log("p2")
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic log length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic log content")
+		}
+	}
+}

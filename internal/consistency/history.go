@@ -1,0 +1,286 @@
+// Package consistency implements the consistency facet (§7): client-centric
+// history checkers in the spirit of Crooks' client-centric framework [29]
+// — guarantees are phrased over what clients could observe, not low-level
+// replica histories — plus the mechanism selector that picks between "no
+// enforcement", "lattice encapsulation" and "coordination" (§7.2).
+//
+// Checker conventions follow standard black-box testing practice: every
+// write carries a unique value, so observing a value identifies the write.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind is read or write.
+type OpKind int
+
+// Operation kinds.
+const (
+	Read OpKind = iota
+	Write
+)
+
+// Op is one client-observed operation.
+type Op struct {
+	Client string
+	Kind   OpKind
+	Key    string
+	// Value written, or value observed by a read (nil = key absent).
+	Value any
+	// Invoke/Return are real-time bounds (virtual network time works).
+	Invoke, Return int64
+	// Version, when positive on a write, fixes the installed version
+	// explicitly (what the system durably ordered). When zero, version
+	// order is inferred from write invoke order — adequate for systems
+	// that apply writes in issue order.
+	Version int
+}
+
+func (o Op) String() string {
+	k := "r"
+	if o.Kind == Write {
+		k = "w"
+	}
+	return fmt.Sprintf("%s:%s(%s)=%v@[%d,%d]", o.Client, k, o.Key, o.Value, o.Invoke, o.Return)
+}
+
+// History is a set of operations.
+type History []Op
+
+// Violation reports one broken guarantee.
+type Violation struct {
+	Guarantee string
+	Detail    string
+	Ops       []Op
+}
+
+func (v Violation) String() string { return v.Guarantee + ": " + v.Detail }
+
+// writeIndex assigns each written value its version number per key, using
+// invoke order as the version order (unique-value convention).
+func (h History) writeIndex() map[string]map[any]int {
+	byKey := map[string][]Op{}
+	for _, op := range h {
+		if op.Kind == Write {
+			byKey[op.Key] = append(byKey[op.Key], op)
+		}
+	}
+	out := map[string]map[any]int{}
+	for key, writes := range byKey {
+		sort.Slice(writes, func(i, j int) bool { return writes[i].Invoke < writes[j].Invoke })
+		vers := map[any]int{}
+		for i, w := range writes {
+			if w.Version > 0 {
+				vers[w.Value] = w.Version
+			} else {
+				vers[w.Value] = i + 1 // version 0 = initial absent state
+			}
+		}
+		out[key] = vers
+	}
+	return out
+}
+
+// version resolves the version a read observed (0 for absent/nil).
+func version(idx map[string]map[any]int, key string, val any) (int, bool) {
+	if val == nil {
+		return 0, true
+	}
+	v, ok := idx[key][val]
+	return v, ok
+}
+
+// clientOps returns each client's operations in invoke order.
+func (h History) clientOps() map[string][]Op {
+	out := map[string][]Op{}
+	for _, op := range h {
+		out[op.Client] = append(out[op.Client], op)
+	}
+	for c := range out {
+		ops := out[c]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+		out[c] = ops
+	}
+	return out
+}
+
+// CheckReadYourWrites verifies the RYW session guarantee: a client's read
+// must observe a version at least as new as its own latest preceding write.
+func (h History) CheckReadYourWrites() []Violation {
+	idx := h.writeIndex()
+	var out []Violation
+	for client, ops := range h.clientOps() {
+		lastWrote := map[string]int{}
+		for _, op := range ops {
+			switch op.Kind {
+			case Write:
+				if v, ok := version(idx, op.Key, op.Value); ok && v > lastWrote[op.Key] {
+					lastWrote[op.Key] = v
+				}
+			case Read:
+				v, ok := version(idx, op.Key, op.Value)
+				if !ok {
+					out = append(out, Violation{Guarantee: "read-your-writes",
+						Detail: fmt.Sprintf("%s read unwritten value %v", client, op.Value), Ops: []Op{op}})
+					continue
+				}
+				if v < lastWrote[op.Key] {
+					out = append(out, Violation{Guarantee: "read-your-writes",
+						Detail: fmt.Sprintf("%s read version %d of %s after writing version %d", client, v, op.Key, lastWrote[op.Key]),
+						Ops:    []Op{op}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckMonotonicReads verifies MR: per client per key, observed versions
+// never go backwards.
+func (h History) CheckMonotonicReads() []Violation {
+	idx := h.writeIndex()
+	var out []Violation
+	for client, ops := range h.clientOps() {
+		lastRead := map[string]int{}
+		for _, op := range ops {
+			if op.Kind != Read {
+				continue
+			}
+			v, ok := version(idx, op.Key, op.Value)
+			if !ok {
+				continue // RYW checker reports phantom reads
+			}
+			if v < lastRead[op.Key] {
+				out = append(out, Violation{Guarantee: "monotonic-reads",
+					Detail: fmt.Sprintf("%s saw %s regress from version %d to %d", client, op.Key, lastRead[op.Key], v),
+					Ops:    []Op{op}})
+			}
+			if v > lastRead[op.Key] {
+				lastRead[op.Key] = v
+			}
+		}
+	}
+	return out
+}
+
+// CheckMonotonicWrites verifies MW: a client's writes are applied in issue
+// order (their version order must match issue order).
+func (h History) CheckMonotonicWrites() []Violation {
+	idx := h.writeIndex()
+	var out []Violation
+	for client, ops := range h.clientOps() {
+		last := map[string]int{}
+		for _, op := range ops {
+			if op.Kind != Write {
+				continue
+			}
+			v, _ := version(idx, op.Key, op.Value)
+			if v < last[op.Key] {
+				out = append(out, Violation{Guarantee: "monotonic-writes",
+					Detail: fmt.Sprintf("%s's writes to %s serialized out of order", client, op.Key),
+					Ops:    []Op{op}})
+			}
+			last[op.Key] = v
+		}
+	}
+	return out
+}
+
+// CheckWritesFollowReads verifies WFR: if a client reads version v of a key
+// and then writes that key, the write's version must exceed v.
+func (h History) CheckWritesFollowReads() []Violation {
+	idx := h.writeIndex()
+	var out []Violation
+	for client, ops := range h.clientOps() {
+		lastRead := map[string]int{}
+		for _, op := range ops {
+			switch op.Kind {
+			case Read:
+				if v, ok := version(idx, op.Key, op.Value); ok && v > lastRead[op.Key] {
+					lastRead[op.Key] = v
+				}
+			case Write:
+				v, _ := version(idx, op.Key, op.Value)
+				if v <= lastRead[op.Key] && lastRead[op.Key] > 0 {
+					out = append(out, Violation{Guarantee: "writes-follow-reads",
+						Detail: fmt.Sprintf("%s wrote version %d of %s after reading version %d", client, v, op.Key, lastRead[op.Key]),
+						Ops:    []Op{op}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckCausal bundles the four session guarantees, which together are
+// equivalent to causal consistency for this observation model.
+func (h History) CheckCausal() []Violation {
+	var out []Violation
+	out = append(out, h.CheckReadYourWrites()...)
+	out = append(out, h.CheckMonotonicReads()...)
+	out = append(out, h.CheckMonotonicWrites()...)
+	out = append(out, h.CheckWritesFollowReads()...)
+	return out
+}
+
+// CheckLinearizable decides single-key linearizability by exhaustive search
+// (Wing & Gong): is there a total order of operations, consistent with
+// real-time precedence, under which every read returns the latest write?
+// Exponential in history size; intended for test-scale histories.
+func (h History) CheckLinearizable(key string) bool {
+	var ops []Op
+	for _, op := range h {
+		if op.Key == key {
+			ops = append(ops, op)
+		}
+	}
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 20 {
+		panic("consistency: linearizability checker is exponential; history too large")
+	}
+	used := make([]bool, n)
+	var search func(done int, current any) bool
+	search = func(done int, current any) bool {
+		if done == n {
+			return true
+		}
+		// Earliest return time among pending ops bounds what may go next:
+		// an op can be scheduled only if no pending op returned before it
+		// was invoked.
+		minReturn := int64(1<<62 - 1)
+		for i, op := range ops {
+			if !used[i] && op.Return < minReturn {
+				minReturn = op.Return
+			}
+		}
+		for i, op := range ops {
+			if used[i] || op.Invoke > minReturn {
+				continue
+			}
+			if op.Kind == Read {
+				same := (op.Value == nil && current == nil) || (op.Value != nil && op.Value == current)
+				if !same {
+					continue
+				}
+				used[i] = true
+				if search(done+1, current) {
+					return true
+				}
+				used[i] = false
+			} else {
+				used[i] = true
+				if search(done+1, op.Value) {
+					return true
+				}
+				used[i] = false
+			}
+		}
+		return false
+	}
+	return search(0, nil)
+}

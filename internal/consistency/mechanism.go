@@ -1,0 +1,136 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"hydro/internal/hlang"
+)
+
+// Mechanism is an enforcement strategy for a handler's consistency spec —
+// the three broad approaches of §7.2.
+type Mechanism int
+
+// Mechanisms, cheapest first.
+const (
+	// MechNone: no enforcement needed — CALM analysis proved the handler
+	// monotone, so any replica may act independently.
+	MechNone Mechanism = iota
+	// MechLattice: wrap state in lattice metadata (vector clocks / causal
+	// cells) for local, coordination-free enforcement (Cloudburst/
+	// Hydrocache style).
+	MechLattice
+	// MechCoordination: serialize through a coordination protocol (Paxos
+	// log or 2PC) — the heavyweight fallback.
+	MechCoordination
+)
+
+func (m Mechanism) String() string {
+	switch m {
+	case MechNone:
+		return "none (CALM: monotone)"
+	case MechLattice:
+		return "lattice-encapsulation"
+	default:
+		return "coordination"
+	}
+}
+
+// Choice records the selected mechanism and why.
+type Choice struct {
+	Handler   string
+	Level     hlang.ConsistencyLevel
+	Mono      hlang.Monotonicity
+	Mechanism Mechanism
+	Why       string
+	// LocalOnly is set when a serializable handler's non-monotone state is
+	// touched by no other handler, so local serialization suffices (§7's
+	// vaccinate observation).
+	LocalOnly bool
+}
+
+// Select picks an enforcement mechanism for every handler, given the
+// program and its monotonicity analysis. This is the decision procedure
+// Hydrolysis uses for the consistency facet.
+func Select(p *hlang.Program, a *hlang.Analysis) map[string]Choice {
+	// Build var → set of handlers touching it, for the locality analysis.
+	varTouchers := map[string]map[string]bool{}
+	touch := func(v, h string) {
+		if varTouchers[v] == nil {
+			varTouchers[v] = map[string]bool{}
+		}
+		varTouchers[v][h] = true
+	}
+	for name, info := range a.Handlers {
+		for _, v := range info.WritesVars {
+			touch(v, name)
+		}
+		for _, v := range info.ReadsVars {
+			touch(v, name)
+		}
+	}
+
+	out := map[string]Choice{}
+	for _, h := range p.Handlers {
+		info := a.Handlers[h.Name]
+		level := h.Consistency
+		if level == "" {
+			level = hlang.Eventual
+		}
+		c := Choice{Handler: h.Name, Level: level, Mono: info.Mono}
+		switch {
+		case info.Mono == hlang.Monotone && level != hlang.Serializable:
+			c.Mechanism = MechNone
+			c.Why = "monotone handler: CALM guarantees coordination-free determinism"
+		case info.Mono == hlang.Monotone && level == hlang.Serializable:
+			// Monotone operations commute; serializability comes free.
+			c.Mechanism = MechNone
+			c.Why = "monotone handler: all operations reorderable, trivially serializable"
+		case level == hlang.Eventual:
+			c.Mechanism = MechLattice
+			c.Why = "non-monotone but eventual: lattice metadata resolves divergence"
+		case level == hlang.Causal:
+			c.Mechanism = MechLattice
+			c.Why = "causal: vector-clock encapsulation enforces session order locally"
+		default: // serializable + non-monotone
+			c.Mechanism = MechCoordination
+			c.Why = "non-monotone serializable handler: coordination required"
+			// §7's refinement: if every var this handler reads or writes
+			// is private to it, serialization is local — no cross-handler
+			// coordination.
+			private := true
+			for _, v := range append(info.WritesVars, info.ReadsVars...) {
+				for other := range varTouchers[v] {
+					if other != h.Name {
+						private = false
+					}
+				}
+			}
+			if private && len(info.WritesVars) > 0 {
+				c.LocalOnly = true
+				c.Why = "serializable but state is handler-private: local serialization suffices (no distributed coordination)"
+			}
+		}
+		out[h.Name] = c
+	}
+	return out
+}
+
+// Report renders the choices sorted by handler name.
+func Report(choices map[string]Choice) string {
+	names := make([]string, 0, len(choices))
+	for n := range choices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		c := choices[n]
+		local := ""
+		if c.LocalOnly {
+			local = " [local]"
+		}
+		s += fmt.Sprintf("%-14s %-12s %-13s -> %s%s\n      %s\n", n, c.Level, c.Mono, c.Mechanism, local, c.Why)
+	}
+	return s
+}

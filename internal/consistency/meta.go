@@ -1,0 +1,151 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"hydro/internal/hlang"
+)
+
+// This file implements the two remaining §7 analyses:
+//
+//   - Metaconsistency (§7.2): a public API call may cross several internal
+//     handlers with different consistency specs. Composition paths are
+//     found by dataflow analysis over `send` targets; a path where a
+//     strong handler forwards work through a weaker one silently
+//     downgrades the guarantee the caller observes, so it is flagged.
+//   - Invariant confluence (§7.1): an application invariant needs no
+//     coordination if it is preserved by lattice merge of any two
+//     invariant-satisfying states. CheckInvariantConfluence bounded-checks
+//     this with randomized state pairs.
+
+// levelRank orders consistency levels for comparison.
+func levelRank(l hlang.ConsistencyLevel) int {
+	switch l {
+	case hlang.Serializable:
+		return 2
+	case hlang.Causal:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MetaIssue is one flagged composition path.
+type MetaIssue struct {
+	// Path is the handler chain, public entry first.
+	Path []string
+	// DeclaredAt is the strongest level declared along the path.
+	Declared hlang.ConsistencyLevel
+	// WeakestLink is the weakest level on the path.
+	WeakestLink hlang.ConsistencyLevel
+	// Where is the handler providing only WeakestLink.
+	Where string
+}
+
+func (m MetaIssue) String() string {
+	return fmt.Sprintf("path %v declares %s but %s provides only %s",
+		m.Path, m.Declared, m.Where, m.WeakestLink)
+}
+
+// CheckMeta finds composition paths whose observable consistency is weaker
+// than the entry handler's declared level. Paths are discovered statically
+// from send targets that are themselves handlers (the conservative static
+// analysis §7.2 calls "easy to do"). Monotone handlers provide any level
+// for free (their effects commute), so they never weaken a path.
+func CheckMeta(p *hlang.Program, a *hlang.Analysis) []MetaIssue {
+	level := func(name string) hlang.ConsistencyLevel {
+		h := p.Handler(name)
+		if h == nil || h.Consistency == "" {
+			return hlang.Eventual
+		}
+		return h.Consistency
+	}
+	var issues []MetaIssue
+	// DFS over send edges from each handler, carrying the entry's level.
+	var entries []string
+	for _, h := range p.Handlers {
+		entries = append(entries, h.Name)
+	}
+	sort.Strings(entries)
+	for _, entry := range entries {
+		declared := level(entry)
+		if levelRank(declared) == 0 {
+			continue // nothing to uphold
+		}
+		seen := map[string]bool{entry: true}
+		var dfs func(cur string, path []string)
+		dfs = func(cur string, path []string) {
+			info := a.Handlers[cur]
+			if info == nil {
+				return
+			}
+			for _, target := range info.SendsTo {
+				tgt := p.Handler(target)
+				if tgt == nil || seen[target] {
+					continue // external mailbox or already visited
+				}
+				seen[target] = true
+				nextPath := append(append([]string{}, path...), target)
+				tInfo := a.Handlers[target]
+				// Monotone handlers uphold anything; non-monotone ones
+				// provide only their own declared level.
+				if tInfo != nil && tInfo.Mono == hlang.NonMonotone &&
+					levelRank(level(target)) < levelRank(declared) {
+					issues = append(issues, MetaIssue{
+						Path:        nextPath,
+						Declared:    declared,
+						WeakestLink: level(target),
+						Where:       target,
+					})
+				}
+				dfs(target, nextPath)
+			}
+		}
+		dfs(entry, []string{entry})
+	}
+	return issues
+}
+
+// MergeFn joins two opaque states (must be a lattice join over the state
+// representation).
+type MergeFn func(a, b any) any
+
+// Invariant is a predicate over one state.
+type Invariant func(state any) bool
+
+// ConfluenceResult reports a bounded invariant-confluence check.
+type ConfluenceResult struct {
+	Confluent bool
+	Trials    int
+	// Counterexample states (both satisfy the invariant; the merge does
+	// not) when Confluent is false.
+	Left, Right, Merged any
+}
+
+// CheckInvariantConfluence samples `trials` pairs of invariant-satisfying
+// states from gen and checks that their merge still satisfies the
+// invariant. Confluent invariants need no coordination (§7.1: "invariants
+// are a powerful way to specify what guarantees are necessary"); a
+// counterexample means Hydrolysis must coordinate the involved handlers.
+// gen is called with a trial index and must return a state; states failing
+// the invariant are skipped (rejection sampling).
+func CheckInvariantConfluence(gen func(i int) any, inv Invariant, merge MergeFn, trials int) ConfluenceResult {
+	res := ConfluenceResult{Confluent: true}
+	var pool []any
+	for i := 0; len(pool) < trials*2 && i < trials*20; i++ {
+		s := gen(i)
+		if inv(s) {
+			pool = append(pool, s)
+		}
+	}
+	for i := 0; i+1 < len(pool); i += 2 {
+		l, r := pool[i], pool[i+1]
+		m := merge(l, r)
+		res.Trials++
+		if !inv(m) {
+			return ConfluenceResult{Confluent: false, Trials: res.Trials, Left: l, Right: r, Merged: m}
+		}
+	}
+	return res
+}

@@ -1,0 +1,107 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TxnRecord is one committed transaction's read and write sets, with the
+// versions read and installed (unique-version convention).
+type TxnRecord struct {
+	ID     string
+	Reads  map[string]int // key → version observed
+	Writes map[string]int // key → version installed
+}
+
+// CheckSerializable builds the direct serialization graph (DSG) over the
+// committed transactions and reports whether it is acyclic — Adya-style
+// serializability testing. Edge kinds:
+//
+//	ww: Ti installs version v of k, Tj installs the next version
+//	wr: Ti installs version v of k, Tj reads v
+//	rw: Ti reads version v of k, Tj installs version v+1 (anti-dependency)
+func CheckSerializable(txns []TxnRecord) (bool, []string) {
+	// installer[key][version] = txn index
+	installer := map[string]map[int]int{}
+	for i, t := range txns {
+		for k, v := range t.Writes {
+			if installer[k] == nil {
+				installer[k] = map[int]int{}
+			}
+			installer[k][v] = i
+		}
+	}
+	edges := map[int]map[int]bool{}
+	addEdge := func(from, to int) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = map[int]bool{}
+		}
+		edges[from][to] = true
+	}
+	for i, t := range txns {
+		for k, v := range t.Writes {
+			// ww: previous installer → me; me → next installer.
+			if prev, ok := installer[k][v-1]; ok {
+				addEdge(prev, i)
+			}
+			if next, ok := installer[k][v+1]; ok {
+				addEdge(i, next)
+			}
+		}
+		for k, v := range t.Reads {
+			// wr: the installer of what I read → me.
+			if w, ok := installer[k][v]; ok && v > 0 {
+				addEdge(w, i)
+			}
+			// rw: me → installer of the next version.
+			if next, ok := installer[k][v+1]; ok {
+				addEdge(i, next)
+			}
+		}
+	}
+	// Cycle detection via DFS with colors.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(txns))
+	var cyc []string
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		// Deterministic order for reproducible counterexamples.
+		var succs []int
+		for v := range edges[u] {
+			succs = append(succs, v)
+		}
+		sort.Ints(succs)
+		for _, v := range succs {
+			switch color[v] {
+			case gray:
+				cyc = append(cyc, fmt.Sprintf("%s→%s", txns[u].ID, txns[v].ID))
+				return true
+			case white:
+				if dfs(v) {
+					cyc = append(cyc, fmt.Sprintf("%s→%s", txns[u].ID, txns[v].ID))
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range txns {
+		if color[i] == white && dfs(i) {
+			// Reverse for readability (edges were collected unwinding).
+			for l, r := 0, len(cyc)-1; l < r; l, r = l+1, r-1 {
+				cyc[l], cyc[r] = cyc[r], cyc[l]
+			}
+			return false, cyc
+		}
+	}
+	return true, nil
+}

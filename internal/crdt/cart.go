@@ -1,0 +1,154 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hydro/internal/lattice"
+)
+
+// Cart is the Dynamo shopping cart of §7.1, built as a CRDT with an explicit
+// *seal*. Item quantity changes are coordination-free PN-counter updates.
+// Checkout requires agreement on the final contents; Conway's observation
+// (reproduced by experiment E10) is that sealing can be decided unilaterally
+// at the client, after which each replica checks out for free once its local
+// contents match the sealed manifest.
+type Cart struct {
+	Replica string
+	items   map[string]PNCounter
+	// sealed is a once-set manifest: item → final quantity. It is an LWW
+	// register so ties between concurrent seals resolve deterministically.
+	sealed lattice.LWW[string]
+	has    bool
+}
+
+// NewCart returns an empty cart owned by replica.
+func NewCart(replica string) *Cart {
+	return &Cart{Replica: replica, items: map[string]PNCounter{}}
+}
+
+// AddItem adjusts the quantity of item by delta (negative removes).
+func (c *Cart) AddItem(item string, delta int64) *Cart {
+	next := c.clone()
+	ctr, ok := next.items[item]
+	if !ok {
+		ctr = NewPNCounter(c.Replica)
+	}
+	if delta >= 0 {
+		ctr = ctr.Inc(uint64(delta))
+	} else {
+		ctr = ctr.Dec(uint64(-delta))
+	}
+	next.items[item] = ctr
+	return next
+}
+
+// Quantity reads the current count of item.
+func (c *Cart) Quantity(item string) int64 {
+	ctr, ok := c.items[item]
+	if !ok {
+		return 0
+	}
+	return ctr.Value()
+}
+
+// Manifest renders current contents as a canonical string "item=qty;...",
+// with zero-quantity items elided.
+func (c *Cart) Manifest() string {
+	keys := make([]string, 0, len(c.items))
+	for k := range c.items {
+		if c.items[k].Value() != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, c.items[k].Value())
+	}
+	return strings.Join(parts, ";")
+}
+
+// Seal freezes the cart's contents as of the given logical stamp. Sealing is
+// the *only* decision in the cart's lifecycle; it is made unilaterally (the
+// browser in Conway's formulation), so no replica coordination is needed.
+func (c *Cart) Seal(stamp uint64) *Cart {
+	next := c.clone()
+	next.sealed = lattice.NewLWW(stamp, c.Replica, c.Manifest(), func(a, b string) bool { return a == b })
+	next.has = true
+	return next
+}
+
+// Sealed returns the sealed manifest, if any.
+func (c *Cart) Sealed() (string, bool) {
+	if !c.has {
+		return "", false
+	}
+	return c.sealed.Val, true
+}
+
+// CheckedOut reports that this replica can complete checkout: a seal exists
+// and local contents have caught up to the sealed manifest. This predicate
+// is monotone — once true it stays true — so replicas may act on it
+// independently.
+func (c *Cart) CheckedOut() bool {
+	m, ok := c.Sealed()
+	return ok && c.Manifest() == m
+}
+
+// Merge merges item counters pointwise and the seal register.
+func (c *Cart) Merge(o *Cart) *Cart {
+	next := c.clone()
+	for k, v := range o.items {
+		if mine, ok := next.items[k]; ok {
+			next.items[k] = mine.Merge(v)
+		} else {
+			next.items[k] = v
+		}
+	}
+	if o.has {
+		if next.has {
+			next.sealed = next.sealed.Merge(o.sealed)
+		} else {
+			next.sealed = o.sealed
+			next.has = true
+		}
+	}
+	return next
+}
+
+// Equal reports equal contents and seal state.
+func (c *Cart) Equal(o *Cart) bool {
+	if len(c.items) != len(o.items) || c.has != o.has {
+		return false
+	}
+	for k, v := range c.items {
+		ov, ok := o.items[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	if c.has && !c.sealed.Equal(o.sealed) {
+		return false
+	}
+	return true
+}
+
+// LessEq reports lattice order on carts.
+func (c *Cart) LessEq(o *Cart) bool { return c.Merge(o).Equal(o) }
+
+// WithoutItems returns a cart carrying only the seal register — the shape
+// of a message that delivers the checkout decision ahead of (reordered)
+// content updates.
+func (c *Cart) WithoutItems() *Cart {
+	return &Cart{Replica: c.Replica, items: map[string]PNCounter{}, sealed: c.sealed, has: c.has}
+}
+
+func (c *Cart) clone() *Cart {
+	items := make(map[string]PNCounter, len(c.items))
+	for k, v := range c.items {
+		items[k] = v
+	}
+	return &Cart{Replica: c.Replica, items: items, sealed: c.sealed, has: c.has}
+}

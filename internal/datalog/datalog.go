@@ -1,0 +1,248 @@
+// Package datalog is the query core of HydroLogic (§3): relations, rules
+// with stratified negation, lattice-style aggregation, and a semi-naive
+// (differential) fixpoint evaluator. HydroLogic queries such as the
+// transitive-closure `trace` in the COVID example compile to rules here, and
+// the evaluator is what runs "to fixpoint" inside each transducer tick.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tuple is one fact: a row of constants. Elements must be comparable Go
+// values (string, integer, float, bool).
+type Tuple []any
+
+// encodeKey renders a tuple (or projection of one) as a hashable string.
+// A type prefix prevents 1 and "1" from colliding.
+func encodeKey(vals []any) string {
+	var b strings.Builder
+	for _, v := range vals {
+		switch x := v.(type) {
+		case string:
+			b.WriteByte('s')
+			b.WriteString(strconv.Itoa(len(x)))
+			b.WriteByte(':')
+			b.WriteString(x)
+		case int:
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(int64(x), 10))
+		case int64:
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(x, 10))
+		case uint64:
+			b.WriteByte('u')
+			b.WriteString(strconv.FormatUint(x, 10))
+		case float64:
+			b.WriteByte('f')
+			b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		case bool:
+			if x {
+				b.WriteString("bT")
+			} else {
+				b.WriteString("bF")
+			}
+		default:
+			b.WriteByte('?')
+			fmt.Fprintf(&b, "%v", x)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Key returns the canonical hash key of the tuple.
+func (t Tuple) Key() string { return encodeKey(t) }
+
+// Equal reports elementwise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as (a, b, c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a named set of tuples of fixed arity, with hash indexes built
+// on demand over column subsets (the "access path" machinery of §5.1).
+type Relation struct {
+	Name  string
+	Arity int
+
+	rows map[string]Tuple
+	// indexes maps an encoded column-position list to a hash index from
+	// projected key to tuples.
+	indexes map[string]map[string][]Tuple
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, rows: map[string]Tuple{}, indexes: map[string]map[string][]Tuple{}}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds a tuple, returning true if it was new. Panics on arity
+// mismatch: that is a compiler bug, not a data error.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("datalog: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
+	}
+	k := t.Key()
+	if _, ok := r.rows[k]; ok {
+		return false
+	}
+	r.rows[k] = t
+	for cols, idx := range r.indexes {
+		pos := decodeCols(cols)
+		idx[projectKey(t, pos)] = append(idx[projectKey(t, pos)], t)
+	}
+	return true
+}
+
+// Delete removes a tuple, returning true if it was present. Deletion is
+// non-monotonic; the transducer only applies it atomically between ticks.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.rows[k]; !ok {
+		return false
+	}
+	delete(r.rows, k)
+	// Rebuilding indexes on delete keeps Insert fast; deletes happen only
+	// at tick boundaries and are rare relative to lookups.
+	r.indexes = map[string]map[string][]Tuple{}
+	return true
+}
+
+// Contains reports membership of t.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// Tuples returns all tuples in deterministic (sorted-key) order.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.rows))
+	for k := range r.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.rows[k]
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no state.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Arity)
+	for k, t := range r.rows {
+		c.rows[k] = t
+	}
+	return c
+}
+
+func encodeCols(pos []int) string {
+	parts := make([]string, len(pos))
+	for i, p := range pos {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeCols(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i], _ = strconv.Atoi(p)
+	}
+	return out
+}
+
+func projectKey(t Tuple, pos []int) string {
+	proj := make([]any, len(pos))
+	for i, p := range pos {
+		proj[i] = t[p]
+	}
+	return encodeKey(proj)
+}
+
+// Lookup returns the tuples whose columns at pos equal vals, using (and
+// building if needed) a hash index on those columns.
+func (r *Relation) Lookup(pos []int, vals []any) []Tuple {
+	if len(pos) == 0 {
+		return r.Tuples()
+	}
+	cols := encodeCols(pos)
+	idx, ok := r.indexes[cols]
+	if !ok {
+		idx = make(map[string][]Tuple, len(r.rows))
+		for _, t := range r.rows {
+			k := projectKey(t, pos)
+			idx[k] = append(idx[k], t)
+		}
+		r.indexes[cols] = idx
+	}
+	return idx[encodeKey(vals)]
+}
+
+// Database is a set of named relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{rels: map[string]*Relation{}} }
+
+// Ensure returns the relation, creating it with the given arity if missing.
+func (db *Database) Ensure(name string, arity int) *Relation {
+	if r, ok := db.rels[name]; ok {
+		return r
+	}
+	r := NewRelation(name, arity)
+	db.rels[name] = r
+	return r
+}
+
+// Get returns the named relation, or nil.
+func (db *Database) Get(name string) *Relation { return db.rels[name] }
+
+// Names returns relation names sorted.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the database — the transducer's state snapshot.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for n, r := range db.rels {
+		c.rels[n] = r.Clone()
+	}
+	return c
+}

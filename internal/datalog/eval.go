@@ -1,0 +1,419 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Program is a set of rules over a database. Evaluation computes the least
+// fixpoint of all rules, stratum by stratum.
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram validates and bundles rules.
+func NewProgram(rules ...Rule) (*Program, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	p := &Program{Rules: rules}
+	if _, err := p.Stratify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// idbPreds returns the set of predicates defined by some rule head.
+func (p *Program) idbPreds() map[string]bool {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	return idb
+}
+
+// Stratify partitions rules into strata such that negated or aggregated
+// dependencies always point to strictly lower strata. It returns an error
+// when negation/aggregation occurs through recursion (unstratifiable).
+func (p *Program) Stratify() ([][]Rule, error) {
+	idb := p.idbPreds()
+	// stratum number per predicate, computed by the classic iterative
+	// lifting algorithm.
+	stratum := map[string]int{}
+	for pred := range idb {
+		stratum[pred] = 0
+	}
+	n := len(idb)
+	for iter := 0; iter <= n*n+1; iter++ {
+		changed := false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, l := range r.Body {
+				if !idb[l.Pred] {
+					continue
+				}
+				need := stratum[l.Pred]
+				if l.Negated || r.Agg != "" {
+					need++ // must be fully computed first
+				}
+				if stratum[h] < need {
+					stratum[h] = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == n*n+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation or aggregation through recursion)")
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > n {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation or aggregation through recursion)")
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]Rule, maxS+1)
+	for _, r := range p.Rules {
+		s := stratum[r.Head.Pred]
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}
+
+// Eval runs the program to fixpoint over db using semi-naive (differential)
+// evaluation per stratum. It mutates db in place, creating IDB relations as
+// needed, and returns the number of derived tuples.
+func (p *Program) Eval(db *Database) (int, error) {
+	strata, err := p.Stratify()
+	if err != nil {
+		return 0, err
+	}
+	derived := 0
+	for _, rules := range strata {
+		n, err := evalStratumSemiNaive(db, rules)
+		if err != nil {
+			return derived, err
+		}
+		derived += n
+	}
+	return derived, nil
+}
+
+// EvalNaive runs the program with naive (all-at-once) iteration: every rule
+// re-derives from the full relations each round. It exists as the baseline
+// for experiment E8 (differential vs all-at-once flows, §8.2).
+func (p *Program) EvalNaive(db *Database) (int, error) {
+	strata, err := p.Stratify()
+	if err != nil {
+		return 0, err
+	}
+	derived := 0
+	for _, rules := range strata {
+		ensureHeads(db, rules)
+		for {
+			changed := 0
+			for _, r := range rules {
+				if r.Agg != "" {
+					continue
+				}
+				for _, t := range deriveRule(db, r, nil, nil) {
+					if db.Get(r.Head.Pred).Insert(t) {
+						changed++
+					}
+				}
+			}
+			derived += changed
+			if changed == 0 {
+				break
+			}
+		}
+		n, err := evalAggregates(db, rules)
+		if err != nil {
+			return derived, err
+		}
+		derived += n
+	}
+	return derived, nil
+}
+
+func ensureHeads(db *Database, rules []Rule) {
+	for _, r := range rules {
+		db.Ensure(r.Head.Pred, len(r.Head.Args))
+	}
+}
+
+// evalStratumSemiNaive computes the fixpoint of one stratum. Aggregate
+// rules run once after the non-aggregate fixpoint (they depend only on
+// lower strata plus this stratum's final relations).
+func evalStratumSemiNaive(db *Database, rules []Rule) (int, error) {
+	ensureHeads(db, rules)
+	derived := 0
+
+	// delta holds tuples derived in the previous round, per predicate.
+	delta := map[string]*Relation{}
+	// Round 0: full derivation to seed deltas.
+	for _, r := range rules {
+		if r.Agg != "" {
+			continue
+		}
+		rel := db.Get(r.Head.Pred)
+		d := delta[r.Head.Pred]
+		if d == nil {
+			d = NewRelation(r.Head.Pred, rel.Arity)
+			delta[r.Head.Pred] = d
+		}
+		for _, t := range deriveRule(db, r, nil, nil) {
+			if rel.Insert(t) {
+				d.Insert(t)
+				derived++
+			}
+		}
+	}
+
+	for {
+		next := map[string]*Relation{}
+		any := false
+		for _, r := range rules {
+			if r.Agg != "" {
+				continue
+			}
+			rel := db.Get(r.Head.Pred)
+			// Differential step: for each positive body literal with a
+			// non-empty delta, derive joining that literal against the
+			// delta and the rest against full relations.
+			for i, l := range r.Body {
+				if l.Negated {
+					continue
+				}
+				d, ok := delta[l.Pred]
+				if !ok || d.Len() == 0 {
+					continue
+				}
+				for _, t := range deriveRule(db, r, &i, d) {
+					if rel.Insert(t) {
+						nd := next[r.Head.Pred]
+						if nd == nil {
+							nd = NewRelation(r.Head.Pred, rel.Arity)
+							next[r.Head.Pred] = nd
+						}
+						nd.Insert(t)
+						derived++
+						any = true
+					}
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		delta = next
+	}
+
+	n, err := evalAggregates(db, rules)
+	return derived + n, err
+}
+
+// Derive evaluates one rule's body against the database and returns the
+// head tuples, without fixpoint iteration. The Hydrolysis compiler uses it
+// for send-rules inside handlers (`send alert(p) :- transitive(pid, p)`),
+// which run against an already-fixpointed snapshot.
+func Derive(db *Database, r Rule) ([]Tuple, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Agg != "" {
+		return nil, fmt.Errorf("datalog: Derive does not support aggregates")
+	}
+	return deriveRule(db, r, nil, nil), nil
+}
+
+// deriveRule enumerates all bindings satisfying the body and returns head
+// tuples. If deltaIdx is non-nil, body literal *deltaIdx is evaluated
+// against deltaRel instead of the full relation (the semi-naive rewrite).
+func deriveRule(db *Database, r Rule, deltaIdx *int, deltaRel *Relation) []Tuple {
+	if r.Agg != "" {
+		return nil
+	}
+	var out []Tuple
+	var walk func(i int, b binding)
+	walk = func(i int, b binding) {
+		if i == len(r.Body) {
+			for _, f := range r.Filters {
+				if !evalFilter(f, b) {
+					return
+				}
+			}
+			head := make(Tuple, len(r.Head.Args))
+			for j, t := range r.Head.Args {
+				v, ok := b.resolve(t)
+				if !ok {
+					return // unbound head var (Validate prevents this)
+				}
+				head[j] = v
+			}
+			out = append(out, head)
+			return
+		}
+		l := r.Body[i]
+		rel := db.Get(l.Pred)
+		if deltaIdx != nil && i == *deltaIdx {
+			rel = deltaRel
+		}
+		if rel == nil {
+			if l.Negated {
+				walk(i+1, b) // absent relation: negation trivially holds
+			}
+			return
+		}
+		if l.Negated {
+			// All args are bound (range restriction): membership test.
+			probe := make(Tuple, len(l.Args))
+			for j, t := range l.Args {
+				v, ok := b.resolve(t)
+				if !ok {
+					return
+				}
+				probe[j] = v
+			}
+			if !rel.Contains(probe) {
+				walk(i+1, b)
+			}
+			return
+		}
+		// Positive literal: probe with whatever is bound.
+		var pos []int
+		var vals []any
+		for j, t := range l.Args {
+			if v, ok := b.resolve(t); ok {
+				pos = append(pos, j)
+				vals = append(vals, v)
+			}
+		}
+		for _, t := range rel.Lookup(pos, vals) {
+			nb := b
+			cloned := false
+			ok := true
+			for j, at := range l.Args {
+				if !at.IsVar() {
+					if t[j] != at.Const {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, bound := nb[at.Var]; bound {
+					if v != t[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				if !cloned {
+					nb = b.clone()
+					cloned = true
+				}
+				nb[at.Var] = t[j]
+			}
+			if ok {
+				walk(i+1, nb)
+			}
+		}
+	}
+	walk(0, binding{})
+	return out
+}
+
+// evalAggregates runs aggregate rules of a stratum once, grouping by the
+// non-aggregate head arguments.
+func evalAggregates(db *Database, rules []Rule) (int, error) {
+	derived := 0
+	for _, r := range rules {
+		if r.Agg == "" {
+			continue
+		}
+		rel := db.Ensure(r.Head.Pred, len(r.Head.Args))
+		// Build grouping rule: derive (groupVars..., aggVar) rows.
+		groupArgs := r.Head.Args[:len(r.Head.Args)-1]
+		probe := Rule{
+			Head:    Atom{Pred: r.Head.Pred, Args: append(append([]Term{}, groupArgs...), V(r.AggVar))},
+			Body:    r.Body,
+			Filters: r.Filters,
+		}
+		rows := deriveRule(db, probe, nil, nil)
+		groups := map[string][]Tuple{}
+		for _, row := range rows {
+			k := encodeKey(row[:len(row)-1])
+			groups[k] = append(groups[k], row)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rows := groups[k]
+			val, err := aggregate(r.Agg, rows)
+			if err != nil {
+				return derived, fmt.Errorf("rule %s: %w", r.Head.Pred, err)
+			}
+			head := append(append(Tuple{}, rows[0][:len(rows[0])-1]...), val)
+			if rel.Insert(head) {
+				derived++
+			}
+		}
+	}
+	return derived, nil
+}
+
+func aggregate(kind AggKind, rows []Tuple) (any, error) {
+	last := func(t Tuple) any { return t[len(t)-1] }
+	switch kind {
+	case AggCount:
+		seen := map[string]bool{}
+		for _, t := range rows {
+			seen[encodeKey([]any{last(t)})] = true
+		}
+		return int64(len(seen)), nil
+	case AggSum:
+		var s float64
+		allInt := true
+		for _, t := range rows {
+			f, ok := toFloat(last(t))
+			if !ok {
+				return nil, fmt.Errorf("sum over non-numeric value %v", last(t))
+			}
+			if _, isF := last(t).(float64); isF {
+				allInt = false
+			}
+			s += f
+		}
+		if allInt {
+			return int64(s), nil
+		}
+		return s, nil
+	case AggMax, AggMin:
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("%s over empty group", kind)
+		}
+		best := last(rows[0])
+		for _, t := range rows[1:] {
+			v := last(t)
+			if kind == AggMax && compareValues(OpGt, v, best) {
+				best = v
+			}
+			if kind == AggMin && compareValues(OpLt, v, best) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("unknown aggregate %q", kind)
+}

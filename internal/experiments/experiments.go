@@ -1,0 +1,763 @@
+// Package experiments implements the paper-reproduction experiment suite
+// (DESIGN.md §4). Each Run function regenerates one table: the rows the
+// paper's artifacts imply, with this repository's measured values. The
+// bench harness (bench_test.go) and cmd/benchtab both call into here.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"hydro/internal/chestnut"
+	"hydro/internal/cluster"
+	"hydro/internal/consensus"
+	"hydro/internal/consistency"
+	"hydro/internal/crdt"
+	"hydro/internal/datalog"
+	"hydro/internal/hlang"
+	"hydro/internal/hydrolysis"
+	"hydro/internal/kvs"
+	"hydro/internal/lift/actor"
+	"hydro/internal/lift/future"
+	"hydro/internal/lift/mpi"
+	"hydro/internal/replica"
+	"hydro/internal/simnet"
+	"hydro/internal/storage"
+	"hydro/internal/target"
+	"hydro/internal/transducer"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Render formats the table for terminal output.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+func covidUDFs() map[string]hydrolysis.UDF {
+	return map[string]hydrolysis.UDF{
+		"covid_predict": func(args []any) any { return float64(args[0].(int64)%100) / 100.0 },
+	}
+}
+
+func fixedDelay(r *rand.Rand) int { return 1 }
+
+// --- E1: Fig 2 ≡ Fig 3 — sequential vs compiled HydroLogic ---
+
+// RunE1 drives identical random workloads through the compiled HydroLogic
+// COVID app and reports equivalence plus throughput.
+func RunE1(ops int) Table {
+	c, err := hydrolysis.Compile(hlang.CovidSource, hydrolysis.Options{UDFs: covidUDFs()})
+	if err != nil {
+		panic(err)
+	}
+	rt, _ := c.Instantiate("n1", 1)
+	rt.SetDelay(fixedDelay)
+	r := rand.New(rand.NewSource(1))
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		switch r.Intn(4) {
+		case 0:
+			rt.Inject("add_person", datalog.Tuple{int64(r.Intn(50)), "us"})
+		case 1:
+			rt.Inject("add_contact", datalog.Tuple{int64(r.Intn(50)), int64(r.Intn(50))})
+		case 2:
+			rt.Inject("diagnosed", datalog.Tuple{int64(r.Intn(50))})
+		case 3:
+			rt.Inject("vaccinate", datalog.Tuple{int64(r.Intn(50))})
+		}
+		rt.Tick()
+	}
+	rt.RunUntilIdle(100)
+	elapsed := time.Since(start)
+	st := rt.Stats()
+	return Table{
+		ID:     "E1",
+		Title:  "COVID tracker: compiled HydroLogic vs sequential reference (Fig 2/3)",
+		Header: []string{"ops", "ticks", "handled", "derived-facts", "wall-time", "ops/sec"},
+		Rows: [][]string{{
+			fmt.Sprint(ops), fmt.Sprint(st.Ticks), fmt.Sprint(st.Handled),
+			fmt.Sprint(st.Derived), elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()),
+		}},
+		Notes: "differential equivalence vs the Fig-2 reference is asserted by TestE1CovidEquivalence",
+	}
+}
+
+// --- E2: CALM — monotone ops coordination-free vs coordinated ---
+
+// RunE2 compares per-operation completion latency (virtual µs) of a
+// monotone merge replicated by gossip against a non-monotone op serialized
+// through Paxos, across replica counts.
+func RunE2(replicaCounts []int, opsPer int) Table {
+	t := Table{
+		ID:     "E2",
+		Title:  "CALM: monotone (gossip) vs non-monotone (Paxos) per-op completion, virtual µs",
+		Header: []string{"replicas", "monotone-lat", "paxos-lat", "paxos/monotone"},
+	}
+	for _, n := range replicaCounts {
+		mono := gossipLatency(n, opsPer)
+		coord := paxosLatency(n, opsPer)
+		ratio := float64(coord) / float64(mono)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(mono), fmt.Sprint(coord), fmt.Sprintf("%.1f×", ratio),
+		})
+	}
+	t.Notes = "monotone merges ack locally and gossip in the background; Paxos pays quorum round trips"
+	return t
+}
+
+// gossipLatency: a monotone op completes locally (one local apply), with
+// anti-entropy in the background — client-visible latency is the local
+// apply plus one hop to the nearest replica.
+func gossipLatency(n, ops int) simnet.Time {
+	net := simnet.New(simnet.Config{Seed: 7, MinLatency: 100, MaxLatency: 100})
+	names := make([]string, n)
+	var gs []*replica.Gossiper
+	for i := range names {
+		names[i] = fmt.Sprintf("g%d", i)
+	}
+	for _, name := range names {
+		gs = append(gs, replica.NewGossiper(net, name, names, &setState{s: map[string]bool{}}, 500))
+	}
+	// Background anti-entropy is off the latency path; the client-visible
+	// cost of a monotone op is one hop to any replica.
+	_ = gs
+	net.AddNode("client", func(now simnet.Time, msg simnet.Message) {})
+	start := net.Now()
+	for i := 0; i < ops; i++ {
+		// Client sends to one replica; op is durable-enough on arrival
+		// (merge is monotone), so latency is one hop.
+		net.Send("client", names[i%n], replica.GossipPayload(map[string]bool{fmt.Sprintf("op%d", i): true}))
+		net.Drain(50)
+	}
+	total := net.Now() - start
+	return total / simnet.Time(ops)
+}
+
+type setState struct{ s map[string]bool }
+
+func (ss *setState) MergeAny(other any) {
+	for k := range other.(map[string]bool) {
+		ss.s[k] = true
+	}
+}
+func (ss *setState) SnapshotAny() any {
+	out := map[string]bool{}
+	for k := range ss.s {
+		out[k] = true
+	}
+	return out
+}
+func (ss *setState) EqualAny(other any) bool {
+	o := other.(map[string]bool)
+	if len(o) != len(ss.s) {
+		return false
+	}
+	for k := range o {
+		if !ss.s[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// paxosLatency: each op must be decided by the consensus group before the
+// client proceeds.
+func paxosLatency(n, ops int) simnet.Time {
+	net := simnet.New(simnet.Config{Seed: 7, MinLatency: 100, MaxLatency: 100})
+	g := consensus.NewGroup(net, n, 7)
+	start := net.Now()
+	for i := 0; i < ops; i++ {
+		g.Propose("p0", fmt.Sprintf("op%d", i))
+		// Drive until this op is decided everywhere reachable.
+		for steps := 0; g.DecidedCount("p0") <= i && steps < 100000; steps++ {
+			if !net.Step() {
+				break
+			}
+		}
+	}
+	total := net.Now() - start
+	return total / simnet.Time(ops)
+}
+
+// --- E3: Chestnut layout synthesis speedup ---
+
+// RunE3 measures the ORM-style lookup workload of §5.2 on the naive heap
+// layout vs the synthesized design, reporting rows touched and wall-clock
+// speedup (the paper claims "up to 42×"; shape: large and growing with
+// table size).
+func RunE3(tableSizes []int, lookups int) Table {
+	t := Table{
+		ID:     "E3",
+		Title:  "Chestnut data-layout synthesis vs naive heap (§5.2, \"up to 42×\")",
+		Header: []string{"rows", "design", "rows-touched", "wall-time", "speedup"},
+	}
+	for _, n := range tableSizes {
+		w := chestnut.Workload{TableRows: n, PointLookups: map[string]float64{"id": float64(lookups)}, Inserts: 10}
+		best := chestnut.Best("id", nil, w)
+		naive := chestnut.Build("t", "id", chestnut.Design{Layout: storage.LayoutHeap})
+		smart := chestnut.Build("t", "id", best)
+		for i := 0; i < n; i++ {
+			r := storage.Row{"id": fmt.Sprintf("u%07d", i)}
+			naive.Insert(r)
+			smart.Insert(r)
+		}
+		run := func(tbl *storage.Table) time.Duration {
+			start := time.Now()
+			for i := 0; i < lookups; i++ {
+				tbl.Lookup("id", fmt.Sprintf("u%07d", (i*7919)%n))
+			}
+			return time.Since(start)
+		}
+		naiveT := run(naive)
+		smartT := run(smart)
+		speedup := float64(naiveT) / float64(max64(1, int64(smartT)))
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprint(n), "heap(naive)", fmt.Sprint(naive.Stats.RowsTouched), naiveT.Round(time.Microsecond).String(), "1.0×"},
+			[]string{fmt.Sprint(n), best.Layout.String() + "(synth)", fmt.Sprint(smart.Stats.RowsTouched), smartT.Round(time.Microsecond).String(), fmt.Sprintf("%.0f×", speedup)},
+		)
+	}
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- E4: availability under f failures across domains ---
+
+// RunE4 deploys a proxied endpoint across 3 AZs with f=2 tolerance and
+// reports request availability as AZs fail.
+func RunE4(requests int) Table {
+	t := Table{
+		ID:     "E4",
+		Title:  "Availability facet: endpoint availability vs failed AZs (f=2 spec, §6)",
+		Header: []string{"failed-AZs", "live-replicas", "answered", "availability"},
+	}
+	for failed := 0; failed <= 3; failed++ {
+		net := simnet.New(simnet.Config{Seed: int64(40 + failed), MinLatency: 50, MaxLatency: 200})
+		topo := cluster.NewTopology(3, 1, 1, cluster.ClassSmall)
+		var reps []string
+		ms, err := topo.SpreadAcross(cluster.AZ, 3)
+		if err != nil {
+			panic(err)
+		}
+		for _, m := range ms {
+			reps = append(reps, m.ID)
+			replica.HandleAtReplica(net, m.ID, nil)
+		}
+		p := replica.NewProxy(net, "proxy", reps, 2)
+		for i := 0; i < failed; i++ {
+			net.SetDown(reps[i], true)
+		}
+		answered := 0
+		for i := 0; i < requests; i++ {
+			id := p.Send(i)
+			net.Drain(100)
+			if p.Answered(id) {
+				answered++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(failed), fmt.Sprint(3 - failed), fmt.Sprintf("%d/%d", answered, requests),
+			fmt.Sprintf("%.0f%%", 100*float64(answered)/float64(requests)),
+		})
+	}
+	t.Notes = "f=2 across AZ: available through 2 AZ failures, unavailable at 3 (by design)"
+	return t
+}
+
+// --- E5: consistency spectrum cost ---
+
+// RunE5 reports the per-op latency and message cost of the three mechanism
+// tiers Hydrolysis chooses among (§7.2).
+func RunE5(ops int) Table {
+	t := Table{
+		ID:     "E5",
+		Title:  "Consistency spectrum: mechanism cost per op (3 replicas, virtual µs)",
+		Header: []string{"level", "mechanism", "latency/op", "msgs/op"},
+	}
+	// Eventual: local apply + background gossip.
+	{
+		net := simnet.New(simnet.Config{Seed: 51, MinLatency: 100, MaxLatency: 100})
+		names := []string{"g0", "g1", "g2"}
+		var gs []*replica.Gossiper
+		for _, nm := range names {
+			gs = append(gs, replica.NewGossiper(net, nm, names, &setState{s: map[string]bool{}}, 300))
+		}
+		_ = gs // anti-entropy runs off the latency path
+		net.AddNode("client", func(now simnet.Time, msg simnet.Message) {})
+		before := net.Stats().Sent
+		start := net.Now()
+		for i := 0; i < ops; i++ {
+			net.Send("client", names[i%3], replica.GossipPayload(map[string]bool{fmt.Sprintf("w%d", i): true}))
+			net.Drain(30)
+		}
+		lat := (net.Now() - start) / simnet.Time(ops)
+		msgs := float64(net.Stats().Sent-before) / float64(ops)
+		t.Rows = append(t.Rows, []string{"eventual", "lattice gossip", fmt.Sprint(lat), fmt.Sprintf("%.1f", msgs)})
+	}
+	// Causal: client session pins + vector-clock metadata — one replica
+	// write plus causal metadata fan-out (modeled as write + 2 async).
+	{
+		net := simnet.New(simnet.Config{Seed: 52, MinLatency: 100, MaxLatency: 100})
+		names := []string{"c0", "c1", "c2"}
+		for _, nm := range names {
+			name := nm
+			net.AddNode(name, func(now simnet.Time, msg simnet.Message) {
+				// Forward causally-tagged write to peers once.
+				if w, ok := msg.Payload.(causalWrite); ok && !w.fwd {
+					for _, p := range names {
+						if p != name {
+							net.Send(name, p, causalWrite{fwd: true})
+						}
+					}
+				}
+			})
+		}
+		net.AddNode("client", func(now simnet.Time, msg simnet.Message) {})
+		before := net.Stats().Sent
+		start := net.Now()
+		for i := 0; i < ops; i++ {
+			net.Send("client", names[i%3], causalWrite{})
+			net.Drain(30)
+		}
+		lat := (net.Now() - start) / simnet.Time(ops)
+		msgs := float64(net.Stats().Sent-before) / float64(ops)
+		t.Rows = append(t.Rows, []string{"causal", "vector-clock cell", fmt.Sprint(lat), fmt.Sprintf("%.1f", msgs)})
+	}
+	// Serializable: Paxos round per op.
+	{
+		net := simnet.New(simnet.Config{Seed: 53, MinLatency: 100, MaxLatency: 100})
+		g := consensus.NewGroup(net, 3, 53)
+		before := net.Stats().Sent
+		start := net.Now()
+		for i := 0; i < ops; i++ {
+			g.Propose("p0", i)
+			for steps := 0; g.DecidedCount("p0") <= i && steps < 100000; steps++ {
+				if !net.Step() {
+					break
+				}
+			}
+		}
+		lat := (net.Now() - start) / simnet.Time(ops)
+		msgs := float64(net.Stats().Sent-before) / float64(ops)
+		t.Rows = append(t.Rows, []string{"serializable", "Paxos log", fmt.Sprint(lat), fmt.Sprintf("%.1f", msgs)})
+	}
+	t.Notes = "the compiler picks the cheapest tier the spec + CALM analysis permits (consistency.Select)"
+	return t
+}
+
+type causalWrite struct{ fwd bool }
+
+// --- E6: the §9.1 deployment ILP ---
+
+// RunE6 solves the Fig 3 target facet and returns the allocation table.
+func RunE6() Table {
+	p, err := hlang.Parse(hlang.CovidSource)
+	if err != nil {
+		panic(err)
+	}
+	classes := []cluster.MachineClass{cluster.ClassSmall, cluster.ClassLarge, cluster.ClassGPU}
+	loads := map[string]target.HandlerLoad{
+		"add_person":  {RatePerSec: 50, ServiceMs: 2},
+		"add_contact": {RatePerSec: 200, ServiceMs: 2},
+		"trace":       {RatePerSec: 10, ServiceMs: 20},
+		"diagnosed":   {RatePerSec: 5, ServiceMs: 20},
+		"likelihood":  {RatePerSec: 5, ServiceMs: 40},
+		"vaccinate":   {RatePerSec: 20, ServiceMs: 3},
+	}
+	plan, err := target.Solve(p, classes, loads, 8)
+	if err != nil {
+		panic(err)
+	}
+	t := Table{
+		ID:     "E6",
+		Title:  "Target facet: ILP deployment mapping for Fig 3 (§9.1)",
+		Header: []string{"handler", "machines", "modeled-latency", "cost/call", "spec-latency", "spec-cost"},
+	}
+	for _, name := range []string{"add_contact", "add_person", "diagnosed", "likelihood", "trace", "vaccinate"} {
+		a := plan.Allocations[name]
+		spec := p.TargetFor(name)
+		var parts []string
+		for c, n := range a.Counts {
+			parts = append(parts, fmt.Sprintf("%d×%s", n, c))
+		}
+		t.Rows = append(t.Rows, []string{
+			name, strings.Join(parts, "+"), fmt.Sprintf("%.1fms", a.LatencyMs),
+			fmt.Sprintf("%.6f", a.CostPerCall), fmt.Sprintf("%.0fms", spec.LatencyMs), fmt.Sprintf("%.2f", spec.Cost),
+		})
+	}
+	t.Notes = fmt.Sprintf("total %d machines, %.2f units/hour; likelihood forced onto GPU class by processor=gpu",
+		plan.Machines, plan.TotalHourly)
+	return t
+}
+
+// --- E7: MPI collectives, naive vs tree vs ring ---
+
+// RunE7 sweeps world sizes and schedules for bcast and allreduce.
+func RunE7(sizes []int) Table {
+	t := Table{
+		ID:     "E7",
+		Title:  "MPI collectives (Appendix A.3): schedule comparison, 10µs links + 5µs send overhead",
+		Header: []string{"collective", "n", "algo", "messages", "virtual-time"},
+	}
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	for _, n := range sizes {
+		for _, algo := range []mpi.Algo{mpi.Naive, mpi.Tree, mpi.Ring} {
+			net := simnet.New(simnet.Config{Seed: 1, MinLatency: 10, MaxLatency: 10, SendOverhead: 5})
+			w := mpi.NewWorld(net, n)
+			st := w.Bcast("b", 0, 1, algo)
+			t.Rows = append(t.Rows, []string{"bcast", fmt.Sprint(n), algo.String(),
+				fmt.Sprint(st.Messages), fmt.Sprintf("%dµs", st.Elapsed)})
+		}
+		for _, algo := range []mpi.Algo{mpi.Naive, mpi.Tree, mpi.Ring} {
+			net := simnet.New(simnet.Config{Seed: 1, MinLatency: 10, MaxLatency: 10, SendOverhead: 5})
+			w := mpi.NewWorld(net, n)
+			for i := 0; i < n; i++ {
+				w.SetLocal(i, 1)
+			}
+			st := w.Allreduce("ar", sum, algo)
+			t.Rows = append(t.Rows, []string{"allreduce", fmt.Sprint(n), algo.String(),
+				fmt.Sprint(st.Messages), fmt.Sprintf("%dµs", st.Elapsed)})
+		}
+	}
+	t.Notes = "tree wins at scale on root-bottlenecked fan-out; ring trades latency for per-node balance"
+	return t
+}
+
+// --- E8: semi-naive (differential) vs naive evaluation ---
+
+// RunE8 measures transitive closure on chain graphs under both evaluators.
+func RunE8(sizes []int) Table {
+	t := Table{
+		ID:     "E8",
+		Title:  "Differential (semi-naive) vs all-at-once datalog evaluation (§8.2)",
+		Header: []string{"chain-len", "evaluator", "derived", "wall-time", "speedup"},
+	}
+	tc := []datalog.Rule{
+		{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	}
+	prog, err := datalog.NewProgram(tc...)
+	if err != nil {
+		panic(err)
+	}
+	mkDB := func(n int) *datalog.Database {
+		db := datalog.NewDatabase()
+		e := db.Ensure("edge", 2)
+		for i := 0; i < n; i++ {
+			e.Insert(datalog.Tuple{int64(i), int64(i + 1)})
+		}
+		return db
+	}
+	for _, n := range sizes {
+		dbS := mkDB(n)
+		start := time.Now()
+		dS, _ := prog.Eval(dbS)
+		semiT := time.Since(start)
+
+		dbN := mkDB(n)
+		start = time.Now()
+		dN, _ := prog.EvalNaive(dbN)
+		naiveT := time.Since(start)
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprint(n), "semi-naive", fmt.Sprint(dS), semiT.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1f×", float64(naiveT)/float64(max64(1, int64(semiT))))},
+			[]string{fmt.Sprint(n), "naive", fmt.Sprint(dN), naiveT.Round(time.Microsecond).String(), "1.0×"},
+		)
+	}
+	return t
+}
+
+// --- E9: Anna-style KVS thread scaling ---
+
+// RunE9 compares the Anna architecture (coordination-free shards, each
+// owning its keys) with a global-lock store across worker counts. The
+// paper's claim is about *scaling shape* ("a KVS for any scale"): shards
+// scale with cores because no worker ever waits on another's keys, while a
+// global lock serializes everything.
+//
+// Scaling is measured in *virtual time* (per-op service cost, queueing at
+// whichever structure owns the data), because wall-clock parallel speedup
+// requires physical cores this test host may not have (DESIGN.md §5
+// substitution: single-core hosts simulate the multicore). A wall-clock
+// correctness/throughput row per store is also reported for reference.
+func RunE9(workers []int, opsPerWorker int) Table {
+	t := Table{
+		ID:     "E9",
+		Title:  "Anna-style lattice KVS vs global-lock baseline: throughput scaling",
+		Header: []string{"workers", "store", "virtual-ops/sec", "scaling-vs-1worker", "wallclock-ops/sec"},
+	}
+	const servicePerOpUs = 2.0 // per-op CPU cost at the owning structure
+	r := rand.New(rand.NewSource(9))
+	virtual := func(w int, anna bool) float64 {
+		totalOps := w * opsPerWorker
+		if !anna {
+			// One serial queue: makespan = totalOps * service.
+			return 1e6 / servicePerOpUs // ops/sec independent of workers
+		}
+		// Shards = workers; ops land by key hash; makespan = busiest shard.
+		busy := make([]float64, w)
+		for i := 0; i < totalOps; i++ {
+			busy[r.Intn(w)] += servicePerOpUs
+		}
+		maxBusy := 0.0
+		for _, b := range busy {
+			if b > maxBusy {
+				maxBusy = b
+			}
+		}
+		return float64(totalOps) / maxBusy * 1e6
+	}
+	annaBaseV := virtual(1, true)
+	lockBaseV := virtual(1, false)
+	for _, w := range workers {
+		annaV := virtual(w, true)
+		lockV := virtual(w, false)
+		annaW := kvsThroughput(w, opsPerWorker, true)
+		lockW := kvsThroughput(w, opsPerWorker, false)
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprint(w), "anna(shards)", fmt.Sprintf("%.0f", annaV), fmt.Sprintf("%.1f×", annaV/annaBaseV), fmt.Sprintf("%.0f", annaW)},
+			[]string{fmt.Sprint(w), "locked-map", fmt.Sprintf("%.0f", lockV), fmt.Sprintf("%.1f×", lockV/lockBaseV), fmt.Sprintf("%.0f", lockW)},
+		)
+	}
+	t.Notes = fmt.Sprintf("virtual model: %.0fµs/op service; host has %d CPU(s), so wall-clock columns show no parallel speedup on 1 core", servicePerOpUs, runtime.NumCPU())
+	return t
+}
+
+func kvsThroughput(workers, ops int, anna bool) float64 {
+	var put func(k string, v kvs.Value)
+	var get func(k string) (kvs.Value, bool)
+	if anna {
+		s := kvs.NewStore(workers, 1)
+		defer s.Close()
+		put, get = s.Put, s.Get
+	} else {
+		s := kvs.NewLockedStore()
+		put, get = s.Put, s.Get
+	}
+	done := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, r.Intn(256))
+				if i%5 == 0 {
+					put(key, kvs.NewValue(uint64(i), fmt.Sprintf("w%d", w), "v"))
+				} else {
+					get(key)
+				}
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+	return float64(workers*ops) / elapsed.Seconds()
+}
+
+// --- E10: shopping cart seal placement ---
+
+// RunE10 compares checkout designs: client-side sealing (coordination-free)
+// vs running every checkout decision through consensus.
+func RunE10(carts int) Table {
+	t := Table{
+		ID:     "E10",
+		Title:  "Cart sealing (§7.1): seal-at-client vs consensus checkout",
+		Header: []string{"design", "carts", "coordination-msgs", "virtual-time"},
+	}
+	// Client-side sealing: merges only; zero coordination messages.
+	{
+		start := time.Now()
+		for i := 0; i < carts; i++ {
+			a := crdt.NewCart("a").AddItem("x", 1)
+			b := crdt.NewCart("b").AddItem("y", 2)
+			client := a.Merge(b).Seal(uint64(i + 1))
+			av := a.Merge(client)
+			bv := b.Merge(client)
+			if !av.CheckedOut() || !bv.CheckedOut() {
+				panic("seal checkout failed")
+			}
+		}
+		_ = start
+		t.Rows = append(t.Rows, []string{"seal-at-client", fmt.Sprint(carts), "0", "0µs (local merges only)"})
+	}
+	// Consensus checkout: one Paxos decision per cart.
+	{
+		net := simnet.New(simnet.Config{Seed: 60, MinLatency: 100, MaxLatency: 100})
+		g := consensus.NewGroup(net, 3, 60)
+		before := net.Stats().Sent
+		startT := net.Now()
+		for i := 0; i < carts; i++ {
+			g.Propose("p0", fmt.Sprintf("checkout-%d", i))
+			for steps := 0; g.DecidedCount("p0") <= i && steps < 100000; steps++ {
+				if !net.Step() {
+					break
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{"consensus-checkout", fmt.Sprint(carts),
+			fmt.Sprint(net.Stats().Sent - before), fmt.Sprintf("%dµs", net.Now()-startT)})
+	}
+	return t
+}
+
+// --- E11: monotonicity typechecker report ---
+
+// RunE11 prints the analysis of the COVID program — the machine-checked
+// answer to Fig 4's "manual checks are tricky".
+func RunE11() Table {
+	p, err := hlang.Parse(hlang.CovidSource)
+	if err != nil {
+		panic(err)
+	}
+	a := hlang.Analyze(p)
+	t := Table{
+		ID:     "E11",
+		Title:  "Monotonicity typechecking of the COVID app (Fig 4 antidote)",
+		Header: []string{"construct", "classification", "reason"},
+	}
+	for _, name := range p.QueryNames() {
+		q := a.Queries[name]
+		reason := ""
+		if len(q.Reasons) > 0 {
+			reason = q.Reasons[0].What
+		}
+		t.Rows = append(t.Rows, []string{"query " + name, q.Mono.String(), reason})
+	}
+	for _, h := range p.Handlers {
+		info := a.Handlers[h.Name]
+		reason := ""
+		if len(info.Reasons) > 0 {
+			reason = info.Reasons[0].What
+		}
+		t.Rows = append(t.Rows, []string{"on " + h.Name, info.Mono.String(), reason})
+	}
+	t.Notes = "the adversarial corpus (negation-through-views, aggregates, deletes) is in TestE11MonotonicityCorpus"
+	return t
+}
+
+// --- E12: lifted runtimes throughput ---
+
+// RunE12 measures actor message throughput and future resolution round
+// trips on the transducer.
+func RunE12(messages int) Table {
+	t := Table{
+		ID:     "E12",
+		Title:  "Lifted runtimes on the transducer (Appendix A.1/A.2)",
+		Header: []string{"runtime", "workload", "wall-time", "throughput"},
+	}
+	// Actors: ping-pong chain.
+	{
+		rt := transducer.New("n1", 1)
+		rt.SetDelay(fixedDelay)
+		sys := actor.NewSystem(rt)
+		count := 0
+		var a, b actor.ID
+		a = sys.Spawn(func(ctx *actor.Ctx, msg any) {
+			count++
+			if count < messages {
+				ctx.Send(b, "ping")
+			}
+		})
+		b = sys.Spawn(func(ctx *actor.Ctx, msg any) { ctx.Send(a, "pong") })
+		start := time.Now()
+		sys.Send(a, "start")
+		rt.RunUntilIdle(messages * 4)
+		el := time.Since(start)
+		t.Rows = append(t.Rows, []string{"actors", fmt.Sprintf("%d-msg ping-pong", count),
+			el.Round(time.Millisecond).String(), fmt.Sprintf("%.0f msg/s", float64(count)/el.Seconds())})
+	}
+	// Futures: batch resolution.
+	{
+		rt := transducer.New("n2", 2)
+		rt.SetDelay(fixedDelay)
+		e := future.NewEngine(rt, future.Eager)
+		var fs []future.Future
+		for i := 0; i < messages; i++ {
+			fs = append(fs, e.Remote(func(a any) any { return a.(int) + 1 }, i))
+		}
+		start := time.Now()
+		if _, err := e.Get(fs, messages*4); err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		t.Rows = append(t.Rows, []string{"futures", fmt.Sprintf("%d-promise batch", messages),
+			el.Round(time.Millisecond).String(), fmt.Sprintf("%.0f fut/s", float64(messages)/el.Seconds())})
+	}
+	return t
+}
+
+// RunE5Mechanisms renders the compiler's per-handler mechanism choices —
+// the qualitative half of E5.
+func RunE5Mechanisms() Table {
+	p, err := hlang.Parse(hlang.CovidSource)
+	if err != nil {
+		panic(err)
+	}
+	choices := consistency.Select(p, hlang.Analyze(p))
+	t := Table{
+		ID:     "E5b",
+		Title:  "Consistency mechanism selection for the COVID app (§7.2)",
+		Header: []string{"handler", "declared", "monotonicity", "mechanism", "local-only"},
+	}
+	for _, h := range p.Handlers {
+		c := choices[h.Name]
+		t.Rows = append(t.Rows, []string{h.Name, string(c.Level), c.Mono.String(),
+			c.Mechanism.String(), fmt.Sprint(c.LocalOnly)})
+	}
+	return t
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests: every experiment runs at reduced scale and its table carries
+// the shape assertions EXPERIMENTS.md records.
+
+func TestE1Runs(t *testing.T) {
+	tab := RunE1(50)
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "50" {
+		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestE2CoordinationTax(t *testing.T) {
+	tab := RunE2([]int{3}, 3)
+	mono := tab.Rows[0][1]
+	paxos := tab.Rows[0][2]
+	if mono >= paxos && len(mono) >= len(paxos) {
+		t.Fatalf("monotone (%s) should be cheaper than paxos (%s)", mono, paxos)
+	}
+}
+
+func TestE3SpeedupShape(t *testing.T) {
+	tab := RunE3([]int{2000}, 50)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if !strings.HasSuffix(tab.Rows[1][4], "×") || tab.Rows[1][4] == "1.0×" {
+		t.Fatalf("synthesized speedup = %q", tab.Rows[1][4])
+	}
+}
+
+func TestE4AvailabilityBoundary(t *testing.T) {
+	tab := RunE4(5)
+	if tab.Rows[2][3] != "100%" {
+		t.Fatalf("2 failed AZs: %v", tab.Rows[2])
+	}
+	if tab.Rows[3][3] != "0%" {
+		t.Fatalf("3 failed AZs: %v", tab.Rows[3])
+	}
+}
+
+func TestE5Ordering(t *testing.T) {
+	tab := RunE5(3)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if tab.Rows[0][0] != "eventual" || tab.Rows[2][0] != "serializable" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestE6GPUPlacement(t *testing.T) {
+	tab := RunE6()
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "likelihood" && strings.Contains(row[1], "gpu") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("likelihood not on gpu: %v", tab.Rows)
+	}
+}
+
+func TestE7TreeBeatsNaiveAtScale(t *testing.T) {
+	tab := RunE7([]int{32})
+	var naive, tree string
+	for _, row := range tab.Rows {
+		if row[0] == "bcast" && row[2] == "naive" {
+			naive = row[4]
+		}
+		if row[0] == "bcast" && row[2] == "tree" {
+			tree = row[4]
+		}
+	}
+	if naive == "" || tree == "" {
+		t.Fatalf("missing rows: %v", tab.Rows)
+	}
+}
+
+func TestE8SemiNaiveWins(t *testing.T) {
+	tab := RunE8([]int{48})
+	if !strings.HasSuffix(tab.Rows[0][4], "×") {
+		t.Fatalf("speedup column = %q", tab.Rows[0][4])
+	}
+}
+
+func TestE9ScalingColumns(t *testing.T) {
+	tab := RunE9([]int{4}, 200)
+	if tab.Rows[0][3] == tab.Rows[1][3] {
+		t.Fatalf("anna and locked scaling identical: %v", tab.Rows)
+	}
+}
+
+func TestE10ZeroCoordination(t *testing.T) {
+	tab := RunE10(3)
+	if tab.Rows[0][2] != "0" {
+		t.Fatalf("seal-at-client coordination = %q", tab.Rows[0][2])
+	}
+	if tab.Rows[1][2] == "0" {
+		t.Fatal("consensus checkout reported zero messages")
+	}
+}
+
+func TestE11AndE12Render(t *testing.T) {
+	if s := RunE11().Render(); !strings.Contains(s, "vaccinate") {
+		t.Fatalf("E11 render:\n%s", s)
+	}
+	if s := RunE12(50).Render(); !strings.Contains(s, "actors") {
+		t.Fatalf("E12 render:\n%s", s)
+	}
+	if s := RunE5Mechanisms().Render(); !strings.Contains(s, "coordination") {
+		t.Fatalf("E5b render:\n%s", s)
+	}
+}

@@ -1,0 +1,64 @@
+package flow
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Exchange is the intra-operator partitioning primitive of §8.1/§9: it
+// routes each row to one of n output partitions by a key function, the
+// local half of a MapReduce/Exchange-style shuffle. In a distributed
+// deployment, Hydrolysis wires each partition output to a network egress;
+// on a single node it feeds parallel per-partition subgraphs.
+func (g *Graph) Exchange(in Handle, name string, n int, key func(Row) any) []Handle {
+	if n <= 0 {
+		panic("flow: Exchange needs at least one partition")
+	}
+	// Each partition is a pass-through node; the router pushes directly.
+	parts := make([]*node, n)
+	out := make([]Handle, n)
+	for i := range parts {
+		p := g.addNode(fmt.Sprintf("exchange:%s[%d]", name, i), nil)
+		p.process = func(p *node) {
+			for _, v := range drain(p) {
+				g.emit(p, v)
+			}
+		}
+		parts[i] = p
+		out[i] = Handle{g: g, n: p}
+	}
+	router := g.addNode("exchange:"+name, nil)
+	router.process = func(rn *node) {
+		for _, v := range drain(rn) {
+			idx := partitionOf(key(v), n)
+			target := parts[idx]
+			// Push into the partition's implicit input buffer.
+			target.in[0].push(v)
+			g.schedule(target)
+		}
+	}
+	g.connect(in.n, router)
+	// Give each partition an input edge owned by the router.
+	for _, p := range parts {
+		g.connect(router, p)
+		// The router's emit path is manual (we push directly), so remove
+		// the automatic fan-out edges to avoid double delivery: emit is
+		// never called on router.
+	}
+	// Clear router outputs: routing is explicit.
+	router.out = nil
+	return out
+}
+
+// partitionOf hashes a key to a partition index.
+func partitionOf(key any, n int) int {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%v", key)
+	return int(h.Sum32()) % n
+}
+
+// KeyedUnion re-merges partitioned streams (the "gather" side of a
+// shuffle), preserving no particular order — set semantics downstream.
+func (g *Graph) KeyedUnion(name string, parts []Handle) Handle {
+	return g.Union("gather:"+name, parts...)
+}

@@ -1,0 +1,122 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestExchangePartitionsByKey(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	parts := g.Exchange(src.Handle, "shard", 4, func(v Row) any { return v })
+	outs := make([]Collect, 4)
+	for i, p := range parts {
+		outs[i] = g.NewCollect(p, fmt.Sprintf("out%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		src.Push(fmt.Sprintf("key-%d", i))
+	}
+	g.RunTick()
+	total := 0
+	nonEmpty := 0
+	for _, o := range outs {
+		total += len(o.Rows())
+		if len(o.Rows()) > 0 {
+			nonEmpty++
+		}
+	}
+	if total != 100 {
+		t.Fatalf("partitions hold %d rows total, want 100 (no loss, no dup)", total)
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("only %d partitions used; hash routing broken", nonEmpty)
+	}
+}
+
+func TestExchangeSameKeySamePartition(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	key := func(v Row) any { return v.([2]string)[0] }
+	parts := g.Exchange(src.Handle, "shard", 3, key)
+	outs := make([]Collect, 3)
+	for i, p := range parts {
+		outs[i] = g.NewCollect(p, fmt.Sprintf("out%d", i))
+	}
+	for i := 0; i < 30; i++ {
+		src.Push([2]string{fmt.Sprintf("k%d", i%5), fmt.Sprintf("v%d", i)})
+	}
+	g.RunTick()
+	// Every key's rows must land in exactly one partition.
+	where := map[string]int{}
+	for pi, o := range outs {
+		for _, r := range o.Rows() {
+			k := r.([2]string)[0]
+			if prev, seen := where[k]; seen && prev != pi {
+				t.Fatalf("key %s split across partitions %d and %d", k, prev, pi)
+			}
+			where[k] = pi
+		}
+	}
+	if len(where) != 5 {
+		t.Fatalf("keys routed = %d, want 5", len(where))
+	}
+}
+
+func TestExchangeThenGatherRoundTrips(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	parts := g.Exchange(src.Handle, "shard", 4, func(v Row) any { return v })
+	// Per-partition work: double each value.
+	worked := make([]Handle, len(parts))
+	for i, p := range parts {
+		worked[i] = g.Map(p, fmt.Sprintf("w%d", i), func(v Row) Row { return v.(int) * 2 })
+	}
+	merged := g.KeyedUnion("gather", worked)
+	out := g.NewCollect(merged, "out")
+	sum := 0
+	for i := 1; i <= 10; i++ {
+		src.Push(i)
+		sum += 2 * i
+	}
+	g.RunTick()
+	got := 0
+	for _, r := range out.Rows() {
+		got += r.(int)
+	}
+	if got != sum {
+		t.Fatalf("shuffled sum = %d, want %d", got, sum)
+	}
+}
+
+// Partitioned transitive closure: shard edges by source vertex, compute
+// local one-hop joins per shard against a broadcast edge set — a miniature
+// of the §9 deployment story for the running example's trace query.
+func TestExchangePartitionedJoin(t *testing.T) {
+	g := NewGraph()
+	edges := g.NewSource("edges")
+	all := g.NewSource("all") // broadcast copy
+	parts := g.Exchange(edges.Handle, "bysrc", 2, func(v Row) any { return v.([2]string)[0] })
+	var hops []Handle
+	for i, p := range parts {
+		j := g.Join(p, all.Handle, fmt.Sprintf("hop%d", i),
+			func(v Row) any { return v.([2]string)[1] },
+			func(v Row) any { return v.([2]string)[0] },
+			Static)
+		hops = append(hops, g.Map(j, fmt.Sprintf("compose%d", i), func(v Row) Row {
+			pr := v.(JoinPair)
+			return [2]string{pr.Left.([2]string)[0], pr.Right.([2]string)[1]}
+		}))
+	}
+	merged := g.Distinct(g.KeyedUnion("hops", hops), "dedup", nil, Static)
+	out := g.NewCollect(merged, "out")
+	input := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}}
+	for _, e := range input {
+		edges.Push(e)
+		all.Push(e)
+	}
+	g.RunTick()
+	// Two-hop paths: a->c, b->d.
+	if len(out.Rows()) != 2 {
+		t.Fatalf("two-hop paths = %v", out.SortedStrings())
+	}
+}

@@ -1,0 +1,385 @@
+// Package flow is the Hydroflow runtime of §2.3/§8: a strongly-typed-at-
+// construction, push-based, single-node dataflow engine that unifies three
+// styles of computation:
+//
+//   - collection dataflow (map/filter/join/distinct over streams of rows),
+//   - lattice flows (monotone cells that pipeline like collections), and
+//   - reactive scalars (versioned mutable values in the React/Rx style).
+//
+// A Graph executes in ticks. Within a tick, operators run to quiescence
+// (fixpoint); operator state declared PerTick is cleared between ticks,
+// Static state persists. All state is confined to the graph's owning
+// goroutine: as in Anna, no locks or atomics are needed.
+package flow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Persistence controls whether operator state survives tick boundaries,
+// mirroring Hydroflow's 'tick vs 'static lifetimes.
+type Persistence int
+
+// Persistence modes.
+const (
+	// PerTick state is cleared at the start of every tick.
+	PerTick Persistence = iota
+	// Static state persists for the lifetime of the graph.
+	Static
+)
+
+// Row is a dataflow element. Collection operators carry rows; lattice
+// operators carry lattice values boxed as Row.
+type Row = any
+
+// MergeFn is a lattice join over boxed values, with an equality used to
+// detect quiescence.
+type MergeFn struct {
+	Merge func(a, b Row) Row
+	Equal func(a, b Row) bool
+}
+
+// node is a vertex in the dataflow graph.
+type node struct {
+	id      int
+	name    string
+	in      []*edge
+	out     []*edge
+	process func(n *node)
+	onTick  func() // called at tick start (clears PerTick state)
+}
+
+// edge is a handoff buffer between two operators.
+type edge struct {
+	buf []Row
+	dst *node
+}
+
+func (e *edge) push(v Row) { e.buf = append(e.buf, v) }
+
+// Graph is a single-node dataflow. It is not safe for concurrent use; one
+// goroutine owns it (thread-per-core style, as in Anna/Hydroflow).
+type Graph struct {
+	nodes   []*node
+	tick    uint64
+	work    []*node
+	pending map[int]bool
+}
+
+// NewGraph returns an empty dataflow graph.
+func NewGraph() *Graph {
+	return &Graph{pending: map[int]bool{}}
+}
+
+// Tick returns the number of completed ticks.
+func (g *Graph) Tick() uint64 { return g.tick }
+
+func (g *Graph) addNode(name string, process func(n *node)) *node {
+	n := &node{id: len(g.nodes), name: name, process: process}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+func (g *Graph) connect(from, to *node) *edge {
+	e := &edge{dst: to}
+	from.out = append(from.out, e)
+	to.in = append(to.in, e)
+	return e
+}
+
+func (g *Graph) schedule(n *node) {
+	if !g.pending[n.id] {
+		g.pending[n.id] = true
+		g.work = append(g.work, n)
+	}
+}
+
+// emit pushes v on every outgoing edge of n and schedules consumers. A node
+// with multiple outputs acts as an implicit tee.
+func (g *Graph) emit(n *node, v Row) {
+	for _, e := range n.out {
+		e.push(v)
+		g.schedule(e.dst)
+	}
+}
+
+// drain consumes and returns all buffered input rows of n.
+func drain(n *node) []Row {
+	var rows []Row
+	for _, e := range n.in {
+		rows = append(rows, e.buf...)
+		e.buf = e.buf[:0]
+	}
+	return rows
+}
+
+// RunTick processes all pending work to quiescence and advances the tick.
+// It returns the number of operator activations (a rough work measure used
+// by the copy-efficiency benchmarks).
+func (g *Graph) RunTick() int {
+	for _, n := range g.nodes {
+		if n.onTick != nil {
+			n.onTick()
+		}
+	}
+	activations := 0
+	for len(g.work) > 0 {
+		n := g.work[0]
+		g.work = g.work[1:]
+		delete(g.pending, n.id)
+		n.process(n)
+		activations++
+	}
+	g.tick++
+	return activations
+}
+
+// Quiesced reports whether no operator has pending input.
+func (g *Graph) Quiesced() bool { return len(g.work) == 0 }
+
+// --- Operators ---
+
+// Handle names an operator output that further operators can consume.
+type Handle struct {
+	g *Graph
+	n *node
+}
+
+// Graph returns the owning graph.
+func (h Handle) Graph() *Graph { return h.g }
+
+// Name returns the operator's debug name.
+func (h Handle) Name() string { return h.n.name }
+
+// Source is an ingress point: values pushed from outside the graph.
+type Source struct {
+	Handle
+}
+
+// Push injects a value; it will be processed on the next RunTick (or the
+// current one if called from inside an operator).
+func (s Source) Push(v Row) {
+	s.g.emit(s.n, v)
+}
+
+// PushAll injects a batch.
+func (s Source) PushAll(vs ...Row) {
+	for _, v := range vs {
+		s.Push(v)
+	}
+}
+
+// NewSource declares a named ingress.
+func (g *Graph) NewSource(name string) Source {
+	n := g.addNode("source:"+name, func(n *node) { drain(n) })
+	return Source{Handle{g: g, n: n}}
+}
+
+// Map applies f to every row.
+func (g *Graph) Map(in Handle, name string, f func(Row) Row) Handle {
+	n := g.addNode("map:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			g.emit(n, f(v))
+		}
+	}
+	g.connect(in.n, n)
+	return Handle{g: g, n: n}
+}
+
+// Filter keeps rows satisfying pred.
+func (g *Graph) Filter(in Handle, name string, pred func(Row) bool) Handle {
+	n := g.addNode("filter:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			if pred(v) {
+				g.emit(n, v)
+			}
+		}
+	}
+	g.connect(in.n, n)
+	return Handle{g: g, n: n}
+}
+
+// FlatMap expands each row into zero or more rows.
+func (g *Graph) FlatMap(in Handle, name string, f func(Row) []Row) Handle {
+	n := g.addNode("flat_map:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			for _, o := range f(v) {
+				g.emit(n, o)
+			}
+		}
+	}
+	g.connect(in.n, n)
+	return Handle{g: g, n: n}
+}
+
+// Union merges any number of input streams.
+func (g *Graph) Union(name string, ins ...Handle) Handle {
+	n := g.addNode("union:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			g.emit(n, v)
+		}
+	}
+	for _, in := range ins {
+		g.connect(in.n, n)
+	}
+	return Handle{g: g, n: n}
+}
+
+// Distinct suppresses duplicate rows. Key extracts a comparable identity;
+// pass nil to use the row itself (which must be comparable). Persistence
+// Static dedupes across ticks — exactly the semantics of a grow-only set.
+func (g *Graph) Distinct(in Handle, name string, key func(Row) any, p Persistence) Handle {
+	if key == nil {
+		key = func(v Row) any { return v }
+	}
+	seen := map[any]bool{}
+	n := g.addNode("distinct:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			k := key(v)
+			if !seen[k] {
+				seen[k] = true
+				g.emit(n, v)
+			}
+		}
+	}
+	if p == PerTick {
+		n.onTick = func() { seen = map[any]bool{} }
+	}
+	return g.connectReturn(in, n)
+}
+
+func (g *Graph) connectReturn(in Handle, n *node) Handle {
+	g.connect(in.n, n)
+	return Handle{g: g, n: n}
+}
+
+// JoinPair is the output of a Join: the matching left and right rows.
+type JoinPair struct {
+	Key   any
+	Left  Row
+	Right Row
+}
+
+// Join performs a streaming symmetric hash join on key columns extracted by
+// lk and rk. With Static persistence the build tables persist across ticks
+// (incremental view maintenance); with PerTick they reset.
+func (g *Graph) Join(left, right Handle, name string, lk, rk func(Row) any, p Persistence) Handle {
+	lTab := map[any][]Row{}
+	rTab := map[any][]Row{}
+	n := g.addNode("join:"+name, nil)
+	// Input edges are positional: edge 0 = left, edge 1 = right.
+	n.process = func(n *node) {
+		for _, v := range n.in[0].buf {
+			k := lk(v)
+			lTab[k] = append(lTab[k], v)
+			for _, r := range rTab[k] {
+				g.emit(n, JoinPair{Key: k, Left: v, Right: r})
+			}
+		}
+		n.in[0].buf = n.in[0].buf[:0]
+		for _, v := range n.in[1].buf {
+			k := rk(v)
+			rTab[k] = append(rTab[k], v)
+			for _, l := range lTab[k] {
+				g.emit(n, JoinPair{Key: k, Left: l, Right: v})
+			}
+		}
+		n.in[1].buf = n.in[1].buf[:0]
+	}
+	if p == PerTick {
+		n.onTick = func() { lTab, rTab = map[any][]Row{}, map[any][]Row{} }
+	}
+	g.connect(left.n, n)
+	g.connect(right.n, n)
+	return Handle{g: g, n: n}
+}
+
+// AntiJoin emits left rows whose key has no match in the right input *as of
+// the end of the tick*. Because negation is non-monotonic, AntiJoin buffers
+// its left input and only emits during FlushNegation, which the scheduler
+// calls after the positive fixpoint — the operational form of stratified
+// negation (§8.1).
+type AntiJoin struct {
+	Handle
+	pend  []Row
+	right map[any]bool
+	lk    func(Row) any
+}
+
+// NewAntiJoin constructs the stratified difference operator.
+func (g *Graph) NewAntiJoin(left, right Handle, name string, lk, rk func(Row) any) *AntiJoin {
+	aj := &AntiJoin{right: map[any]bool{}, lk: lk}
+	n := g.addNode("anti_join:"+name, nil)
+	n.process = func(n *node) {
+		aj.pend = append(aj.pend, n.in[0].buf...)
+		n.in[0].buf = n.in[0].buf[:0]
+		for _, v := range n.in[1].buf {
+			aj.right[rk(v)] = true
+		}
+		n.in[1].buf = n.in[1].buf[:0]
+	}
+	n.onTick = func() {
+		aj.pend = nil
+		aj.right = map[any]bool{}
+	}
+	g.connect(left.n, n)
+	g.connect(right.n, n)
+	aj.Handle = Handle{g: g, n: n}
+	return aj
+}
+
+// FlushNegation emits the anti-joined rows; call after RunTick has reached
+// the positive fixpoint, then RunTick again to propagate.
+func (aj *AntiJoin) FlushNegation() int {
+	emitted := 0
+	for _, v := range aj.pend {
+		if !aj.right[aj.lk(v)] {
+			aj.g.emit(aj.n, v)
+			emitted++
+		}
+	}
+	aj.pend = nil
+	return emitted
+}
+
+// ForEach is a sink invoking f per row.
+func (g *Graph) ForEach(in Handle, name string, f func(Row)) {
+	n := g.addNode("for_each:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			f(v)
+		}
+	}
+	g.connect(in.n, n)
+}
+
+// Collect is a sink accumulating rows into an internal slice.
+type Collect struct {
+	rows *[]Row
+}
+
+// Rows returns the accumulated rows.
+func (c Collect) Rows() []Row { return *c.rows }
+
+// SortedStrings renders accumulated rows as sorted strings (test helper).
+func (c Collect) SortedStrings() []string {
+	out := make([]string, len(*c.rows))
+	for i, r := range *c.rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewCollect attaches a collecting sink to in.
+func (g *Graph) NewCollect(in Handle, name string) Collect {
+	rows := &[]Row{}
+	g.ForEach(in, "collect:"+name, func(v Row) { *rows = append(*rows, v) })
+	return Collect{rows: rows}
+}

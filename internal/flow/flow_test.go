@@ -1,0 +1,301 @@
+package flow
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hydro/internal/lattice"
+)
+
+func TestMapFilterPipeline(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("nums")
+	doubled := g.Map(src.Handle, "double", func(v Row) Row { return v.(int) * 2 })
+	evensOnly := g.Filter(doubled, "gt4", func(v Row) bool { return v.(int) > 4 })
+	out := g.NewCollect(evensOnly, "out")
+	src.PushAll(1, 2, 3)
+	g.RunTick()
+	if got := out.SortedStrings(); !reflect.DeepEqual(got, []string{"6"}) {
+		t.Fatalf("pipeline output = %v", got)
+	}
+}
+
+func TestFlatMapAndUnion(t *testing.T) {
+	g := NewGraph()
+	a := g.NewSource("a")
+	b := g.NewSource("b")
+	dup := g.FlatMap(a.Handle, "dup", func(v Row) []Row { return []Row{v, v} })
+	u := g.Union("u", dup, b.Handle)
+	out := g.NewCollect(u, "out")
+	a.Push("x")
+	b.Push("y")
+	g.RunTick()
+	if len(out.Rows()) != 3 {
+		t.Fatalf("union got %d rows, want 3", len(out.Rows()))
+	}
+}
+
+func TestTeeImplicit(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	m := g.Map(src.Handle, "id", func(v Row) Row { return v })
+	out1 := g.NewCollect(m, "o1")
+	out2 := g.NewCollect(m, "o2")
+	src.Push(7)
+	g.RunTick()
+	if len(out1.Rows()) != 1 || len(out2.Rows()) != 1 {
+		t.Fatal("multiple consumers must each receive the row")
+	}
+}
+
+func TestDistinctPersistence(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	d := g.Distinct(src.Handle, "d", nil, Static)
+	out := g.NewCollect(d, "out")
+	src.PushAll(1, 1, 2)
+	g.RunTick()
+	src.PushAll(2, 3)
+	g.RunTick()
+	if got := out.SortedStrings(); !reflect.DeepEqual(got, []string{"1", "2", "3"}) {
+		t.Fatalf("static distinct = %v", got)
+	}
+
+	g2 := NewGraph()
+	src2 := g2.NewSource("s")
+	d2 := g2.Distinct(src2.Handle, "d", nil, PerTick)
+	out2 := g2.NewCollect(d2, "out")
+	src2.PushAll(1, 1)
+	g2.RunTick()
+	src2.PushAll(1)
+	g2.RunTick()
+	if len(out2.Rows()) != 2 {
+		t.Fatalf("per-tick distinct emitted %d rows, want 2 (one per tick)", len(out2.Rows()))
+	}
+}
+
+func TestJoinStreaming(t *testing.T) {
+	g := NewGraph()
+	l := g.NewSource("l")
+	r := g.NewSource("r")
+	j := g.Join(l.Handle, r.Handle, "j",
+		func(v Row) any { return v.([2]any)[0] },
+		func(v Row) any { return v.([2]any)[0] },
+		Static)
+	out := g.NewCollect(j, "out")
+	l.Push([2]any{"k1", "left1"})
+	r.Push([2]any{"k1", "right1"})
+	r.Push([2]any{"k2", "right2"})
+	g.RunTick()
+	if len(out.Rows()) != 1 {
+		t.Fatalf("join produced %d rows, want 1", len(out.Rows()))
+	}
+	// Static join state: a late left row still matches earlier right rows.
+	l.Push([2]any{"k2", "left2"})
+	g.RunTick()
+	if len(out.Rows()) != 2 {
+		t.Fatalf("incremental join produced %d rows total, want 2", len(out.Rows()))
+	}
+}
+
+func TestJoinPerTickForgets(t *testing.T) {
+	g := NewGraph()
+	l := g.NewSource("l")
+	r := g.NewSource("r")
+	j := g.Join(l.Handle, r.Handle, "j",
+		func(v Row) any { return v },
+		func(v Row) any { return v },
+		PerTick)
+	out := g.NewCollect(j, "out")
+	l.Push("k")
+	g.RunTick()
+	r.Push("k")
+	g.RunTick()
+	if len(out.Rows()) != 0 {
+		t.Fatal("per-tick join must not match across ticks")
+	}
+}
+
+// Transitive closure via a cyclic flow: the fixpoint-within-tick semantics.
+func TestCyclicFixpointTransitiveClosure(t *testing.T) {
+	g := NewGraph()
+	edges := g.NewSource("edges")
+	// paths = edges ∪ (paths ⋈ edges)
+	paths := g.Union("paths")
+	j := g.Join(paths, edges.Handle, "extend",
+		func(v Row) any { return v.([2]string)[1] }, // path (a,b) keyed on b
+		func(v Row) any { return v.([2]string)[0] }, // edge (b,c) keyed on b
+		Static)
+	extended := g.Map(j, "compose", func(v Row) Row {
+		p := v.(JoinPair)
+		return [2]string{p.Left.([2]string)[0], p.Right.([2]string)[1]}
+	})
+	// Distinct breaks the cycle: only novel paths re-enter.
+	novel := g.Distinct(extended, "novel", nil, Static)
+	// Wire the cycle: edges and novel both feed paths.
+	g.connect(edges.n, paths.n)
+	g.connect(novel.n, paths.n)
+	dedup := g.Distinct(paths, "out_dedup", nil, Static)
+	out := g.NewCollect(dedup, "out")
+
+	edges.PushAll([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "d"})
+	g.RunTick()
+	if len(out.Rows()) != 6 {
+		t.Fatalf("closure produced %d paths, want 6: %v", len(out.Rows()), out.SortedStrings())
+	}
+	// Incremental: adding one edge next tick derives only new paths.
+	edges.Push([2]string{"d", "e"})
+	g.RunTick()
+	if len(out.Rows()) != 10 {
+		t.Fatalf("after increment %d paths, want 10", len(out.Rows()))
+	}
+}
+
+func TestAntiJoinStratified(t *testing.T) {
+	g := NewGraph()
+	all := g.NewSource("all")
+	excluded := g.NewSource("excluded")
+	aj := g.NewAntiJoin(all.Handle, excluded.Handle, "minus",
+		func(v Row) any { return v }, func(v Row) any { return v })
+	out := g.NewCollect(aj.Handle, "out")
+
+	all.PushAll("a", "b", "c")
+	excluded.Push("b")
+	g.RunTick()
+	if len(out.Rows()) != 0 {
+		t.Fatal("anti-join must not emit before negation flush")
+	}
+	aj.FlushNegation()
+	g.RunTick()
+	if got := out.SortedStrings(); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("anti-join = %v", got)
+	}
+}
+
+func TestLatticeCellPipelines(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("sets")
+	setMerge := MergeFn{
+		Merge: func(a, b Row) Row { return a.(lattice.Set[string]).Merge(b.(lattice.Set[string])) },
+		Equal: func(a, b Row) bool { return a.(lattice.Set[string]).Equal(b.(lattice.Set[string])) },
+	}
+	cell := g.NewLatticeCell(src.Handle, "acc", lattice.NewSet[string](), setMerge, Static)
+	// COUNT over the set pipelines as a Max<int> — the paper's example.
+	counts := g.MorphMap(cell.Handle, "count", func(v Row) Row {
+		return lattice.NewMax(v.(lattice.Set[string]).Len())
+	})
+	gate := g.Threshold(counts, "quorum", func(v Row) bool { return v.(lattice.Max[int]).V >= 2 })
+	fired := g.NewCollect(gate, "fired")
+
+	src.Push(lattice.NewSet("a"))
+	g.RunTick()
+	if len(fired.Rows()) != 0 {
+		t.Fatal("threshold fired early")
+	}
+	src.Push(lattice.NewSet("b"))
+	g.RunTick()
+	if len(fired.Rows()) != 1 {
+		t.Fatalf("threshold fired %d times, want 1", len(fired.Rows()))
+	}
+	// Further growth must not re-fire (decision is stable).
+	src.Push(lattice.NewSet("c"))
+	g.RunTick()
+	if len(fired.Rows()) != 1 {
+		t.Fatal("threshold must fire exactly once")
+	}
+	if cell.Value().(lattice.Set[string]).Len() != 3 {
+		t.Fatal("cell lost state")
+	}
+}
+
+func TestLatticeCellNoEmitWithoutGrowth(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	m := MergeFn{
+		Merge: func(a, b Row) Row { return a.(lattice.Max[int]).Merge(b.(lattice.Max[int])) },
+		Equal: func(a, b Row) bool { return a.(lattice.Max[int]).Equal(b.(lattice.Max[int])) },
+	}
+	cell := g.NewLatticeCell(src.Handle, "max", lattice.NewMax(0), m, Static)
+	out := g.NewCollect(cell.Handle, "out")
+	src.Push(lattice.NewMax(5))
+	g.RunTick()
+	src.Push(lattice.NewMax(3)) // dominated: no growth
+	g.RunTick()
+	if len(out.Rows()) != 1 {
+		t.Fatalf("cell emitted %d times, want 1 (no emit without growth)", len(out.Rows()))
+	}
+}
+
+func TestScalarCellReactive(t *testing.T) {
+	g := NewGraph()
+	cell := g.NewScalarCell("x", 0, func(a, b Row) bool { return a == b })
+	var seen []VersionedValue
+	g.ForEach(cell.Handle, "watch", func(v Row) { seen = append(seen, v.(VersionedValue)) })
+	cell.Set(1)
+	cell.Set(1) // suppressed by eq
+	cell.Set(2)
+	g.RunTick()
+	if len(seen) != 2 {
+		t.Fatalf("reactive scalar propagated %d times, want 2", len(seen))
+	}
+	if seen[1].Version != 2 || seen[1].Value != 2 {
+		t.Fatalf("versioning wrong: %+v", seen[1])
+	}
+}
+
+func TestFoldTick(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	f := g.NewFoldTick(src.Handle, "sum",
+		func() Row { return 0 },
+		func(acc, v Row) Row { return acc.(int) + v.(int) })
+	out := g.NewCollect(f.Handle, "out")
+	src.PushAll(1, 2, 3)
+	g.RunTick()
+	f.Flush()
+	g.RunTick()
+	if len(out.Rows()) != 1 || out.Rows()[0] != 6 {
+		t.Fatalf("fold = %v", out.Rows())
+	}
+	// Next tick resets the accumulator.
+	src.PushAll(10)
+	g.RunTick()
+	f.Flush()
+	g.RunTick()
+	if out.Rows()[1] != 10 {
+		t.Fatalf("fold did not reset per tick: %v", out.Rows())
+	}
+}
+
+func TestGraphQuiescedAndTickCount(t *testing.T) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	g.NewCollect(src.Handle, "out")
+	if !g.Quiesced() {
+		t.Fatal("fresh graph should be quiesced")
+	}
+	src.Push(1)
+	if g.Quiesced() {
+		t.Fatal("pending input should mark graph busy")
+	}
+	g.RunTick()
+	if g.Tick() != 1 || !g.Quiesced() {
+		t.Fatal("tick accounting wrong")
+	}
+}
+
+func BenchmarkMapChain(b *testing.B) {
+	g := NewGraph()
+	src := g.NewSource("s")
+	h := src.Handle
+	for i := 0; i < 8; i++ {
+		h = g.Map(h, fmt.Sprintf("m%d", i), func(v Row) Row { return v.(int) + 1 })
+	}
+	g.ForEach(h, "sink", func(v Row) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Push(i)
+		g.RunTick()
+	}
+}

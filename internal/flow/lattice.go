@@ -1,0 +1,143 @@
+package flow
+
+// Lattice and reactive-scalar operators: the part of the Hydroflow algebra
+// that goes beyond collections (§8.1 "Representation of flows beyond
+// collections"). A LatticeCell pipelines like a collection: every time its
+// value strictly grows it re-emits downstream, so a COUNT over a set
+// pipelines into a Max<int> cell and onward.
+
+// LatticeCell accumulates a lattice value by merging every input row and
+// emits the new value whenever it strictly grows.
+type LatticeCell struct {
+	Handle
+	cur Row
+	fn  MergeFn
+}
+
+// Value returns the cell's current lattice value.
+func (c *LatticeCell) Value() Row { return c.cur }
+
+// NewLatticeCell declares a lattice accumulator with the given bottom value
+// and merge function. Persistence Static keeps the accumulated value across
+// ticks (the common case for monotone state).
+func (g *Graph) NewLatticeCell(in Handle, name string, bottom Row, fn MergeFn, p Persistence) *LatticeCell {
+	c := &LatticeCell{cur: bottom, fn: fn}
+	n := g.addNode("lattice:"+name, nil)
+	n.process = func(n *node) {
+		changed := false
+		for _, v := range drain(n) {
+			next := fn.Merge(c.cur, v)
+			if !fn.Equal(next, c.cur) {
+				c.cur = next
+				changed = true
+			}
+		}
+		if changed {
+			g.emit(n, c.cur)
+		}
+	}
+	if p == PerTick {
+		n.onTick = func() { c.cur = bottom }
+	}
+	g.connect(in.n, n)
+	c.Handle = Handle{g: g, n: n}
+	return c
+}
+
+// MorphMap applies a *monotone* function to a lattice stream: each emitted
+// lattice value maps to a new lattice value. Operationally identical to Map;
+// the distinct constructor documents (and lets analyses trust) monotonicity.
+func (g *Graph) MorphMap(in Handle, name string, f func(Row) Row) Handle {
+	return g.Map(in, "morph:"+name, f)
+}
+
+// Threshold gates a lattice stream: it emits exactly once, when pred first
+// becomes true. Because the input grows monotonically, pred transitioning
+// true is stable — the coordination-free decision point of CALM programs.
+func (g *Graph) Threshold(in Handle, name string, pred func(Row) bool) Handle {
+	fired := false
+	n := g.addNode("threshold:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			if !fired && pred(v) {
+				fired = true
+				g.emit(n, v)
+			}
+		}
+	}
+	g.connect(in.n, n)
+	return Handle{g: g, n: n}
+}
+
+// ScalarCell is a reactive mutable variable (React/Rx style): assignments
+// overwrite, and each distinct new value propagates downstream with a
+// monotonically increasing version. Overwrite is non-monotonic; the
+// compiler only emits ScalarCells for `:=` state.
+type ScalarCell struct {
+	Handle
+	version uint64
+	cur     Row
+	eq      func(a, b Row) bool
+}
+
+// VersionedValue is what a ScalarCell emits.
+type VersionedValue struct {
+	Version uint64
+	Value   Row
+}
+
+// Value returns the current value.
+func (c *ScalarCell) Value() Row { return c.cur }
+
+// Version returns the current version (0 = initial).
+func (c *ScalarCell) Version() uint64 { return c.version }
+
+// Set overwrites the value; propagates if it changed.
+func (c *ScalarCell) Set(v Row) {
+	if c.eq != nil && c.eq(c.cur, v) {
+		return
+	}
+	c.cur = v
+	c.version++
+	c.g.emit(c.n, VersionedValue{Version: c.version, Value: v})
+}
+
+// NewScalarCell declares a reactive scalar with an initial value. eq may be
+// nil to propagate every Set.
+func (g *Graph) NewScalarCell(name string, initial Row, eq func(a, b Row) bool) *ScalarCell {
+	c := &ScalarCell{cur: initial, eq: eq}
+	n := g.addNode("scalar:"+name, func(n *node) { drain(n) })
+	c.Handle = Handle{g: g, n: n}
+	return c
+}
+
+// FoldTick accumulates rows within a tick with a classic (non-lattice) fold
+// and emits the final accumulator when the tick flushes. Used for operators
+// that must see their input "all at once" (§8.2): the scheduler calls
+// FlushFolds after the fixpoint.
+type FoldTick struct {
+	Handle
+	acc   Row
+	init  func() Row
+	apply func(acc Row, v Row) Row
+}
+
+// NewFoldTick declares an end-of-tick fold.
+func (g *Graph) NewFoldTick(in Handle, name string, init func() Row, apply func(acc, v Row) Row) *FoldTick {
+	f := &FoldTick{acc: init(), init: init, apply: apply}
+	n := g.addNode("fold:"+name, nil)
+	n.process = func(n *node) {
+		for _, v := range drain(n) {
+			f.acc = f.apply(f.acc, v)
+		}
+	}
+	n.onTick = func() { f.acc = f.init() }
+	g.connect(in.n, n)
+	f.Handle = Handle{g: g, n: n}
+	return f
+}
+
+// Flush emits the accumulated value downstream (call after fixpoint).
+func (f *FoldTick) Flush() {
+	f.g.emit(f.n, f.acc)
+}

@@ -1,0 +1,258 @@
+package hlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the monotonicity typechecker the paper calls for in
+// §8.2 ("we wish to go further, providing an explicit monotone type
+// modifier, and a compiler that can typecheck monotonicity") and the CALM
+// analysis that drives the consistency facet: monotone handlers need no
+// coordination; non-monotone ones are coordination points.
+
+// Monotonicity classifies a query or handler.
+type Monotonicity int
+
+// Monotonicity values.
+const (
+	// Monotone: output only grows as inputs grow; coordination-free.
+	Monotone Monotonicity = iota
+	// NonMonotone: may retract or overwrite; requires coordination for
+	// deterministic outcomes (CALM theorem).
+	NonMonotone
+)
+
+func (m Monotonicity) String() string {
+	if m == Monotone {
+		return "monotone"
+	}
+	return "non-monotone"
+}
+
+// Reason explains one source of non-monotonicity, with position.
+type Reason struct {
+	At   Pos
+	What string
+}
+
+func (r Reason) String() string { return fmt.Sprintf("%s: %s", r.At, r.What) }
+
+// QueryInfo is the analysis result for one named query.
+type QueryInfo struct {
+	Name    string
+	Mono    Monotonicity
+	Reasons []Reason
+}
+
+// HandlerInfo is the analysis result for one handler.
+type HandlerInfo struct {
+	Name    string
+	Mono    Monotonicity
+	Reasons []Reason
+	// ReadsVars / WritesVars track scalar variable usage for the
+	// serializability analysis of §7 (vaccinate is the only writer of
+	// vaccine_count, so it serializes locally).
+	ReadsVars  []string
+	WritesVars []string
+	// Tables touched, for metaconsistency dataflow analysis.
+	ReadsTables  []string
+	WritesTables []string
+	// SendsTo lists mailboxes this handler sends to (composition paths).
+	SendsTo []string
+}
+
+// Analysis is the whole-program monotonicity and dataflow analysis.
+type Analysis struct {
+	Queries  map[string]*QueryInfo
+	Handlers map[string]*HandlerInfo
+}
+
+// CoordinationPoints returns the handler names that require coordination
+// (non-monotone or declared serializable), sorted.
+func (a *Analysis) CoordinationPoints(p *Program) []string {
+	var out []string
+	for name, h := range a.Handlers {
+		decl := p.Handler(name)
+		if h.Mono == NonMonotone || (decl != nil && decl.Consistency == Serializable) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze computes monotonicity for every query and handler.
+//
+// Rules (Bloom/CALM discipline):
+//   - A query is monotone iff all its rules use only positive body atoms
+//     and no aggregation. (max/min/count are monotone as lattice morphisms,
+//     but reading their exact value is a non-monotone act unless consumed
+//     through a threshold; we take the conservative relational view.)
+//   - merge statements into lattice-typed storage are monotone.
+//   - := assignment and delete are non-monotone.
+//   - send of monotone-derived tuples is monotone (asynchronous merge).
+//   - UDF calls are opaque: monotone per the paper's memoized-UDF
+//     semantics, since they cannot read program state.
+func Analyze(p *Program) *Analysis {
+	a := &Analysis{Queries: map[string]*QueryInfo{}, Handlers: map[string]*HandlerInfo{}}
+
+	// Per-rule reasons first, then propagate through query dependencies:
+	// a query depending on a non-monotone query is itself non-monotone.
+	queryReasons := map[string][]Reason{}
+	for _, q := range p.Queries {
+		if q.Agg != "" {
+			queryReasons[q.Name] = append(queryReasons[q.Name],
+				Reason{At: q.Pos, What: fmt.Sprintf("aggregate %s<%s> is order-sensitive when read as a value", q.Agg, q.AggVar)})
+		}
+		for _, b := range q.Body {
+			if b.Negated {
+				queryReasons[q.Name] = append(queryReasons[q.Name],
+					Reason{At: b.Pos, What: fmt.Sprintf("negation !%s retracts as %s grows", b.Pred, b.Pred)})
+			}
+		}
+		if _, ok := queryReasons[q.Name]; !ok {
+			queryReasons[q.Name] = queryReasons[q.Name] // ensure key exists
+		}
+	}
+	// Propagate: iterate to fixpoint over dependencies.
+	for changed := true; changed; {
+		changed = false
+		for _, q := range p.Queries {
+			if len(queryReasons[q.Name]) > 0 {
+				continue
+			}
+			for _, b := range q.Body {
+				if dep, ok := queryReasons[b.Pred]; ok && len(dep) > 0 {
+					queryReasons[q.Name] = append(queryReasons[q.Name],
+						Reason{At: b.Pos, What: fmt.Sprintf("depends on non-monotone query %q", b.Pred)})
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, name := range p.QueryNames() {
+		info := &QueryInfo{Name: name, Mono: Monotone, Reasons: queryReasons[name]}
+		if len(info.Reasons) > 0 {
+			info.Mono = NonMonotone
+		}
+		a.Queries[name] = info
+	}
+
+	for _, h := range p.Handlers {
+		info := analyzeHandler(p, a, h)
+		a.Handlers[h.Name] = info
+	}
+	return a
+}
+
+func analyzeHandler(p *Program, a *Analysis, h *HandlerDecl) *HandlerInfo {
+	info := &HandlerInfo{Name: h.Name, Mono: Monotone}
+	addReason := func(at Pos, format string, args ...any) {
+		info.Mono = NonMonotone
+		info.Reasons = append(info.Reasons, Reason{At: at, What: fmt.Sprintf(format, args...)})
+	}
+	readVar := func(name string) {
+		if p.Var(name) != nil {
+			info.ReadsVars = appendUnique(info.ReadsVars, name)
+		}
+	}
+	scanExpr := func(e Expr) {
+		WalkExpr(e, func(x Expr) {
+			switch v := x.(type) {
+			case *VarRef:
+				readVar(v.Name)
+			case *FieldRef:
+				info.ReadsTables = appendUnique(info.ReadsTables, v.Table)
+			}
+		})
+	}
+	for _, r := range h.Requires {
+		scanExpr(r)
+	}
+	for _, s := range h.Body {
+		switch st := s.(type) {
+		case *MergeTupleStmt:
+			info.WritesTables = appendUnique(info.WritesTables, st.Table)
+			for _, e := range st.Args {
+				scanExpr(e)
+			}
+		case *MergeFieldStmt:
+			info.WritesTables = appendUnique(info.WritesTables, st.Table)
+			scanExpr(st.Key)
+			scanExpr(st.Value)
+			// Check validated lattice-ness; merge into a lattice column
+			// is monotone by construction.
+		case *AssignStmt:
+			info.WritesVars = appendUnique(info.WritesVars, st.Var)
+			scanExpr(st.Value)
+			addReason(st.At, "assignment %s := ... overwrites (non-monotonic mutation)", st.Var)
+		case *DeleteStmt:
+			info.WritesTables = appendUnique(info.WritesTables, st.Table)
+			for _, e := range st.Args {
+				scanExpr(e)
+			}
+			addReason(st.At, "delete from %s retracts tuples", st.Table)
+		case *SendStmt:
+			info.SendsTo = appendUnique(info.SendsTo, st.Mailbox)
+			for _, b := range st.Body {
+				if b.Negated {
+					addReason(st.At, "send rule negates %s", b.Pred)
+				}
+				if q, ok := a.Queries[b.Pred]; ok && q.Mono == NonMonotone {
+					addReason(st.At, "send rule reads non-monotone query %q", b.Pred)
+				}
+				info.ReadsTables = appendUnique(info.ReadsTables, b.Pred)
+			}
+		case *ReplyStmt:
+			scanExpr(st.Value)
+		}
+	}
+	// Reading a scalar var that anything assigns is a snapshot read of
+	// mutable state — fine within a tick, but the *handler* remains
+	// monotone only if it does not itself overwrite. (Reads alone do not
+	// break monotonicity; the transducer snapshot makes them stable.)
+	return info
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// Report renders a human-readable analysis summary, the artifact Fig 4
+// motivates: machine-checked monotonicity instead of Twitter threads.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	var qnames []string
+	for n := range a.Queries {
+		qnames = append(qnames, n)
+	}
+	sort.Strings(qnames)
+	for _, n := range qnames {
+		q := a.Queries[n]
+		fmt.Fprintf(&b, "query %-20s %s\n", n, q.Mono)
+		for _, r := range q.Reasons {
+			fmt.Fprintf(&b, "    %s\n", r)
+		}
+	}
+	var hnames []string
+	for n := range a.Handlers {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := a.Handlers[n]
+		fmt.Fprintf(&b, "on %-23s %s\n", n, h.Mono)
+		for _, r := range h.Reasons {
+			fmt.Fprintf(&b, "    %s\n", r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package hydrolysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydro/internal/datalog"
+)
+
+// Runtime-level CALM property (§1.2): a program using only monotone
+// handlers reaches the same final state regardless of message arrival
+// order and network delays. This is the executable counterpart of the
+// static classification in hlang.Analyze.
+
+const monotoneSrc = `
+table edge(a: int, b: int) key(a, b)
+table flagged(id: int, hot: bool) key(id)
+query reach(x, y) :- edge(x, y)
+query reach(x, z) :- reach(x, y), edge(y, z)
+on link(a: int, b: int) {
+    merge edge(a, b)
+}
+on flag(id: int) {
+    merge flagged[id].hot <- true
+}
+on probe(src: int) {
+    send reached(y) :- reach(src, y)
+}
+`
+
+type op struct {
+	handler string
+	args    datalog.Tuple
+}
+
+func randomOps(r *rand.Rand, n int) []op {
+	ops := make([]op, n)
+	for i := range ops {
+		switch r.Intn(3) {
+		case 0:
+			ops[i] = op{"link", datalog.Tuple{int64(r.Intn(6)), int64(r.Intn(6))}}
+		case 1:
+			ops[i] = op{"flag", datalog.Tuple{int64(r.Intn(6))}}
+		case 2:
+			ops[i] = op{"probe", datalog.Tuple{int64(r.Intn(6))}}
+		}
+	}
+	return ops
+}
+
+func runWithSchedule(t testing.TB, ops []op, perm []int, delaySeed int64) (string, int) {
+	c, err := Compile(monotoneSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := c.Instantiate("n", delaySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetDelay(func(r *rand.Rand) int { return 1 + r.Intn(4) }) // jittery delivery
+	for _, idx := range perm {
+		o := ops[idx]
+		rt.Inject(o.handler, o.args)
+		rt.Tick()
+	}
+	rt.RunUntilIdle(100)
+	state := fmt.Sprint(rt.Table("edge").Tuples(), rt.Table("flagged").Tuples())
+	// The reached mailbox accumulates query results; as a set it must also
+	// be order-independent *for the final probe coverage*, but intermediate
+	// probes legitimately see prefixes — so compare mutation state plus
+	// the final derived closure only.
+	final := rt.Table("edge").Clone()
+	return state, final.Len()
+}
+
+func TestCALMOrderIndependenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := randomOps(r, 15)
+		identity := make([]int, len(ops))
+		for i := range identity {
+			identity[i] = i
+		}
+		shuffled := append([]int{}, identity...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		s1, _ := runWithSchedule(t, ops, identity, 1)
+		s2, _ := runWithSchedule(t, ops, shuffled, 99)
+		return s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The contrast case: a non-monotone program (assignment) IS sensitive to
+// order, which is exactly why the analyzer flags it for coordination.
+func TestNonMonotoneOrderSensitivity(t *testing.T) {
+	src := `
+var last: int = 0
+on set(v: int) { last := v }
+`
+	run := func(vals []int64) any {
+		c, err := Compile(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, _ := c.Instantiate("n", 1)
+		for _, v := range vals {
+			rt.Inject("set", datalog.Tuple{v})
+			rt.Tick()
+		}
+		return rt.Var("last")
+	}
+	a := run([]int64{1, 2})
+	b := run([]int64{2, 1})
+	if a == b {
+		t.Fatal("overwrites should be order-sensitive; analyzer must keep flagging them")
+	}
+}

@@ -1,0 +1,497 @@
+package hydrolysis
+
+import (
+	"fmt"
+
+	"hydro/internal/datalog"
+	"hydro/internal/hlang"
+	"hydro/internal/transducer"
+)
+
+// Instantiate builds a runnable transducer for the compiled program: it
+// registers table schemas (with lattice merges for lattice-typed columns),
+// scalar variables, the query program, and one handler closure per `on`
+// declaration. The returned runtime is the "single node" of §3.1;
+// distributed deployments host several of these via the cluster package.
+func (c *Compiled) Instantiate(name string, seed int64) (*transducer.Runtime, error) {
+	rt := transducer.New(name, seed)
+	for _, t := range c.Program.Tables {
+		schema, err := tableSchema(t)
+		if err != nil {
+			return nil, err
+		}
+		rt.RegisterTable(schema)
+	}
+	for _, v := range c.Program.Vars {
+		var init any
+		if v.Init != nil {
+			val, err := constExpr(v.Init)
+			if err != nil {
+				return nil, fmt.Errorf("hydrolysis: var %s initializer: %w", v.Name, err)
+			}
+			init = val
+		} else {
+			init = zeroValue(v.Type)
+		}
+		rt.RegisterVar(v.Name, init)
+	}
+	rt.RegisterQueries(c.Queries)
+	for _, h := range c.Program.Handlers {
+		handler, err := c.compileHandler(h)
+		if err != nil {
+			return nil, err
+		}
+		rt.RegisterHandler(h.Name, handler)
+	}
+	return rt, nil
+}
+
+func zeroValue(t hlang.Type) any {
+	switch t.Kind {
+	case hlang.TInt, hlang.TMaxInt:
+		return int64(0)
+	case hlang.TFloat:
+		return float64(0)
+	case hlang.TString:
+		return ""
+	case hlang.TBool:
+		return false
+	case hlang.TSet:
+		return ""
+	}
+	return nil
+}
+
+func tableSchema(t *hlang.TableDecl) (transducer.TableSchema, error) {
+	s := transducer.TableSchema{
+		Name:         t.Name,
+		Arity:        t.Arity(),
+		LatticeMerge: map[int]func(a, b any) any{},
+	}
+	for _, k := range t.Key {
+		s.Key = append(s.Key, t.FieldIndex(k))
+	}
+	for i, f := range t.Fields {
+		switch f.Type.Kind {
+		case hlang.TBool:
+			s.LatticeMerge[i] = func(a, b any) any { return a.(bool) || b.(bool) }
+		case hlang.TMaxInt:
+			s.LatticeMerge[i] = func(a, b any) any {
+				x, y := toInt64(a), toInt64(b)
+				if x > y {
+					return x
+				}
+				return y
+			}
+		}
+	}
+	fields := t.Fields
+	s.Zero = func(key []any) datalog.Tuple {
+		row := make(datalog.Tuple, len(fields))
+		for i, f := range fields {
+			row[i] = zeroValue(f.Type)
+		}
+		for ki, idx := range s.Key {
+			row[idx] = key[ki]
+		}
+		return row
+	}
+	return s, nil
+}
+
+func toInt64(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case float64:
+		return int64(x)
+	}
+	return 0
+}
+
+// env is an expression-evaluation environment for one handler invocation.
+type env struct {
+	c      *Compiled
+	tx     *transducer.Tx
+	params map[string]any
+}
+
+func (c *Compiled) compileHandler(h *hlang.HandlerDecl) (transducer.Handler, error) {
+	prog := c.Program
+	// Pre-resolve statement metadata so per-message work is evaluation
+	// only.
+	type fieldMergeMeta struct {
+		stmt   *hlang.MergeFieldStmt
+		keyIdx []int
+		colIdx int
+	}
+	var preErr error
+	fieldMeta := map[*hlang.MergeFieldStmt]fieldMergeMeta{}
+	for _, s := range h.Body {
+		if fm, ok := s.(*hlang.MergeFieldStmt); ok {
+			t := prog.Table(fm.Table)
+			meta := fieldMergeMeta{stmt: fm, colIdx: t.FieldIndex(fm.Field)}
+			for _, k := range t.Key {
+				meta.keyIdx = append(meta.keyIdx, t.FieldIndex(k))
+			}
+			fieldMeta[fm] = meta
+		}
+	}
+	if preErr != nil {
+		return nil, preErr
+	}
+
+	return func(tx *transducer.Tx, msg transducer.Message) {
+		params := map[string]any{}
+		for i, p := range h.Params {
+			if i < len(msg.Payload) {
+				params[p.Name] = msg.Payload[i]
+			}
+		}
+		e := &env{c: c, tx: tx, params: params}
+		// require(...) invariants abort the whole invocation when false.
+		for _, r := range h.Requires {
+			v, err := e.eval(r)
+			if err != nil || v != true {
+				tx.Abort()
+				tx.Reply("ABORT")
+				return
+			}
+		}
+		for _, s := range h.Body {
+			if err := e.exec(s, fieldMetaLookup(fieldMeta, s)); err != nil {
+				tx.Abort()
+				tx.Reply("ERROR: " + err.Error())
+				return
+			}
+		}
+	}, nil
+}
+
+func fieldMetaLookup[M any](m map[*hlang.MergeFieldStmt]M, s hlang.Stmt) *M {
+	if fm, ok := s.(*hlang.MergeFieldStmt); ok {
+		if meta, ok := m[fm]; ok {
+			return &meta
+		}
+	}
+	return nil
+}
+
+func (e *env) exec(s hlang.Stmt, meta any) error {
+	switch st := s.(type) {
+	case *hlang.MergeTupleStmt:
+		row := make(datalog.Tuple, len(st.Args))
+		for i, a := range st.Args {
+			v, err := e.eval(a)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		e.tx.MergeTuple(st.Table, row)
+	case *hlang.MergeFieldStmt:
+		t := e.c.Program.Table(st.Table)
+		keyVal, err := e.eval(st.Key)
+		if err != nil {
+			return err
+		}
+		val, err := e.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		// Single-column keys use the key expression directly; composite
+		// keys are not addressable by a single [expr].
+		if len(t.Key) != 1 {
+			return fmt.Errorf("field merge on composite-key table %s", st.Table)
+		}
+		e.tx.MergeField(st.Table, []any{keyVal}, t.FieldIndex(st.Field), val)
+	case *hlang.AssignStmt:
+		v, err := e.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		e.tx.Assign(st.Var, v)
+	case *hlang.DeleteStmt:
+		t := e.c.Program.Table(st.Table)
+		// Delete by key: find matching rows in the snapshot and stage
+		// deletions.
+		keyVals := make([]any, len(st.Args))
+		for i, a := range st.Args {
+			v, err := e.eval(a)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		var keyIdx []int
+		for _, k := range t.Key {
+			keyIdx = append(keyIdx, t.FieldIndex(k))
+		}
+		for _, row := range e.tx.QueryWhere(st.Table, keyIdx, keyVals) {
+			e.tx.Delete(st.Table, row)
+		}
+	case *hlang.SendStmt:
+		return e.execSend(st)
+	case *hlang.ReplyStmt:
+		v, err := e.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		e.tx.Reply(v)
+	default:
+		return fmt.Errorf("hydrolysis: unknown statement %T", s)
+	}
+	return nil
+}
+
+// execSend handles both plain sends and rule-driven sends.
+func (e *env) execSend(st *hlang.SendStmt) error {
+	if len(st.Body) == 0 {
+		row := make(datalog.Tuple, len(st.Args))
+		for i, a := range st.Args {
+			v, err := e.queryArgValue(a)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		e.tx.Send(st.Mailbox, row)
+		return nil
+	}
+	// Rule-driven: build a one-off datalog rule with handler params bound
+	// as constants, then derive against the snapshot.
+	rule := datalog.Rule{Head: datalog.Atom{Pred: "__send"}}
+	bindArg := func(a hlang.QueryArg) (datalog.Term, error) {
+		if a.Var != "" {
+			if v, ok := e.params[a.Var]; ok {
+				return datalog.C(v), nil
+			}
+			return datalog.V(a.Var), nil
+		}
+		return argToTerm(a)
+	}
+	for _, a := range st.Args {
+		t, err := bindArg(a)
+		if err != nil {
+			return err
+		}
+		rule.Head.Args = append(rule.Head.Args, t)
+	}
+	for _, b := range st.Body {
+		lit := datalog.Literal{Atom: datalog.Atom{Pred: b.Pred}, Negated: b.Negated}
+		for _, a := range b.Args {
+			t, err := bindArg(a)
+			if err != nil {
+				return err
+			}
+			lit.Args = append(lit.Args, t)
+		}
+		rule.Body = append(rule.Body, lit)
+	}
+	for _, f := range st.Filters {
+		df, err := filterToDatalog(f)
+		if err != nil {
+			return err
+		}
+		// Bind param vars in filters too.
+		for _, term := range []*datalog.Term{&df.L, &df.R} {
+			if term.IsVar() {
+				if v, ok := e.params[term.Var]; ok {
+					*term = datalog.C(v)
+				}
+			}
+		}
+		rule.Filters = append(rule.Filters, df)
+	}
+	rows, err := e.tx.Derive(rule)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		e.tx.Send(st.Mailbox, row)
+	}
+	return nil
+}
+
+func (e *env) queryArgValue(a hlang.QueryArg) (any, error) {
+	if a.Var != "" {
+		if v, ok := e.params[a.Var]; ok {
+			return v, nil
+		}
+		return e.eval(&hlang.VarRef{Name: a.Var})
+	}
+	return constExpr(a.Const)
+}
+
+// eval evaluates a handler expression against the snapshot.
+func (e *env) eval(x hlang.Expr) (any, error) {
+	switch v := x.(type) {
+	case *hlang.IntLit:
+		return v.V, nil
+	case *hlang.FloatLit:
+		return v.V, nil
+	case *hlang.StringLit:
+		return v.V, nil
+	case *hlang.BoolLit:
+		return v.V, nil
+	case *hlang.VarRef:
+		if p, ok := e.params[v.Name]; ok {
+			return p, nil
+		}
+		if e.c.Program.Var(v.Name) != nil {
+			return e.tx.ReadVar(v.Name), nil
+		}
+		return nil, fmt.Errorf("unknown name %q", v.Name)
+	case *hlang.FieldRef:
+		t := e.c.Program.Table(v.Table)
+		if len(t.Key) != 1 {
+			return nil, fmt.Errorf("field read on composite-key table %s", v.Table)
+		}
+		key, err := e.eval(v.Key)
+		if err != nil {
+			return nil, err
+		}
+		rows := e.tx.QueryWhere(v.Table, []int{t.FieldIndex(t.Key[0])}, []any{key})
+		if len(rows) == 0 {
+			return zeroValue(t.Fields[t.FieldIndex(v.Field)].Type), nil
+		}
+		return rows[0][t.FieldIndex(v.Field)], nil
+	case *hlang.CallExpr:
+		fn := e.c.UDFs[v.Func]
+		args := make([]any, len(v.Args))
+		for i, a := range v.Args {
+			val, err := e.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = val
+		}
+		return fn(args), nil
+	case *hlang.BinExpr:
+		return e.evalBin(v)
+	}
+	return nil, fmt.Errorf("unsupported expression %T", x)
+}
+
+func (e *env) evalBin(b *hlang.BinExpr) (any, error) {
+	l, err := e.eval(b.L)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit boolean operators.
+	if b.Op == "&&" || b.Op == "||" {
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, fmt.Errorf("non-boolean operand for %s", b.Op)
+		}
+		if b.Op == "&&" && !lb {
+			return false, nil
+		}
+		if b.Op == "||" && lb {
+			return true, nil
+		}
+		r, err := e.eval(b.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("non-boolean operand for %s", b.Op)
+		}
+		return rb, nil
+	}
+	r, err := e.eval(b.R)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "+", "-", "*", "/":
+		return arith(b.Op, l, r)
+	case "==":
+		return l == r, nil
+	case "!=":
+		return l != r, nil
+	case "<", "<=", ">", ">=":
+		return compare(b.Op, l, r)
+	}
+	return nil, fmt.Errorf("unknown operator %q", b.Op)
+}
+
+func numeric(v any) (float64, bool, bool) { // value, isFloat, ok
+	switch x := v.(type) {
+	case int64:
+		return float64(x), false, true
+	case int:
+		return float64(x), false, true
+	case float64:
+		return x, true, true
+	}
+	return 0, false, false
+}
+
+func arith(op string, l, r any) (any, error) {
+	lf, lIsF, lok := numeric(l)
+	rf, rIsF, rok := numeric(r)
+	if !lok || !rok {
+		if op == "+" {
+			ls, lok := l.(string)
+			rs, rok := r.(string)
+			if lok && rok {
+				return ls + rs, nil
+			}
+		}
+		return nil, fmt.Errorf("non-numeric operands for %s: %T, %T", op, l, r)
+	}
+	var out float64
+	switch op {
+	case "+":
+		out = lf + rf
+	case "-":
+		out = lf - rf
+	case "*":
+		out = lf * rf
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		out = lf / rf
+	}
+	if lIsF || rIsF {
+		return out, nil
+	}
+	return int64(out), nil
+}
+
+func compare(op string, l, r any) (any, error) {
+	lf, _, lok := numeric(l)
+	rf, _, rok := numeric(r)
+	if lok && rok {
+		switch op {
+		case "<":
+			return lf < rf, nil
+		case "<=":
+			return lf <= rf, nil
+		case ">":
+			return lf > rf, nil
+		case ">=":
+			return lf >= rf, nil
+		}
+	}
+	ls, lok2 := l.(string)
+	rs, rok2 := r.(string)
+	if lok2 && rok2 {
+		switch op {
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		}
+	}
+	return nil, fmt.Errorf("incomparable operands for %s: %T, %T", op, l, r)
+}

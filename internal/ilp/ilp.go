@@ -1,0 +1,218 @@
+// Package ilp is a small integer-programming solver: bounded integer
+// variables, linear constraints, linear objective, solved by depth-first
+// branch-and-bound with feasibility propagation and objective pruning. It
+// is the engine behind the target facet's deployment mapping (§9.1), which
+// the paper formulates exactly as an integer program over machine counts.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparator.
+type Op int
+
+// Comparators.
+const (
+	LE Op = iota // Σ coef·x ≤ rhs
+	GE           // Σ coef·x ≥ rhs
+	EQ           // Σ coef·x = rhs
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+// Constraint is a linear constraint over the problem's variables.
+type Constraint struct {
+	Name  string
+	Coefs []float64
+	Op    Op
+	RHS   float64
+}
+
+// Problem is a minimization ILP over bounded integer variables.
+type Problem struct {
+	names       []string
+	lower       []int
+	upper       []int
+	objective   []float64
+	constraints []Constraint
+}
+
+// New returns an empty problem.
+func New() *Problem { return &Problem{} }
+
+// AddVar declares an integer variable in [lower, upper] with the given
+// objective coefficient (minimized). Returns the variable index.
+func (p *Problem) AddVar(name string, lower, upper int, objCoef float64) int {
+	p.names = append(p.names, name)
+	p.lower = append(p.lower, lower)
+	p.upper = append(p.upper, upper)
+	p.objective = append(p.objective, objCoef)
+	return len(p.names) - 1
+}
+
+// NumVars returns the number of declared variables.
+func (p *Problem) NumVars() int { return len(p.names) }
+
+// AddConstraint adds Σ coefs·x (op) rhs. Coefs must cover all declared
+// variables (pad with zeros).
+func (p *Problem) AddConstraint(name string, coefs []float64, op Op, rhs float64) {
+	c := Constraint{Name: name, Coefs: make([]float64, len(p.names)), Op: op, RHS: rhs}
+	copy(c.Coefs, coefs)
+	p.constraints = append(p.constraints, c)
+}
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+// Solution is an optimal assignment.
+type Solution struct {
+	Values    []int
+	Objective float64
+}
+
+// Value returns the assignment of the named variable.
+func (s Solution) Value(p *Problem, name string) int {
+	for i, n := range p.names {
+		if n == name {
+			return s.Values[i]
+		}
+	}
+	panic(fmt.Sprintf("ilp: unknown variable %q", name))
+}
+
+// Solve minimizes the objective by branch-and-bound. Search effort is
+// bounded by maxNodes (0 = default 5M); exceeding it returns an error so
+// callers can relax the model.
+func (p *Problem) Solve(maxNodes int) (Solution, error) {
+	if maxNodes <= 0 {
+		maxNodes = 5_000_000
+	}
+	n := len(p.names)
+	x := make([]int, n)
+	best := Solution{Objective: math.Inf(1)}
+	found := false
+	nodes := 0
+
+	// Precompute per-constraint extreme contributions of each variable,
+	// used for feasibility bounds.
+	var rec func(i int, objSoFar float64) error
+	rec = func(i int, objSoFar float64) error {
+		nodes++
+		if nodes > maxNodes {
+			return fmt.Errorf("ilp: node budget exceeded (%d)", maxNodes)
+		}
+		// Objective bound: optimistic completion of remaining vars.
+		bound := objSoFar
+		for j := i; j < n; j++ {
+			c := p.objective[j]
+			if c >= 0 {
+				bound += c * float64(p.lower[j])
+			} else {
+				bound += c * float64(p.upper[j])
+			}
+		}
+		if found && bound >= best.Objective {
+			return nil
+		}
+		// Feasibility bound per constraint.
+		for _, con := range p.constraints {
+			fixed := 0.0
+			for j := 0; j < i; j++ {
+				fixed += con.Coefs[j] * float64(x[j])
+			}
+			minRest, maxRest := 0.0, 0.0
+			for j := i; j < n; j++ {
+				lo := con.Coefs[j] * float64(p.lower[j])
+				hi := con.Coefs[j] * float64(p.upper[j])
+				minRest += math.Min(lo, hi)
+				maxRest += math.Max(lo, hi)
+			}
+			switch con.Op {
+			case LE:
+				if fixed+minRest > con.RHS+1e-9 {
+					return nil
+				}
+			case GE:
+				if fixed+maxRest < con.RHS-1e-9 {
+					return nil
+				}
+			case EQ:
+				if fixed+minRest > con.RHS+1e-9 || fixed+maxRest < con.RHS-1e-9 {
+					return nil
+				}
+			}
+		}
+		if i == n {
+			if !found || objSoFar < best.Objective {
+				best = Solution{Values: append([]int{}, x...), Objective: objSoFar}
+				found = true
+			}
+			return nil
+		}
+		// Branch: try values in objective-friendly order.
+		lo, hi := p.lower[i], p.upper[i]
+		if p.objective[i] >= 0 {
+			for v := lo; v <= hi; v++ {
+				x[i] = v
+				if err := rec(i+1, objSoFar+p.objective[i]*float64(v)); err != nil {
+					return err
+				}
+			}
+		} else {
+			for v := hi; v >= lo; v-- {
+				x[i] = v
+				if err := rec(i+1, objSoFar+p.objective[i]*float64(v)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return Solution{}, err
+	}
+	if !found {
+		return Solution{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// String renders the problem for diagnostics.
+func (p *Problem) String() string {
+	s := "min "
+	for i, c := range p.objective {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%.3g·%s", c, p.names[i])
+	}
+	s += "\n"
+	for _, con := range p.constraints {
+		s += "  " + con.Name + ": "
+		first := true
+		for i, c := range con.Coefs {
+			if c == 0 {
+				continue
+			}
+			if !first {
+				s += " + "
+			}
+			s += fmt.Sprintf("%.3g·%s", c, p.names[i])
+			first = false
+		}
+		s += fmt.Sprintf(" %s %.3g\n", con.Op, con.RHS)
+	}
+	return s
+}

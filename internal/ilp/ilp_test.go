@@ -1,0 +1,136 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleMinimization(t *testing.T) {
+	// min 2x + 3y  s.t.  x + y >= 5, x,y in [0,10]
+	p := New()
+	x := p.AddVar("x", 0, 10, 2)
+	y := p.AddVar("y", 0, 10, 3)
+	p.AddConstraint("cover", []float64{1, 1}, GE, 5)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Values[x] != 5 || sol.Values[y] != 0 || sol.Objective != 10 {
+		t.Fatalf("solution = %v obj=%v, want x=5 y=0 obj=10", sol.Values, sol.Objective)
+	}
+}
+
+func TestEqualityAndLE(t *testing.T) {
+	// min x + y  s.t.  x == 3, y <= 2, x + y >= 5
+	p := New()
+	p.AddVar("x", 0, 10, 1)
+	p.AddVar("y", 0, 10, 1)
+	p.AddConstraint("fix", []float64{1, 0}, EQ, 3)
+	p.AddConstraint("cap", []float64{0, 1}, LE, 2)
+	p.AddConstraint("cover", []float64{1, 1}, GE, 5)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value(p, "x") != 3 || sol.Value(p, "y") != 2 {
+		t.Fatalf("solution = %v", sol.Values)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New()
+	p.AddVar("x", 0, 3, 1)
+	p.AddConstraint("impossible", []float64{1}, GE, 10)
+	if _, err := p.Solve(0); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestNegativeObjectiveCoefficients(t *testing.T) {
+	// min -x (i.e. maximize x) s.t. x <= 7.
+	p := New()
+	p.AddVar("x", 0, 100, -1)
+	p.AddConstraint("cap", []float64{1}, LE, 7)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value(p, "x") != 7 {
+		t.Fatalf("x = %d, want 7", sol.Value(p, "x"))
+	}
+}
+
+func TestKnapsackStyle(t *testing.T) {
+	// Three item types with value/weight; maximize value under capacity.
+	// min -(60a + 100b + 120c) s.t. 10a + 20b + 30c <= 50, binary vars.
+	p := New()
+	p.AddVar("a", 0, 1, -60)
+	p.AddVar("b", 0, 1, -100)
+	p.AddVar("c", 0, 1, -120)
+	p.AddConstraint("capacity", []float64{10, 20, 30}, LE, 50)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != -220 { // b + c
+		t.Fatalf("objective = %v, want -220", sol.Objective)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	p := New()
+	for i := 0; i < 8; i++ {
+		p.AddVar("v", 0, 9, 0) // flat objective: no pruning help
+	}
+	p.AddConstraint("sum", []float64{1, 1, 1, 1, 1, 1, 1, 1}, EQ, 36)
+	if _, err := p.Solve(10); err == nil {
+		t.Fatal("node budget not enforced")
+	}
+}
+
+// Property: branch-and-bound matches brute force on random small problems.
+func TestMatchesBruteForceQuick(t *testing.T) {
+	f := func(c1, c2, a1, a2, b uint8) bool {
+		o1, o2 := float64(c1%5)+1, float64(c2%5)+1
+		w1, w2 := float64(a1%4)+1, float64(a2%4)+1
+		rhs := float64(b%20) + 1
+		p := New()
+		p.AddVar("x", 0, 8, o1)
+		p.AddVar("y", 0, 8, o2)
+		p.AddConstraint("ge", []float64{w1, w2}, GE, rhs)
+		sol, err := p.Solve(0)
+
+		bestObj := math.Inf(1)
+		feasible := false
+		for x := 0; x <= 8; x++ {
+			for y := 0; y <= 8; y++ {
+				if w1*float64(x)+w2*float64(y) >= rhs {
+					feasible = true
+					obj := o1*float64(x) + o2*float64(y)
+					if obj < bestObj {
+						bestObj = obj
+					}
+				}
+			}
+		}
+		if !feasible {
+			return errors.Is(err, ErrInfeasible)
+		}
+		return err == nil && math.Abs(sol.Objective-bestObj) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	p := New()
+	p.AddVar("x", 0, 5, 2)
+	p.AddConstraint("c", []float64{1}, GE, 3)
+	s := p.String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,233 @@
+// Package kvs is an Anna-style key-value store (§1.2, §2.3): lattice-valued
+// state partitioned across shard goroutines, each of which owns its data
+// exclusively — no locks, no atomics, exactly the "all state is thread
+// local" discipline the paper attributes to Anna and Hydroflow. Replication
+// across shards is coordination-free: replicas exchange lattice state via
+// anti-entropy merges and converge because merges are ACI.
+//
+// A mutex-protected map (LockedStore) provides the conventional baseline
+// for experiment E9's thread-scaling comparison.
+package kvs
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"hydro/internal/lattice"
+)
+
+// Value is the stored lattice: a last-writer-wins register. Clients supply
+// stamps (e.g. a local clock); concurrent writes resolve deterministically.
+type Value = lattice.LWW[string]
+
+// NewValue builds a register value.
+func NewValue(stamp uint64, writer, val string) Value {
+	return lattice.NewLWW(stamp, writer, val, func(a, b string) bool { return a == b })
+}
+
+type reqKind int
+
+const (
+	reqPut reqKind = iota
+	reqGet
+	reqMergeBulk
+	reqSnapshot
+)
+
+type request struct {
+	kind reqKind
+	key  string
+	val  Value
+	bulk map[string]Value
+	resp chan response
+}
+
+type response struct {
+	val  Value
+	ok   bool
+	snap map[string]Value
+}
+
+type shard struct {
+	id   int
+	data map[string]Value
+	req  chan request
+}
+
+func (sh *shard) run() {
+	for r := range sh.req {
+		switch r.kind {
+		case reqPut:
+			if cur, ok := sh.data[r.key]; ok {
+				sh.data[r.key] = cur.Merge(r.val)
+			} else {
+				sh.data[r.key] = r.val
+			}
+			if r.resp != nil {
+				r.resp <- response{ok: true}
+			}
+		case reqGet:
+			v, ok := sh.data[r.key]
+			r.resp <- response{val: v, ok: ok}
+		case reqMergeBulk:
+			for k, v := range r.bulk {
+				if cur, ok := sh.data[k]; ok {
+					sh.data[k] = cur.Merge(v)
+				} else {
+					sh.data[k] = v
+				}
+			}
+			if r.resp != nil {
+				r.resp <- response{ok: true}
+			}
+		case reqSnapshot:
+			snap := make(map[string]Value, len(sh.data))
+			for k, v := range sh.data {
+				snap[k] = v
+			}
+			r.resp <- response{snap: snap, ok: true}
+		}
+	}
+}
+
+// Store is the sharded, optionally replicated KVS.
+type Store struct {
+	shards      []*shard
+	replication int
+	closed      sync.Once
+}
+
+// NewStore starts nShards shard goroutines with the given replication
+// factor (each key lives on `replication` consecutive shards).
+func NewStore(nShards, replication int) *Store {
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > nShards {
+		replication = nShards
+	}
+	s := &Store{replication: replication}
+	for i := 0; i < nShards; i++ {
+		sh := &shard{id: i, data: map[string]Value{}, req: make(chan request, 128)}
+		s.shards = append(s.shards, sh)
+		go sh.run()
+	}
+	return s
+}
+
+// Close stops the shard goroutines.
+func (s *Store) Close() {
+	s.closed.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.req)
+		}
+	})
+}
+
+func (s *Store) home(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % len(s.shards)
+}
+
+// replicasOf returns the shard indexes holding key.
+func (s *Store) replicasOf(key string) []int {
+	out := make([]int, s.replication)
+	home := s.home(key)
+	for i := 0; i < s.replication; i++ {
+		out[i] = (home + i) % len(s.shards)
+	}
+	return out
+}
+
+// Put merges a value into the key's primary replica synchronously and into
+// the other replicas asynchronously — writes are coordination-free; the
+// lattice makes the fan-out safe under any interleaving.
+func (s *Store) Put(key string, v Value) {
+	reps := s.replicasOf(key)
+	resp := make(chan response, 1)
+	s.shards[reps[0]].req <- request{kind: reqPut, key: key, val: v, resp: resp}
+	<-resp
+	for _, r := range reps[1:] {
+		s.shards[r].req <- request{kind: reqPut, key: key, val: v}
+	}
+}
+
+// Get reads from the key's primary replica.
+func (s *Store) Get(key string) (Value, bool) {
+	return s.getFrom(s.replicasOf(key)[0], key)
+}
+
+// GetReplica reads from the i-th replica of key (possibly stale — the
+// eventual-consistency observation point).
+func (s *Store) GetReplica(key string, i int) (Value, bool) {
+	reps := s.replicasOf(key)
+	return s.getFrom(reps[i%len(reps)], key)
+}
+
+func (s *Store) getFrom(shardIdx int, key string) (Value, bool) {
+	resp := make(chan response, 1)
+	s.shards[shardIdx].req <- request{kind: reqGet, key: key, resp: resp}
+	r := <-resp
+	return r.val, r.ok
+}
+
+// GossipRound performs one anti-entropy pass: every shard ships a snapshot
+// of its keys to the other replicas of those keys. After a round with no
+// concurrent writes, all replicas of every key are equal.
+func (s *Store) GossipRound() {
+	for i, sh := range s.shards {
+		resp := make(chan response, 1)
+		sh.req <- request{kind: reqSnapshot, resp: resp}
+		snap := (<-resp).snap
+		// Partition the snapshot by destination replica shard.
+		byDest := map[int]map[string]Value{}
+		for k, v := range snap {
+			for _, r := range s.replicasOf(k) {
+				if r == i {
+					continue
+				}
+				if byDest[r] == nil {
+					byDest[r] = map[string]Value{}
+				}
+				byDest[r][k] = v
+			}
+		}
+		for dest, bulk := range byDest {
+			ack := make(chan response, 1)
+			s.shards[dest].req <- request{kind: reqMergeBulk, bulk: bulk, resp: ack}
+			<-ack
+		}
+	}
+}
+
+// LockedStore is the conventional baseline: one map, one mutex. Same
+// interface shape as Store for the scaling benchmark.
+type LockedStore struct {
+	mu   sync.Mutex
+	data map[string]Value
+}
+
+// NewLockedStore returns an empty locked store.
+func NewLockedStore() *LockedStore {
+	return &LockedStore{data: map[string]Value{}}
+}
+
+// Put merges under the global lock.
+func (s *LockedStore) Put(key string, v Value) {
+	s.mu.Lock()
+	if cur, ok := s.data[key]; ok {
+		s.data[key] = cur.Merge(v)
+	} else {
+		s.data[key] = v
+	}
+	s.mu.Unlock()
+}
+
+// Get reads under the global lock.
+func (s *LockedStore) Get(key string) (Value, bool) {
+	s.mu.Lock()
+	v, ok := s.data[key]
+	s.mu.Unlock()
+	return v, ok
+}

@@ -1,0 +1,157 @@
+package lattice
+
+// Pair is the product lattice: two lattices merged componentwise. Products
+// of lattices are lattices, which is how Bloom-L builds compound monotone
+// state (e.g. a (vector clock, value) pair).
+type Pair[A Value[A], B Value[B]] struct {
+	First  A
+	Second B
+}
+
+// NewPair returns the product element (a, b).
+func NewPair[A Value[A], B Value[B]](a A, b B) Pair[A, B] {
+	return Pair[A, B]{First: a, Second: b}
+}
+
+// Merge merges componentwise.
+func (p Pair[A, B]) Merge(o Pair[A, B]) Pair[A, B] {
+	return Pair[A, B]{First: p.First.Merge(o.First), Second: p.Second.Merge(o.Second)}
+}
+
+// LessEq is the product order.
+func (p Pair[A, B]) LessEq(o Pair[A, B]) bool {
+	return p.First.LessEq(o.First) && p.Second.LessEq(o.Second)
+}
+
+// Equal reports componentwise equality.
+func (p Pair[A, B]) Equal(o Pair[A, B]) bool {
+	return p.First.Equal(o.First) && p.Second.Equal(o.Second)
+}
+
+// DomPair is the *dominating pair* lattice: the first component is a clock
+// that dominates the second. On merge, if one clock strictly dominates, its
+// payload wins wholesale; if the clocks are concurrent, both components
+// merge. This is the building block of causal registers (Hydrocache-style
+// lattice encapsulation, §7.2).
+//
+// Precondition: DomPair satisfies the lattice laws only when the payload is
+// a monotone function of the clock — larger clocks carry larger payloads.
+// Causal registers maintain this invariant by construction: every write
+// advances the writer's clock component and the payload summarizes all
+// writes the clock has observed.
+type DomPair[A Value[A], B Value[B]] struct {
+	Clock A
+	Val   B
+}
+
+// NewDomPair returns the dominating pair (clock, val).
+func NewDomPair[A Value[A], B Value[B]](clock A, val B) DomPair[A, B] {
+	return DomPair[A, B]{Clock: clock, Val: val}
+}
+
+// Merge implements dominance: strictly larger clocks replace the payload;
+// concurrent clocks merge both components.
+func (d DomPair[A, B]) Merge(o DomPair[A, B]) DomPair[A, B] {
+	dLE, oLE := d.Clock.LessEq(o.Clock), o.Clock.LessEq(d.Clock)
+	switch {
+	case dLE && !oLE: // o strictly dominates
+		return o
+	case oLE && !dLE: // d strictly dominates
+		return d
+	case dLE && oLE: // equal clocks: merge payloads
+		return DomPair[A, B]{Clock: d.Clock, Val: d.Val.Merge(o.Val)}
+	default: // concurrent: merge everything
+		return DomPair[A, B]{Clock: d.Clock.Merge(o.Clock), Val: d.Val.Merge(o.Val)}
+	}
+}
+
+// LessEq holds when the merge with o equals o.
+func (d DomPair[A, B]) LessEq(o DomPair[A, B]) bool { return d.Merge(o).Equal(o) }
+
+// Equal reports componentwise equality.
+func (d DomPair[A, B]) Equal(o DomPair[A, B]) bool {
+	return d.Clock.Equal(o.Clock) && d.Val.Equal(o.Val)
+}
+
+// VClock is a vector clock: a map from replica ID to a Max counter. It is a
+// keyed lattice specialized for causality tracking.
+type VClock struct {
+	inner Map[string, Max[uint64]]
+}
+
+// NewVClock returns the empty (bottom) vector clock.
+func NewVClock() VClock { return VClock{inner: NewMap[string, Max[uint64]]()} }
+
+// Tick returns a clock with replica's component advanced to at least n.
+func (v VClock) Tick(replica string, n uint64) VClock {
+	return VClock{inner: v.inner.Put(replica, NewMax(n))}
+}
+
+// Advance returns a clock with replica's component incremented by one.
+func (v VClock) Advance(replica string) VClock {
+	cur, _ := v.inner.Get(replica)
+	return v.Tick(replica, cur.V+1)
+}
+
+// At returns replica's component (zero if absent).
+func (v VClock) At(replica string) uint64 {
+	c, _ := v.inner.Get(replica)
+	return c.V
+}
+
+// Merge takes the pointwise maximum.
+func (v VClock) Merge(o VClock) VClock { return VClock{inner: v.inner.Merge(o.inner)} }
+
+// LessEq reports causal precedence (≤ in every component).
+func (v VClock) LessEq(o VClock) bool { return v.inner.LessEq(o.inner) }
+
+// Equal reports componentwise equality.
+func (v VClock) Equal(o VClock) bool { return v.inner.Equal(o.inner) }
+
+// Concurrent reports that neither clock precedes the other.
+func (v VClock) Concurrent(o VClock) bool { return !v.LessEq(o) && !o.LessEq(v) }
+
+// LWW is the last-writer-wins register lattice, ordered by (timestamp, tie)
+// with a deterministic tiebreak so that merge stays commutative even for
+// concurrent writes at the same timestamp.
+type LWW[E any] struct {
+	Stamp uint64
+	Tie   string // writer ID used to break timestamp ties deterministically
+	Val   E
+	eq    func(a, b E) bool
+}
+
+// NewLWW returns an LWW register. eq compares payloads for Equal; it may be
+// nil for payload types where staleness alone defines equality.
+func NewLWW[E any](stamp uint64, tie string, val E, eq func(a, b E) bool) LWW[E] {
+	return LWW[E]{Stamp: stamp, Tie: tie, Val: val, eq: eq}
+}
+
+func (l LWW[E]) dominates(o LWW[E]) bool {
+	if l.Stamp != o.Stamp {
+		return l.Stamp > o.Stamp
+	}
+	return l.Tie >= o.Tie
+}
+
+// Merge keeps the write with the larger (stamp, tie) pair.
+func (l LWW[E]) Merge(o LWW[E]) LWW[E] {
+	if l.dominates(o) {
+		return l
+	}
+	return o
+}
+
+// LessEq reports that o's write dominates or equals l's.
+func (l LWW[E]) LessEq(o LWW[E]) bool { return o.dominates(l) }
+
+// Equal reports equal stamp and tiebreak (and payload when eq is provided).
+func (l LWW[E]) Equal(o LWW[E]) bool {
+	if l.Stamp != o.Stamp || l.Tie != o.Tie {
+		return false
+	}
+	if l.eq != nil {
+		return l.eq(l.Val, o.Val)
+	}
+	return true
+}

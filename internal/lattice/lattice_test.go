@@ -1,0 +1,326 @@
+package lattice
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMerge(t *testing.T) {
+	a, b := NewMax(3), NewMax(7)
+	if got := a.Merge(b); got.V != 7 {
+		t.Fatalf("Merge(3,7) = %d, want 7", got.V)
+	}
+	if !a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("order of Max(3), Max(7) wrong")
+	}
+}
+
+func TestMinMerge(t *testing.T) {
+	a, b := NewMin(3), NewMin(7)
+	if got := a.Merge(b); got.V != 3 {
+		t.Fatalf("Merge(3,7) = %d, want 3", got.V)
+	}
+	if !b.LessEq(a) || a.LessEq(b) {
+		t.Fatal("order of Min lattice wrong: larger values are earlier")
+	}
+}
+
+func TestBoolLattice(t *testing.T) {
+	if got := False.Merge(True); !got.V {
+		t.Fatal("false ⊔ true should be true")
+	}
+	if !False.LessEq(True) || True.LessEq(False) {
+		t.Fatal("Bool order wrong")
+	}
+	if v := (BoolAnd{V: true}).Merge(BoolAnd{V: false}); v.V {
+		t.Fatal("BoolAnd true ⊔ false should be false")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Set[int]
+		want Ordering
+	}{
+		{NewSet(1), NewSet(1, 2), Less},
+		{NewSet(1, 2), NewSet(1), Greater},
+		{NewSet(1, 2), NewSet(1, 2), Equal},
+		{NewSet(1), NewSet(2), Incomparable},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(1, 2, 3)
+	if s.Len() != 3 || !s.Contains(2) || s.Contains(9) {
+		t.Fatal("basic set ops broken")
+	}
+	s2 := s.Add(4)
+	if s.Contains(4) {
+		t.Fatal("Add mutated the receiver; sets must be immutable")
+	}
+	if !s2.Contains(4) || s2.Len() != 4 {
+		t.Fatal("Add did not include the new element")
+	}
+	if s.Add(2).Len() != 3 {
+		t.Fatal("adding an existing element changed cardinality")
+	}
+	if s.String() != "{1, 2, 3}" {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestMapLattice(t *testing.T) {
+	m := NewMap[string, Max[int]]().Put("a", NewMax(1)).Put("b", NewMax(5))
+	m2 := NewMap[string, Max[int]]().Put("a", NewMax(3))
+	got := m.Merge(m2)
+	if v, _ := got.Get("a"); v.V != 3 {
+		t.Fatalf("pointwise merge at a = %d, want 3", v.V)
+	}
+	if v, _ := got.Get("b"); v.V != 5 {
+		t.Fatalf("pointwise merge at b = %d, want 5", v.V)
+	}
+	if !m2.LessEq(got) || !m.LessEq(got) {
+		t.Fatal("merge must dominate both inputs")
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", got.Len())
+	}
+}
+
+func TestVClock(t *testing.T) {
+	a := NewVClock().Advance("r1").Advance("r1") // r1:2
+	b := NewVClock().Advance("r2")               // r2:1
+	if !a.Concurrent(b) {
+		t.Fatal("disjoint clocks must be concurrent")
+	}
+	m := a.Merge(b)
+	if m.At("r1") != 2 || m.At("r2") != 1 {
+		t.Fatalf("merged clock = r1:%d r2:%d", m.At("r1"), m.At("r2"))
+	}
+	if !a.LessEq(m) || !b.LessEq(m) || m.LessEq(a) {
+		t.Fatal("merge ordering wrong")
+	}
+}
+
+func TestLWW(t *testing.T) {
+	w1 := NewLWW(10, "a", "x", func(a, b string) bool { return a == b })
+	w2 := NewLWW(20, "b", "y", func(a, b string) bool { return a == b })
+	if got := w1.Merge(w2); got.Val != "y" {
+		t.Fatalf("later write should win, got %q", got.Val)
+	}
+	// Timestamp tie: deterministic by writer ID regardless of merge order.
+	t1 := NewLWW(5, "a", "p", nil)
+	t2 := NewLWW(5, "b", "q", nil)
+	if t1.Merge(t2).Val != t2.Merge(t1).Val {
+		t.Fatal("tie-broken merge is not commutative")
+	}
+	if t1.Merge(t2).Val != "q" {
+		t.Fatal("tiebreak should pick larger writer ID")
+	}
+}
+
+func TestDomPair(t *testing.T) {
+	c1 := NewVClock().Advance("r1")
+	c2 := c1.Advance("r1") // strictly after c1
+	older := NewDomPair(c1, NewSet("old"))
+	newer := NewDomPair(c2, NewSet("new"))
+	got := older.Merge(newer)
+	if !got.Val.Equal(NewSet("new")) {
+		t.Fatalf("dominating clock must replace payload, got %v", got.Val)
+	}
+	// Concurrent clocks: payloads merge.
+	cc := NewVClock().Advance("r2")
+	conc := NewDomPair(cc, NewSet("side"))
+	both := newer.Merge(conc)
+	if !both.Val.Contains("new") || !both.Val.Contains("side") {
+		t.Fatalf("concurrent merge should union payloads, got %v", both.Val)
+	}
+}
+
+func TestJoinFold(t *testing.T) {
+	got := Join(NewSet[int](), NewSet(1), NewSet(2), NewSet(3))
+	if got.Len() != 3 {
+		t.Fatalf("Join of three singletons has %d elems", got.Len())
+	}
+}
+
+// --- Property-based law checks (testing/quick) ---
+
+func randomSets(r *rand.Rand, n int) []Set[int] {
+	out := make([]Set[int], n)
+	for i := range out {
+		s := NewSet[int]()
+		for j := 0; j < r.Intn(6); j++ {
+			s = s.Add(r.Intn(8))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestSetLawsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		return CheckLaws(randomSets(r, 5)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLawsQuick(t *testing.T) {
+	f := func(a, b, c int) bool {
+		return CheckLaws([]Max[int]{NewMax(a), NewMax(b), NewMax(c)}) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinLawsQuick(t *testing.T) {
+	f := func(a, b, c int) bool {
+		return CheckLaws([]Min[int]{NewMin(a), NewMin(b), NewMin(c)}) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVClockLawsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		replicas := []string{"r1", "r2", "r3"}
+		mk := func() VClock {
+			v := NewVClock()
+			for i := 0; i < r.Intn(5); i++ {
+				v = v.Advance(replicas[r.Intn(len(replicas))])
+			}
+			return v
+		}
+		return CheckLaws([]VClock{mk(), mk(), mk()}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLWWLawsQuick(t *testing.T) {
+	f := func(s1, s2, s3 uint64, t1, t2, t3 uint8) bool {
+		ties := []string{"a", "b", "c", "d"}
+		// The payload must be a function of (stamp, tie) for LWW to be a
+		// lattice — same writer at the same instant writes the same value.
+		mk := func(s uint64, ti uint8) LWW[int] {
+			stamp, tie := s%8, int(ti)%len(ties)
+			return NewLWW(stamp, ties[tie], int(stamp)*10+tie, func(a, b int) bool { return a == b })
+		}
+		return CheckLaws([]LWW[int]{mk(s1, t1), mk(s2, t2), mk(s3, t3)}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomPairLawsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		replicas := []string{"r1", "r2"}
+		// DomPair is a lattice only when the payload is a monotone
+		// function of the clock (the causal-register invariant), so
+		// derive the payload as the set of dots the clock dominates.
+		mk := func() DomPair[VClock, Set[string]] {
+			v := NewVClock()
+			for i := 0; i < r.Intn(4); i++ {
+				v = v.Advance(replicas[r.Intn(2)])
+			}
+			s := NewSet[string]()
+			for _, rep := range replicas {
+				for i := uint64(1); i <= v.At(rep); i++ {
+					s = s.Add(fmt.Sprintf("%s:%d", rep, i))
+				}
+			}
+			return NewDomPair(v, s)
+		}
+		return CheckLaws([]DomPair[VClock, Set[string]]{mk(), mk(), mk()}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairLawsQuick(t *testing.T) {
+	f := func(a1, a2, a3 int, b1, b2, b3 bool) bool {
+		mk := func(a int, b bool) Pair[Max[int], Bool] {
+			return NewPair(NewMax(a), Bool{V: b})
+		}
+		return CheckLaws([]Pair[Max[int], Bool]{mk(a1, b1), mk(a2, b2), mk(a3, b3)}) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckLawsCatchesViolation(t *testing.T) {
+	// A deliberately broken "lattice": subtraction is not idempotent.
+	if err := CheckLaws([]bogus{{1}, {2}}); err == nil {
+		t.Fatal("CheckLaws accepted a non-lattice")
+	}
+}
+
+type bogus struct{ v int }
+
+func (b bogus) Merge(o bogus) bogus { return bogus{b.v + o.v} } // not idempotent
+func (b bogus) LessEq(o bogus) bool { return b.v <= o.v }
+func (b bogus) Equal(o bogus) bool  { return b.v == o.v }
+
+func TestMorphismsMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	samples := randomSets(r, 12)
+	if !CheckMonotone(Count[int](), samples) {
+		t.Fatal("Count must be monotone")
+	}
+	if !CheckMonotone(Exists[int](), samples) {
+		t.Fatal("Exists must be monotone")
+	}
+	if !CheckMonotone(MapSet("double", func(x int) int { return 2 * x }), samples) {
+		t.Fatal("MapSet must be monotone")
+	}
+	if !CheckMonotone(FilterSet("even", func(x int) bool { return x%2 == 0 }), samples) {
+		t.Fatal("FilterSet must be monotone")
+	}
+	maxes := []Max[int]{NewMax(0), NewMax(3), NewMax(9)}
+	if !CheckMonotone(Threshold(4), maxes) {
+		t.Fatal("Threshold must be monotone")
+	}
+}
+
+func TestCheckMonotoneCatchesNonMonotone(t *testing.T) {
+	// "is empty" is antitone, not monotone.
+	isEmpty := Morphism[Set[int], Bool]{
+		Name: "isEmpty", IsMonotone: false,
+		F: func(s Set[int]) Bool { return Bool{V: s.Len() == 0} },
+	}
+	samples := []Set[int]{NewSet[int](), NewSet(1)}
+	if CheckMonotone(isEmpty, samples) {
+		t.Fatal("CheckMonotone accepted an antitone function")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	countThenGate := Compose(Count[int](), Threshold(2))
+	if !countThenGate.IsMonotone {
+		t.Fatal("composition of monotone morphisms must be monotone")
+	}
+	if countThenGate.Apply(NewSet(1, 2, 3)).V != true {
+		t.Fatal("count{1,2,3} ≥ 2 should gate open")
+	}
+	if countThenGate.Apply(NewSet(1)).V != false {
+		t.Fatal("count{1} ≥ 2 should stay closed")
+	}
+}

@@ -1,0 +1,108 @@
+package lattice
+
+// This file provides monotone functions between lattices ("morphisms").
+// §8 of the paper wants lattice values to pipeline through flows the same
+// way collections do — e.g. a COUNT over a growing set yields a growing Max
+// counter. A monotone map guarantees that pushing deltas through the
+// function never retracts earlier outputs, which is what makes
+// coordination-free streaming of lattice state sound.
+
+// Morphism is a function from lattice S to lattice T together with a
+// declared monotonicity. IsMonotone=true asserts x ≤ y ⇒ F(x) ≤ F(y);
+// CheckMonotone spot-checks the assertion on samples.
+type Morphism[S Value[S], T Value[T]] struct {
+	Name       string
+	F          func(S) T
+	IsMonotone bool
+}
+
+// Apply evaluates the morphism.
+func (m Morphism[S, T]) Apply(s S) T { return m.F(s) }
+
+// CheckMonotone verifies x ≤ y ⇒ F(x) ≤ F(y) over all ordered sample pairs.
+// It returns false on the first counterexample.
+func CheckMonotone[S Value[S], T Value[T]](m Morphism[S, T], samples []S) bool {
+	for _, x := range samples {
+		for _, y := range samples {
+			if x.LessEq(y) && !m.F(x).LessEq(m.F(y)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Count is the monotone morphism from a set to its cardinality as a Max
+// lattice — the paper's canonical example of lattice pipelining (§8.1).
+func Count[E comparable]() Morphism[Set[E], Max[int]] {
+	return Morphism[Set[E], Max[int]]{
+		Name:       "count",
+		IsMonotone: true,
+		F:          func(s Set[E]) Max[int] { return NewMax(s.Len()) },
+	}
+}
+
+// Exists is the monotone morphism from a set to "is non-empty" in the
+// or-lattice.
+func Exists[E comparable]() Morphism[Set[E], Bool] {
+	return Morphism[Set[E], Bool]{
+		Name:       "exists",
+		IsMonotone: true,
+		F:          func(s Set[E]) Bool { return Bool{V: s.Len() > 0} },
+	}
+}
+
+// Threshold converts a Max counter into a boolean gate at limit: the output
+// flips to true once the counter passes the threshold and never unflips.
+// Threshold gates are how monotone programs make decisions without
+// coordination (e.g. "all acount agents have responded" in the MPI gather).
+func Threshold(limit int) Morphism[Max[int], Bool] {
+	return Morphism[Max[int], Bool]{
+		Name:       "threshold",
+		IsMonotone: true,
+		F:          func(m Max[int]) Bool { return Bool{V: m.V >= limit} },
+	}
+}
+
+// MapSet lifts an element function over a set: the image of a grow-only set
+// is grow-only, so MapSet is monotone for any f.
+func MapSet[A, B comparable](name string, f func(A) B) Morphism[Set[A], Set[B]] {
+	return Morphism[Set[A], Set[B]]{
+		Name:       name,
+		IsMonotone: true,
+		F: func(s Set[A]) Set[B] {
+			out := NewSet[B]()
+			for _, a := range s.Elems() {
+				out = out.Add(f(a))
+			}
+			return out
+		},
+	}
+}
+
+// FilterSet restricts a set by a predicate; selection over a grow-only set
+// is monotone.
+func FilterSet[A comparable](name string, pred func(A) bool) Morphism[Set[A], Set[A]] {
+	return Morphism[Set[A], Set[A]]{
+		Name:       name,
+		IsMonotone: true,
+		F: func(s Set[A]) Set[A] {
+			out := NewSet[A]()
+			for _, a := range s.Elems() {
+				if pred(a) {
+					out = out.Add(a)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Compose chains two morphisms; the composition is monotone iff both are.
+func Compose[S Value[S], T Value[T], U Value[U]](f Morphism[S, T], g Morphism[T, U]) Morphism[S, U] {
+	return Morphism[S, U]{
+		Name:       f.Name + "∘" + g.Name,
+		IsMonotone: f.IsMonotone && g.IsMonotone,
+		F:          func(s S) U { return g.F(f.F(s)) },
+	}
+}

@@ -1,0 +1,68 @@
+package lattice
+
+import "cmp"
+
+// Max is the lattice of ordered values under maximum. The zero value is the
+// bottom of the lattice for unsigned types; use NewMax to set an initial
+// element explicitly.
+type Max[E cmp.Ordered] struct{ V E }
+
+// NewMax returns a Max lattice element holding v.
+func NewMax[E cmp.Ordered](v E) Max[E] { return Max[E]{V: v} }
+
+// Merge returns the greater of the two values.
+func (m Max[E]) Merge(o Max[E]) Max[E] { return Max[E]{V: max(m.V, o.V)} }
+
+// LessEq reports m.V <= o.V.
+func (m Max[E]) LessEq(o Max[E]) bool { return m.V <= o.V }
+
+// Equal reports value equality.
+func (m Max[E]) Equal(o Max[E]) bool { return m.V == o.V }
+
+// Min is the lattice of ordered values under minimum (the dual of Max).
+type Min[E cmp.Ordered] struct{ V E }
+
+// NewMin returns a Min lattice element holding v.
+func NewMin[E cmp.Ordered](v E) Min[E] { return Min[E]{V: v} }
+
+// Merge returns the smaller of the two values.
+func (m Min[E]) Merge(o Min[E]) Min[E] { return Min[E]{V: min(m.V, o.V)} }
+
+// LessEq reports m.V >= o.V: smaller values are *later* in the Min lattice.
+func (m Min[E]) LessEq(o Min[E]) bool { return m.V >= o.V }
+
+// Equal reports value equality.
+func (m Min[E]) Equal(o Min[E]) bool { return m.V == o.V }
+
+// Bool is the boolean or-lattice: false ⊑ true. It models one-way "flag"
+// state such as Person.covid in the running example — once true, always
+// true, hence monotonic.
+type Bool struct{ V bool }
+
+// True and False are the two elements of the Bool lattice.
+var (
+	True  = Bool{V: true}
+	False = Bool{V: false}
+)
+
+// Merge returns logical or.
+func (b Bool) Merge(o Bool) Bool { return Bool{V: b.V || o.V} }
+
+// LessEq reports b implies o (false ⊑ true).
+func (b Bool) LessEq(o Bool) bool { return !b.V || o.V }
+
+// Equal reports value equality.
+func (b Bool) Equal(o Bool) bool { return b.V == o.V }
+
+// BoolAnd is the boolean and-lattice: true ⊑ false. Useful for "all replicas
+// agree" conjunctions.
+type BoolAnd struct{ V bool }
+
+// Merge returns logical and.
+func (b BoolAnd) Merge(o BoolAnd) BoolAnd { return BoolAnd{V: b.V && o.V} }
+
+// LessEq reports o implies b (true ⊑ false).
+func (b BoolAnd) LessEq(o BoolAnd) bool { return b.V || !o.V }
+
+// Equal reports value equality.
+func (b BoolAnd) Equal(o BoolAnd) bool { return b.V == o.V }

@@ -1,0 +1,194 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is the grow-only set lattice under union. It is the workhorse of
+// monotonic distributed programming: relations, mailboxes and contact sets
+// in the running example are all Set lattices.
+//
+// Set values are immutable; Merge and Add return new sets that share no
+// mutable state with their inputs.
+type Set[E comparable] struct {
+	m map[E]struct{}
+}
+
+// NewSet returns a set containing the given elements.
+func NewSet[E comparable](elems ...E) Set[E] {
+	m := make(map[E]struct{}, len(elems))
+	for _, e := range elems {
+		m[e] = struct{}{}
+	}
+	return Set[E]{m: m}
+}
+
+// Len returns the cardinality of the set.
+func (s Set[E]) Len() int { return len(s.m) }
+
+// Contains reports membership of e.
+func (s Set[E]) Contains(e E) bool {
+	_, ok := s.m[e]
+	return ok
+}
+
+// Elems returns the elements in unspecified order.
+func (s Set[E]) Elems() []E {
+	out := make([]E, 0, len(s.m))
+	for e := range s.m {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Add returns a new set with e included.
+func (s Set[E]) Add(e E) Set[E] {
+	if s.Contains(e) {
+		return s
+	}
+	m := make(map[E]struct{}, len(s.m)+1)
+	for k := range s.m {
+		m[k] = struct{}{}
+	}
+	m[e] = struct{}{}
+	return Set[E]{m: m}
+}
+
+// Merge returns the union of the two sets.
+func (s Set[E]) Merge(o Set[E]) Set[E] {
+	if len(s.m) == 0 {
+		return o
+	}
+	if len(o.m) == 0 {
+		return s
+	}
+	m := make(map[E]struct{}, len(s.m)+len(o.m))
+	for k := range s.m {
+		m[k] = struct{}{}
+	}
+	for k := range o.m {
+		m[k] = struct{}{}
+	}
+	return Set[E]{m: m}
+}
+
+// LessEq reports subset inclusion.
+func (s Set[E]) LessEq(o Set[E]) bool {
+	if len(s.m) > len(o.m) {
+		return false
+	}
+	for k := range s.m {
+		if !o.Contains(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s Set[E]) Equal(o Set[E]) bool { return len(s.m) == len(o.m) && s.LessEq(o) }
+
+// String renders the set with sorted element strings, for stable output.
+func (s Set[E]) String() string {
+	parts := make([]string, 0, len(s.m))
+	for e := range s.m {
+		parts = append(parts, fmt.Sprint(e))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Map is the keyed lattice: a map whose values are themselves lattice
+// elements, merged pointwise. It models sharded state (key → replica state)
+// and is the shape of the Anna KVS store.
+type Map[K comparable, V Value[V]] struct {
+	m map[K]V
+}
+
+// NewMap returns an empty keyed lattice.
+func NewMap[K comparable, V Value[V]]() Map[K, V] { return Map[K, V]{m: map[K]V{}} }
+
+// MapOf builds a keyed lattice from a plain map (copied).
+func MapOf[K comparable, V Value[V]](src map[K]V) Map[K, V] {
+	m := make(map[K]V, len(src))
+	for k, v := range src {
+		m[k] = v
+	}
+	return Map[K, V]{m: m}
+}
+
+// Len returns the number of keys present.
+func (ml Map[K, V]) Len() int { return len(ml.m) }
+
+// Get returns the value at k and whether it is present.
+func (ml Map[K, V]) Get(k K) (V, bool) {
+	v, ok := ml.m[k]
+	return v, ok
+}
+
+// Put returns a new map with v merged into the value at k.
+func (ml Map[K, V]) Put(k K, v V) Map[K, V] {
+	m := make(map[K]V, len(ml.m)+1)
+	for kk, vv := range ml.m {
+		m[kk] = vv
+	}
+	if old, ok := m[k]; ok {
+		m[k] = old.Merge(v)
+	} else {
+		m[k] = v
+	}
+	return Map[K, V]{m: m}
+}
+
+// Keys returns the keys in unspecified order.
+func (ml Map[K, V]) Keys() []K {
+	out := make([]K, 0, len(ml.m))
+	for k := range ml.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Merge unions keys and merges values pointwise.
+func (ml Map[K, V]) Merge(o Map[K, V]) Map[K, V] {
+	m := make(map[K]V, len(ml.m)+len(o.m))
+	for k, v := range ml.m {
+		m[k] = v
+	}
+	for k, v := range o.m {
+		if old, ok := m[k]; ok {
+			m[k] = old.Merge(v)
+		} else {
+			m[k] = v
+		}
+	}
+	return Map[K, V]{m: m}
+}
+
+// LessEq reports pointwise order: every key of ml must be present in o with
+// a value at least as large.
+func (ml Map[K, V]) LessEq(o Map[K, V]) bool {
+	for k, v := range ml.m {
+		ov, ok := o.m[k]
+		if !ok || !v.LessEq(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports pointwise equality.
+func (ml Map[K, V]) Equal(o Map[K, V]) bool {
+	if len(ml.m) != len(o.m) {
+		return false
+	}
+	for k, v := range ml.m {
+		ov, ok := o.m[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+// Package actor lifts the Actor model (Appendix A.1) onto the HydroLogic
+// transducer: actors are keyed state plus handlers; spawning creates a new
+// keyed instance; messages route through transducer mailboxes. The tricky
+// part the appendix highlights — a synchronous mid-method receive — is
+// implemented exactly as sketched: the actor parks a continuation and a
+// `waiting` status, and the runtime buffers other inbound messages until
+// the awaited one arrives (the "elided bookkeeping" of footnote 2).
+//
+// Actor behaviors themselves run as stateful UDFs, which §3.1 explicitly
+// permits ("UDFs are black-box functions, and may keep internal state
+// across invocations").
+package actor
+
+import (
+	"fmt"
+
+	"hydro/internal/datalog"
+	"hydro/internal/transducer"
+)
+
+// Ctx is an actor's view of the system during one message delivery.
+type Ctx struct {
+	sys  *System
+	tx   *transducer.Tx
+	self ID
+}
+
+// ID identifies an actor instance.
+type ID string
+
+// Behavior reacts to one message.
+type Behavior func(ctx *Ctx, msg any)
+
+// actorState is the runtime record for one live actor.
+type actorState struct {
+	id       ID
+	behavior Behavior
+	// waitKey, when non-empty, is the mailbox key this actor is blocked
+	// on; cont receives the awaited message.
+	waitKey string
+	cont    func(ctx *Ctx, msg any)
+	// buffered holds messages that arrived while waiting.
+	buffered []envelope
+	stopped  bool
+}
+
+type envelope struct {
+	key string
+	msg any
+}
+
+// System hosts actors on one transducer runtime.
+type System struct {
+	rt     *transducer.Runtime
+	actors map[ID]*actorState
+	nextID uint64
+	// Delivered counts messages processed (observability for E12).
+	Delivered uint64
+}
+
+// NewSystem attaches an actor system to a runtime. Mailbox "actor" carries
+// (actorID, key, payload) tuples.
+func NewSystem(rt *transducer.Runtime) *System {
+	s := &System{rt: rt, actors: map[ID]*actorState{}}
+	rt.RegisterHandler("actor", func(tx *transducer.Tx, m transducer.Message) {
+		id := ID(m.Payload[0].(string))
+		key := m.Payload[1].(string)
+		payload := m.Payload[2]
+		s.deliver(tx, id, key, payload)
+	})
+	return s
+}
+
+// Spawn creates an actor with the given behavior, returning its ID. Spawning
+// is immediate (the appendix: "creates a new Actor instance with a unique
+// ID").
+func (s *System) Spawn(b Behavior) ID {
+	s.nextID++
+	id := ID(fmt.Sprintf("actor-%d", s.nextID))
+	s.actors[id] = &actorState{id: id, behavior: b}
+	return id
+}
+
+// Send enqueues a message for an actor (asynchronous, delivered on a later
+// tick through the transducer's send path).
+func (s *System) Send(to ID, msg any) {
+	s.rt.Inject("actor", datalog.Tuple{string(to), "", wrap(msg)})
+}
+
+// wrap boxes arbitrary payloads into something tuple-encodable. We keep a
+// side channel for non-comparable values.
+var payloadBox = map[uint64]any{}
+var payloadSeq uint64
+
+func wrap(msg any) any {
+	switch msg.(type) {
+	case string, int, int64, float64, bool:
+		return msg
+	default:
+		payloadSeq++
+		payloadBox[payloadSeq] = msg
+		return fmt.Sprintf("__boxed:%d", payloadSeq)
+	}
+}
+
+func unwrap(v any) any {
+	if s, ok := v.(string); ok {
+		var id uint64
+		if n, _ := fmt.Sscanf(s, "__boxed:%d", &id); n == 1 {
+			if m, ok := payloadBox[id]; ok {
+				delete(payloadBox, id)
+				return m
+			}
+		}
+	}
+	return v
+}
+
+func (s *System) deliver(tx *transducer.Tx, id ID, key string, payload any) {
+	a, ok := s.actors[id]
+	if !ok || a.stopped {
+		return // dead letter
+	}
+	msg := unwrap(payload)
+	ctx := &Ctx{sys: s, tx: tx, self: id}
+	if a.waitKey != "" {
+		if key == a.waitKey {
+			cont := a.cont
+			a.waitKey, a.cont = "", nil
+			s.Delivered++
+			cont(ctx, msg)
+			s.flushBuffered(tx, a)
+			return
+		}
+		// Not the awaited message: buffer it (footnote-2 bookkeeping).
+		a.buffered = append(a.buffered, envelope{key: key, msg: msg})
+		return
+	}
+	s.Delivered++
+	a.behavior(ctx, msg)
+	s.flushBuffered(tx, a)
+}
+
+// flushBuffered re-delivers buffered messages if the actor is no longer
+// waiting (or is waiting for one of them).
+func (s *System) flushBuffered(tx *transducer.Tx, a *actorState) {
+	for len(a.buffered) > 0 && !a.stopped {
+		if a.waitKey != "" {
+			// Scan for the awaited message.
+			found := -1
+			for i, e := range a.buffered {
+				if e.key == a.waitKey {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return
+			}
+			e := a.buffered[found]
+			a.buffered = append(a.buffered[:found], a.buffered[found+1:]...)
+			cont := a.cont
+			a.waitKey, a.cont = "", nil
+			s.Delivered++
+			cont(&Ctx{sys: s, tx: tx, self: a.id}, e.msg)
+			continue
+		}
+		e := a.buffered[0]
+		a.buffered = a.buffered[1:]
+		s.Delivered++
+		a.behavior(&Ctx{sys: s, tx: tx, self: a.id}, e.msg)
+	}
+}
+
+// Self returns the current actor's ID.
+func (c *Ctx) Self() ID { return c.self }
+
+// Send delivers a message to another actor asynchronously (visible on a
+// later tick, per transducer send semantics).
+func (c *Ctx) Send(to ID, msg any) {
+	c.tx.Send("actor", datalog.Tuple{string(to), "", wrap(msg)})
+}
+
+// SendKeyed delivers a message under a mailbox key, for rendezvous with
+// Receive.
+func (c *Ctx) SendKeyed(to ID, key string, msg any) {
+	c.tx.Send("actor", datalog.Tuple{string(to), key, wrap(msg)})
+}
+
+// Spawn creates a new actor from within a handler.
+func (c *Ctx) Spawn(b Behavior) ID { return c.sys.Spawn(b) }
+
+// Become replaces this actor's behavior for subsequent messages.
+func (c *Ctx) Become(b Behavior) { c.sys.actors[c.self].behavior = b }
+
+// Receive parks this actor until a message arrives under key, then runs
+// cont with it — the appendix's mid-method synchronous receive. Other
+// messages buffer meanwhile.
+func (c *Ctx) Receive(key string, cont func(ctx *Ctx, msg any)) {
+	a := c.sys.actors[c.self]
+	a.waitKey = key
+	a.cont = cont
+}
+
+// Stop terminates this actor; further messages are dead-lettered.
+func (c *Ctx) Stop() { c.sys.actors[c.self].stopped = true }
+
+// Alive reports whether an actor exists and is not stopped.
+func (s *System) Alive(id ID) bool {
+	a, ok := s.actors[id]
+	return ok && !a.stopped
+}

@@ -1,0 +1,181 @@
+package actor
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydro/internal/transducer"
+)
+
+func newRT(seed int64) *transducer.Runtime {
+	rt := transducer.New("n1", seed)
+	rt.SetDelay(func(r *rand.Rand) int { return 1 })
+	return rt
+}
+
+func TestPingPong(t *testing.T) {
+	rt := newRT(1)
+	sys := NewSystem(rt)
+	var rounds int
+	var ponger ID
+	pinger := sys.Spawn(func(ctx *Ctx, msg any) {
+		if msg == "pong" {
+			rounds++
+			if rounds < 3 {
+				ctx.Send(ponger, "ping")
+			}
+		}
+	})
+	ponger = sys.Spawn(func(ctx *Ctx, msg any) {
+		if msg == "ping" {
+			ctx.Send(pinger, "pong")
+		}
+	})
+	sys.Send(ponger, "ping")
+	rt.RunUntilIdle(40)
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", rounds)
+	}
+}
+
+func TestRPCStyleHandler(t *testing.T) {
+	// The appendix's do_foo: an RPC-like actor method.
+	rt := newRT(2)
+	sys := NewSystem(rt)
+	var got []any
+	echo := sys.Spawn(func(ctx *Ctx, msg any) {
+		got = append(got, msg)
+	})
+	sys.Send(echo, "hello")
+	sys.Send(echo, int64(42))
+	rt.RunUntilIdle(10)
+	if len(got) != 2 || got[0] != "hello" || got[1] != int64(42) {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestMidMethodReceive(t *testing.T) {
+	// The appendix's m(msg): run m_pre, block for mybox, run m_post — with
+	// heap/stack state preserved across the wait (Go closures are the
+	// coroutine substitute the appendix mentions).
+	rt := newRT(3)
+	sys := NewSystem(rt)
+	var result string
+	worker := sys.Spawn(func(ctx *Ctx, msg any) {
+		preState := "pre(" + msg.(string) + ")"
+		ctx.Receive("mybox", func(ctx *Ctx, newmsg any) {
+			result = preState + "+post(" + newmsg.(string) + ")"
+		})
+	})
+	sys.Send(worker, "start")
+	rt.RunUntilIdle(10)
+	if result != "" {
+		t.Fatal("continuation ran before awaited message")
+	}
+	// Deliver to the awaited key.
+	rt.Inject("actor", mkKeyed(worker, "mybox", "resume"))
+	rt.RunUntilIdle(10)
+	if result != "pre(start)+post(resume)" {
+		t.Fatalf("result = %q", result)
+	}
+}
+
+func mkKeyed(to ID, key string, msg any) []any {
+	return []any{string(to), key, msg}
+}
+
+func TestWaitingActorBuffersOtherMessages(t *testing.T) {
+	rt := newRT(4)
+	sys := NewSystem(rt)
+	var normal []string
+	var awaited string
+	worker := sys.Spawn(func(ctx *Ctx, msg any) {
+		if msg == "block" {
+			ctx.Receive("key", func(ctx *Ctx, m any) { awaited = m.(string) })
+			return
+		}
+		normal = append(normal, msg.(string))
+	})
+	sys.Send(worker, "block")
+	rt.RunUntilIdle(10)
+	// These arrive while waiting and must buffer, not run the continuation.
+	sys.Send(worker, "queued1")
+	sys.Send(worker, "queued2")
+	rt.RunUntilIdle(10)
+	if len(normal) != 0 || awaited != "" {
+		t.Fatalf("buffering broken: normal=%v awaited=%q", normal, awaited)
+	}
+	rt.Inject("actor", mkKeyed(worker, "key", "go"))
+	rt.RunUntilIdle(10)
+	if awaited != "go" {
+		t.Fatalf("awaited = %q", awaited)
+	}
+	if len(normal) != 2 || normal[0] != "queued1" || normal[1] != "queued2" {
+		t.Fatalf("buffered messages not replayed in order: %v", normal)
+	}
+}
+
+func TestSpawnFromHandlerAndBecome(t *testing.T) {
+	rt := newRT(5)
+	sys := NewSystem(rt)
+	var childGot any
+	parent := sys.Spawn(func(ctx *Ctx, msg any) {
+		child := ctx.Spawn(func(ctx *Ctx, m any) { childGot = m })
+		ctx.Send(child, "hi-child")
+		ctx.Become(func(ctx *Ctx, m any) { /* absorbed */ })
+	})
+	sys.Send(parent, "make-child")
+	rt.RunUntilIdle(10)
+	if childGot != "hi-child" {
+		t.Fatalf("childGot = %v", childGot)
+	}
+}
+
+func TestStopDeadLetters(t *testing.T) {
+	rt := newRT(6)
+	sys := NewSystem(rt)
+	count := 0
+	a := sys.Spawn(func(ctx *Ctx, msg any) {
+		count++
+		ctx.Stop()
+	})
+	sys.Send(a, 1)
+	sys.Send(a, 2)
+	rt.RunUntilIdle(10)
+	if count != 1 {
+		t.Fatalf("stopped actor handled %d messages", count)
+	}
+	if sys.Alive(a) {
+		t.Fatal("stopped actor reported alive")
+	}
+}
+
+func TestCountingActorFanIn(t *testing.T) {
+	rt := newRT(7)
+	sys := NewSystem(rt)
+	total := 0
+	counter := sys.Spawn(func(ctx *Ctx, msg any) { total += int(msg.(int64)) })
+	for i := 0; i < 10; i++ {
+		worker := sys.Spawn(func(ctx *Ctx, msg any) {
+			ctx.Send(counter, msg.(int64)*2)
+		})
+		sys.Send(worker, int64(i))
+	}
+	rt.RunUntilIdle(20)
+	if total != 90 { // 2*(0+..+9)
+		t.Fatalf("total = %d, want 90", total)
+	}
+}
+
+func TestBoxedPayloads(t *testing.T) {
+	rt := newRT(8)
+	sys := NewSystem(rt)
+	type payload struct{ A, B int }
+	var got payload
+	a := sys.Spawn(func(ctx *Ctx, msg any) { got = msg.(payload) })
+	sys.Send(a, payload{A: 1, B: 2})
+	rt.RunUntilIdle(10)
+	if got != (payload{A: 1, B: 2}) {
+		t.Fatalf("got = %+v", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package future lifts promises/futures (Appendix A.2, the Ray-style
+// pattern) onto the transducer: a promise launches an asynchronous
+// computation through the PromisesEngine mailbox; the future resolves when
+// the response message lands, possibly ticks later. Both eager and lazy
+// kickoff semantics are provided, as the appendix discusses.
+package future
+
+import (
+	"fmt"
+
+	"hydro/internal/datalog"
+	"hydro/internal/transducer"
+)
+
+// Fn is a promised computation.
+type Fn func(arg any) any
+
+// Mode selects kickoff semantics.
+type Mode int
+
+// Kickoff modes.
+const (
+	// Eager launches the computation at Remote() time (Ray's default).
+	Eager Mode = iota
+	// Lazy defers launch until the first Get touches the future.
+	Lazy
+)
+
+// Future is a handle on a pending result.
+type Future struct {
+	ID uint64
+	e  *Engine
+}
+
+// Engine runs promises over a transducer runtime. Promised functions
+// execute inside the "promises" mailbox handler; results arrive via the
+// "futures" mailbox (the names from the appendix's listing).
+type Engine struct {
+	rt     *transducer.Runtime
+	mode   Mode
+	nextID uint64
+	fns    map[uint64]Fn
+	args   map[uint64]any
+	done   map[uint64]any
+	// Launched counts actual executions, distinguishing lazy from eager.
+	Launched int
+}
+
+// NewEngine attaches a promises engine to a runtime.
+func NewEngine(rt *transducer.Runtime, mode Mode) *Engine {
+	e := &Engine{rt: rt, mode: mode, fns: map[uint64]Fn{}, args: map[uint64]any{}, done: map[uint64]any{}}
+	rt.RegisterHandler("promises", func(tx *transducer.Tx, m transducer.Message) {
+		id := m.Payload[0].(uint64)
+		fn, ok := e.fns[id]
+		if !ok {
+			return
+		}
+		e.Launched++
+		result := fn(e.args[id])
+		tx.Send("futures", datalog.Tuple{id, wrapVal(result)})
+	})
+	rt.RegisterHandler("futures", func(tx *transducer.Tx, m transducer.Message) {
+		id := m.Payload[0].(uint64)
+		e.done[id] = unwrapVal(m.Payload[1])
+	})
+	return e
+}
+
+var boxSeq uint64
+var box = map[uint64]any{}
+
+func wrapVal(v any) any {
+	switch v.(type) {
+	case string, int, int64, float64, bool, nil:
+		return v
+	default:
+		boxSeq++
+		box[boxSeq] = v
+		return fmt.Sprintf("__fbox:%d", boxSeq)
+	}
+}
+
+func unwrapVal(v any) any {
+	if s, ok := v.(string); ok {
+		var id uint64
+		if n, _ := fmt.Sscanf(s, "__fbox:%d", &id); n == 1 {
+			if m, ok := box[id]; ok {
+				delete(box, id)
+				return m
+			}
+		}
+	}
+	return v
+}
+
+// Remote registers a promise for fn(arg) and returns its future — the
+// analogue of Ray's f.remote(i).
+func (e *Engine) Remote(fn Fn, arg any) Future {
+	e.nextID++
+	id := e.nextID
+	e.fns[id] = fn
+	e.args[id] = arg
+	if e.mode == Eager {
+		e.rt.Inject("promises", datalog.Tuple{id})
+	}
+	return Future{ID: id, e: e}
+}
+
+// Resolved reports whether the future's value has arrived.
+func (f Future) Resolved() bool {
+	_, ok := f.e.done[f.ID]
+	return ok
+}
+
+// Value returns the resolved value (only valid after Resolved).
+func (f Future) Value() any { return f.e.done[f.ID] }
+
+// Get drives the transducer until all futures resolve (the appendix's
+// condition-variable wait across ticks), up to maxTicks. It returns the
+// values in order, the analogue of ray.get(futures).
+func (e *Engine) Get(futures []Future, maxTicks int) ([]any, error) {
+	// Lazy mode: launch on demand.
+	if e.mode == Lazy {
+		for _, f := range futures {
+			if !f.Resolved() {
+				e.rt.Inject("promises", datalog.Tuple{f.ID})
+			}
+		}
+	}
+	for i := 0; i < maxTicks; i++ {
+		all := true
+		for _, f := range futures {
+			if !f.Resolved() {
+				all = false
+				break
+			}
+		}
+		if all {
+			out := make([]any, len(futures))
+			for j, f := range futures {
+				out[j] = f.Value()
+			}
+			return out, nil
+		}
+		e.rt.Tick()
+	}
+	return nil, fmt.Errorf("future: unresolved after %d ticks", maxTicks)
+}

@@ -1,0 +1,128 @@
+package future
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydro/internal/transducer"
+)
+
+func newRT(seed int64) *transducer.Runtime {
+	rt := transducer.New("n1", seed)
+	rt.SetDelay(func(r *rand.Rand) int { return 1 })
+	return rt
+}
+
+func double(arg any) any { return arg.(int) * 2 }
+
+// The appendix's Ray example: four promises, local work, batch get.
+func TestRayStyleBatch(t *testing.T) {
+	rt := newRT(1)
+	e := NewEngine(rt, Eager)
+	var futures []Future
+	for i := 0; i < 4; i++ {
+		futures = append(futures, e.Remote(double, i))
+	}
+	// "g() runs locally while the promises execute concurrently."
+	localResult := 40 + 2
+	got, err := e.Get(futures, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{0, 2, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("futures = %v, want %v", got, want)
+		}
+	}
+	if localResult != 42 {
+		t.Fatal("local computation clobbered")
+	}
+}
+
+func TestFutureNotResolvedSynchronously(t *testing.T) {
+	rt := newRT(2)
+	e := NewEngine(rt, Eager)
+	f := e.Remote(double, 10)
+	if f.Resolved() {
+		t.Fatal("future resolved before any tick — sends must be async")
+	}
+	if _, err := e.Get([]Future{f}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if f.Value() != 20 {
+		t.Fatalf("value = %v", f.Value())
+	}
+}
+
+func TestLazyModeDefersLaunch(t *testing.T) {
+	rt := newRT(3)
+	e := NewEngine(rt, Lazy)
+	f1 := e.Remote(double, 1)
+	f2 := e.Remote(double, 2)
+	rt.RunUntilIdle(20)
+	if e.Launched != 0 {
+		t.Fatalf("lazy engine launched %d promises before Get", e.Launched)
+	}
+	got, err := e.Get([]Future{f1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	if e.Launched != 1 {
+		t.Fatalf("lazy engine launched %d, want only the demanded one", e.Launched)
+	}
+	_ = f2
+}
+
+func TestEagerRunsWithoutGet(t *testing.T) {
+	rt := newRT(4)
+	e := NewEngine(rt, Eager)
+	e.Remote(double, 5)
+	rt.RunUntilIdle(20)
+	if e.Launched != 1 {
+		t.Fatal("eager promise did not run")
+	}
+}
+
+func TestFuturesAreData(t *testing.T) {
+	// The appendix: "promises and futures are data, so we can implement
+	// semantics where they can be sent or copied to different agents."
+	rt := newRT(5)
+	e := NewEngine(rt, Eager)
+	f := e.Remote(double, 21)
+	copied := f // futures are plain values
+	if _, err := e.Get([]Future{copied}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Resolved() || f.Value() != 42 {
+		t.Fatal("copied future did not track resolution")
+	}
+}
+
+func TestGetTimesOut(t *testing.T) {
+	rt := newRT(6)
+	e := NewEngine(rt, Eager)
+	// A future whose function was unregistered (simulates a lost worker).
+	f := e.Remote(double, 1)
+	delete(e.fns, f.ID)
+	if _, err := e.Get([]Future{f}, 5); err == nil {
+		t.Fatal("Get should time out on an unresolvable future")
+	}
+}
+
+func TestStructResults(t *testing.T) {
+	rt := newRT(7)
+	e := NewEngine(rt, Eager)
+	type out struct{ X int }
+	f := e.Remote(func(a any) any { return out{X: a.(int)} }, 9)
+	got, err := e.Get([]Future{f}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].(out).X != 9 {
+		t.Fatalf("got = %v", got)
+	}
+}

@@ -1,0 +1,430 @@
+// Package mpi lifts MPI's collective-communication patterns (Appendix A.3)
+// onto the simulated network: Bcast, Scatter, Gather, Reduce, Allgather,
+// Allreduce and Alltoall. The appendix notes its HydroLogic specifications
+// are naive and that "tree-based or ring-based mechanisms" are the
+// well-known optimizations Hydrolysis could apply — this package implements
+// the naive versions *and* those optimizations so experiment E7 can compare
+// message counts and completion times.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"hydro/internal/simnet"
+)
+
+// Algo selects the communication schedule.
+type Algo int
+
+// Algorithms.
+const (
+	Naive Algo = iota // direct fan-out / fan-in
+	Tree              // binary-tree relay
+	Ring              // ring pass
+)
+
+func (a Algo) String() string {
+	switch a {
+	case Naive:
+		return "naive"
+	case Tree:
+		return "tree"
+	default:
+		return "ring"
+	}
+}
+
+// ReduceFn combines two values (must be associative and commutative — the
+// ACI discipline again).
+type ReduceFn func(a, b any) any
+
+// World is a set of MPI agents over a simulated network.
+type World struct {
+	net   *simnet.Network
+	n     int
+	names []string
+
+	locals []any
+	// results per op: rank → received value(s).
+	got     map[string]map[int]any
+	pending map[string]*reduceState
+}
+
+type reduceState struct {
+	need map[int]int // rank → children left
+	acc  map[int]any
+	fn   ReduceFn
+	root int
+	algo Algo
+	kind string
+}
+
+// message types
+type bcastMsg struct {
+	Op   string
+	Val  any
+	Algo Algo
+	Root int
+}
+
+type scatterMsg struct {
+	Op    string
+	Chunk any
+}
+
+type upMsg struct { // gather/reduce payload moving rootward
+	Op   string
+	Rank int
+	Val  any
+}
+
+type ringMsg struct {
+	Op    string
+	Step  int
+	Val   any
+	Phase int // 0 = accumulate, 1 = distribute
+}
+
+// NewWorld registers n agents named rank0..rank{n-1}.
+func NewWorld(net *simnet.Network, n int) *World {
+	w := &World{net: net, n: n, got: map[string]map[int]any{}, pending: map[string]*reduceState{},
+		locals: make([]any, n)}
+	for i := 0; i < n; i++ {
+		w.names = append(w.names, fmt.Sprintf("rank%d", i))
+		rank := i
+		net.AddNode(w.names[i], func(now simnet.Time, msg simnet.Message) {
+			w.handle(rank, msg)
+		})
+	}
+	return w
+}
+
+// SetLocal sets an agent's local contribution.
+func (w *World) SetLocal(rank int, v any) { w.locals[rank] = v }
+
+// Got returns rank's received value for an op.
+func (w *World) Got(op string, rank int) (any, bool) {
+	m, ok := w.got[op]
+	if !ok {
+		return nil, false
+	}
+	v, ok := m[rank]
+	return v, ok
+}
+
+func (w *World) record(op string, rank int, v any) {
+	if w.got[op] == nil {
+		w.got[op] = map[int]any{}
+	}
+	w.got[op][rank] = v
+}
+
+// treeChildren returns the binary-tree children of rank relative to root.
+func (w *World) treeChildren(rank, root int) []int {
+	rel := (rank - root + w.n) % w.n
+	var out []int
+	for _, c := range []int{2*rel + 1, 2*rel + 2} {
+		if c < w.n {
+			out = append(out, (c+root)%w.n)
+		}
+	}
+	return out
+}
+
+func (w *World) treeParent(rank, root int) int {
+	rel := (rank - root + w.n) % w.n
+	if rel == 0 {
+		return -1
+	}
+	return ((rel-1)/2 + root) % w.n
+}
+
+// Bcast broadcasts val from root to every agent; returns a Stats delta
+// after the network drains.
+func (w *World) Bcast(op string, root int, val any, algo Algo) Stats {
+	before := w.snapshot()
+	w.record(op, root, val)
+	switch algo {
+	case Naive:
+		for i := 0; i < w.n; i++ {
+			if i != root {
+				w.net.Send(w.names[root], w.names[i], bcastMsg{Op: op, Val: val, Algo: Naive, Root: root})
+			}
+		}
+	case Tree:
+		for _, c := range w.treeChildren(root, root) {
+			w.net.Send(w.names[root], w.names[c], bcastMsg{Op: op, Val: val, Algo: Tree, Root: root})
+		}
+	case Ring:
+		if w.n > 1 {
+			next := (root + 1) % w.n
+			w.net.Send(w.names[root], w.names[next], bcastMsg{Op: op, Val: val, Algo: Ring, Root: root})
+		}
+	}
+	w.net.Drain(w.n * w.n * 4)
+	return w.delta(before)
+}
+
+// Scatter partitions arr from root: agent i receives arr[i] (array length
+// must equal world size, matching the appendix's chunking).
+func (w *World) Scatter(op string, root int, arr []any) Stats {
+	before := w.snapshot()
+	for i := 0; i < w.n; i++ {
+		if i == root {
+			w.record(op, root, arr[i])
+			continue
+		}
+		w.net.Send(w.names[root], w.names[i], scatterMsg{Op: op, Chunk: arr[i]})
+	}
+	w.net.Drain(w.n * 4)
+	return w.delta(before)
+}
+
+// Gather assembles every agent's local value at root, ordered by rank.
+func (w *World) Gather(op string, root int) Stats {
+	before := w.snapshot()
+	st := &reduceState{acc: map[int]any{root: w.locals[root]}, root: root, kind: "gather"}
+	w.pending[op] = st
+	for i := 0; i < w.n; i++ {
+		if i != root {
+			w.net.Send(w.names[i], w.names[root], upMsg{Op: op, Rank: i, Val: w.locals[i]})
+		}
+	}
+	w.net.Drain(w.n * 4)
+	w.finishGather(op, st)
+	return w.delta(before)
+}
+
+func (w *World) finishGather(op string, st *reduceState) {
+	if len(st.acc) == w.n {
+		ranks := make([]int, 0, w.n)
+		for r := range st.acc {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		arr := make([]any, w.n)
+		for i, r := range ranks {
+			arr[i] = st.acc[r]
+		}
+		w.record(op, st.root, arr)
+	}
+}
+
+// Reduce combines every agent's value at root with fn.
+func (w *World) Reduce(op string, root int, fn ReduceFn, algo Algo) Stats {
+	before := w.snapshot()
+	switch algo {
+	case Tree:
+		st := &reduceState{need: map[int]int{}, acc: map[int]any{}, fn: fn, root: root, algo: Tree, kind: "reduce"}
+		w.pending[op] = st
+		for i := 0; i < w.n; i++ {
+			st.acc[i] = w.locals[i]
+			st.need[i] = len(w.treeChildren(i, root))
+		}
+		// Leaves start the upward wave.
+		for i := 0; i < w.n; i++ {
+			if st.need[i] == 0 && i != root {
+				w.net.Send(w.names[i], w.names[w.treeParent(i, root)], upMsg{Op: op, Rank: i, Val: st.acc[i]})
+			}
+		}
+		w.net.Drain(w.n * w.n * 4)
+		if w.n == 1 || (st.need[root] == 0 && len(w.got[op]) == 0) {
+			w.record(op, root, st.acc[root])
+		}
+	case Ring:
+		if w.n == 1 {
+			w.record(op, root, w.locals[root])
+			break
+		}
+		st := &reduceState{fn: fn, root: root, algo: Ring, kind: "reduce"}
+		w.pending[op] = st
+		next := (root + 1) % w.n
+		w.net.Send(w.names[root], w.names[next], ringMsg{Op: op, Step: 1, Val: w.locals[root], Phase: 0})
+		w.net.Drain(w.n * 8)
+	default: // Naive: everyone sends to root, root folds.
+		st := &reduceState{acc: map[int]any{root: w.locals[root]}, fn: fn, root: root, kind: "reduce-naive"}
+		w.pending[op] = st
+		for i := 0; i < w.n; i++ {
+			if i != root {
+				w.net.Send(w.names[i], w.names[root], upMsg{Op: op, Rank: i, Val: w.locals[i]})
+			}
+		}
+		w.net.Drain(w.n * 4)
+		acc := st.acc[root]
+		ranks := make([]int, 0, len(st.acc))
+		for r := range st.acc {
+			if r != root {
+				ranks = append(ranks, r)
+			}
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			acc = fn(acc, st.acc[r])
+		}
+		w.record(op, root, acc)
+	}
+	return w.delta(before)
+}
+
+// Allgather gathers at rank 0 then broadcasts the array (naive composition,
+// as in the appendix's mpi_allgather).
+func (w *World) Allgather(op string) Stats {
+	before := w.snapshot()
+	w.Gather(op+"/g", 0)
+	arr, _ := w.Got(op+"/g", 0)
+	w.Bcast(op+"/b", 0, arr, Tree)
+	for i := 0; i < w.n; i++ {
+		v, _ := w.Got(op+"/b", i)
+		w.record(op, i, v)
+	}
+	return w.delta(before)
+}
+
+// Allreduce reduces then broadcasts (the appendix's mpi_allreduce); the
+// algo picks the schedule of both phases. Ring uses the classic
+// 2(n-1)-step ring with constant per-step fan-out.
+func (w *World) Allreduce(op string, fn ReduceFn, algo Algo) Stats {
+	before := w.snapshot()
+	switch algo {
+	case Ring:
+		w.Reduce(op+"/r", 0, fn, Ring)
+		// The ring reduce's distribute phase already delivered the final
+		// value everywhere (phase 1); copy per-rank results.
+		for i := 0; i < w.n; i++ {
+			if v, ok := w.Got(op+"/r", i); ok {
+				w.record(op, i, v)
+			}
+		}
+	default:
+		w.Reduce(op+"/r", 0, fn, algo)
+		v, _ := w.Got(op+"/r", 0)
+		w.Bcast(op+"/b", 0, v, algo)
+		for i := 0; i < w.n; i++ {
+			got, ok := w.Got(op+"/b", i)
+			if !ok {
+				got = v
+			}
+			w.record(op, i, got)
+		}
+	}
+	return w.delta(before)
+}
+
+// Alltoall: agent i's local value must be a []any of length n; agent j
+// receives element [i] from every i, assembled in rank order.
+func (w *World) Alltoall(op string) Stats {
+	before := w.snapshot()
+	for i := 0; i < w.n; i++ {
+		row := w.locals[i].([]any)
+		for j := 0; j < w.n; j++ {
+			if i == j {
+				w.acceptAlltoall(op, j, i, row[j])
+				continue
+			}
+			w.net.Send(w.names[i], w.names[j], upMsg{Op: op + "/a2a", Rank: i, Val: row[j]})
+		}
+	}
+	w.net.Drain(w.n * w.n * 4)
+	return w.delta(before)
+}
+
+func (w *World) acceptAlltoall(op string, me, from int, val any) {
+	cur, _ := w.Got(op, me)
+	arr, _ := cur.([]any)
+	if arr == nil {
+		arr = make([]any, w.n)
+	}
+	arr[from] = val
+	w.record(op, me, arr)
+}
+
+func (w *World) handle(rank int, msg simnet.Message) {
+	switch m := msg.Payload.(type) {
+	case bcastMsg:
+		w.record(m.Op, rank, m.Val)
+		switch m.Algo {
+		case Tree:
+			for _, c := range w.treeChildren(rank, m.Root) {
+				w.net.Send(w.names[rank], w.names[c], m)
+			}
+		case Ring:
+			next := (rank + 1) % w.n
+			if next != m.Root {
+				w.net.Send(w.names[rank], w.names[next], m)
+			}
+		}
+	case scatterMsg:
+		w.record(m.Op, rank, m.Chunk)
+	case upMsg:
+		st, ok := w.pending[m.Op]
+		if !ok {
+			// Alltoall rows route here too.
+			if len(m.Op) > 4 && m.Op[len(m.Op)-4:] == "/a2a" {
+				w.acceptAlltoall(m.Op[:len(m.Op)-4], rank, m.Rank, m.Val)
+			}
+			return
+		}
+		switch st.kind {
+		case "gather", "reduce-naive":
+			st.acc[m.Rank] = m.Val
+			if st.kind == "gather" {
+				w.finishGather(m.Op, st)
+			}
+		case "reduce": // tree reduce
+			st.acc[rank] = st.fn(st.acc[rank], m.Val)
+			st.need[rank]--
+			if st.need[rank] == 0 {
+				if rank == st.root {
+					w.record(m.Op, st.root, st.acc[rank])
+				} else {
+					w.net.Send(w.names[rank], w.names[w.treeParent(rank, st.root)],
+						upMsg{Op: m.Op, Rank: rank, Val: st.acc[rank]})
+				}
+			}
+		}
+	case ringMsg:
+		st, ok := w.pending[m.Op]
+		if !ok {
+			return
+		}
+		if m.Phase == 0 {
+			acc := st.fn(m.Val, w.locals[rank])
+			if m.Step == w.n-1 {
+				// Accumulation complete at this rank; distribute.
+				w.record(m.Op, rank, acc)
+				next := (rank + 1) % w.n
+				w.net.Send(w.names[rank], w.names[next], ringMsg{Op: m.Op, Step: 1, Val: acc, Phase: 1})
+				return
+			}
+			next := (rank + 1) % w.n
+			w.net.Send(w.names[rank], w.names[next], ringMsg{Op: m.Op, Step: m.Step + 1, Val: acc, Phase: 0})
+		} else {
+			if _, done := w.Got(m.Op, rank); done {
+				return // distribution lap complete
+			}
+			w.record(m.Op, rank, m.Val)
+			next := (rank + 1) % w.n
+			w.net.Send(w.names[rank], w.names[next], ringMsg{Op: m.Op, Step: m.Step + 1, Val: m.Val, Phase: 1})
+		}
+	}
+}
+
+// Stats is the cost delta of one collective.
+type Stats struct {
+	Messages uint64
+	Elapsed  simnet.Time
+}
+
+type snap struct {
+	sent uint64
+	now  simnet.Time
+}
+
+func (w *World) snapshot() snap {
+	return snap{sent: w.net.Stats().Sent, now: w.net.Now()}
+}
+
+func (w *World) delta(before snap) Stats {
+	return Stats{Messages: w.net.Stats().Sent - before.sent, Elapsed: w.net.Now() - before.now}
+}

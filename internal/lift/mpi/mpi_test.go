@@ -1,0 +1,206 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"hydro/internal/simnet"
+)
+
+func newWorld(n int, seed int64) *World {
+	net := simnet.New(simnet.Config{Seed: seed, MinLatency: 10, MaxLatency: 10})
+	return NewWorld(net, n)
+}
+
+func sum(a, b any) any { return a.(int) + b.(int) }
+
+func TestBcastAllAlgos(t *testing.T) {
+	for _, algo := range []Algo{Naive, Tree, Ring} {
+		w := newWorld(8, 1)
+		st := w.Bcast("b", 0, "payload", algo)
+		for i := 0; i < 8; i++ {
+			v, ok := w.Got("b", i)
+			if !ok || v != "payload" {
+				t.Fatalf("%v: rank %d got %v", algo, i, v)
+			}
+		}
+		if st.Messages == 0 {
+			t.Fatalf("%v: no messages recorded", algo)
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	for _, algo := range []Algo{Naive, Tree, Ring} {
+		w := newWorld(5, 2)
+		w.Bcast("b", 3, 99, algo)
+		for i := 0; i < 5; i++ {
+			if v, ok := w.Got("b", i); !ok || v != 99 {
+				t.Fatalf("%v root=3: rank %d got %v", algo, i, v)
+			}
+		}
+	}
+}
+
+func TestBcastTreeFewerRoundsThanRing(t *testing.T) {
+	// Tree depth is O(log n), ring is O(n): virtual completion time must
+	// reflect it (all links have equal latency).
+	w1 := newWorld(16, 3)
+	tree := w1.Bcast("b", 0, 1, Tree)
+	w2 := newWorld(16, 3)
+	ring := w2.Bcast("b", 0, 1, Ring)
+	if tree.Elapsed >= ring.Elapsed {
+		t.Fatalf("tree bcast (%d) should finish before ring (%d)", tree.Elapsed, ring.Elapsed)
+	}
+	// Naive floods from one node: message count equals n-1 for all three,
+	// but tree parallelizes; ring minimizes per-node fan-out.
+	if tree.Messages != 15 || ring.Messages != 15 {
+		t.Fatalf("messages tree=%d ring=%d, want 15", tree.Messages, ring.Messages)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	w := newWorld(4, 4)
+	arr := []any{"a", "b", "c", "d"}
+	w.Scatter("s", 0, arr)
+	for i := 0; i < 4; i++ {
+		if v, _ := w.Got("s", i); v != arr[i] {
+			t.Fatalf("rank %d got %v", i, v)
+		}
+	}
+}
+
+func TestGatherOrdered(t *testing.T) {
+	w := newWorld(5, 5)
+	for i := 0; i < 5; i++ {
+		w.SetLocal(i, fmt.Sprintf("v%d", i))
+	}
+	w.Gather("g", 2)
+	v, ok := w.Got("g", 2)
+	if !ok {
+		t.Fatal("gather incomplete")
+	}
+	arr := v.([]any)
+	for i := range arr {
+		if arr[i] != fmt.Sprintf("v%d", i) {
+			t.Fatalf("gathered = %v", arr)
+		}
+	}
+}
+
+func TestReduceAllAlgos(t *testing.T) {
+	for _, algo := range []Algo{Naive, Tree, Ring} {
+		w := newWorld(7, 6)
+		for i := 0; i < 7; i++ {
+			w.SetLocal(i, i+1) // 1..7, sum 28
+		}
+		w.Reduce("r", 0, sum, algo)
+		v, ok := w.Got("r", 0)
+		if !ok || v != 28 {
+			t.Fatalf("%v: reduce = %v ok=%v, want 28", algo, v, ok)
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w := newWorld(4, 7)
+	for i := 0; i < 4; i++ {
+		w.SetLocal(i, i*10)
+	}
+	w.Allgather("ag")
+	for r := 0; r < 4; r++ {
+		v, ok := w.Got("ag", r)
+		if !ok {
+			t.Fatalf("rank %d missing allgather result", r)
+		}
+		arr := v.([]any)
+		for i := range arr {
+			if arr[i] != i*10 {
+				t.Fatalf("rank %d got %v", r, arr)
+			}
+		}
+	}
+}
+
+func TestAllreduceAllAlgos(t *testing.T) {
+	for _, algo := range []Algo{Naive, Tree, Ring} {
+		w := newWorld(6, 8)
+		for i := 0; i < 6; i++ {
+			w.SetLocal(i, 1)
+		}
+		w.Allreduce("ar", sum, algo)
+		for r := 0; r < 6; r++ {
+			v, ok := w.Got("ar", r)
+			if !ok || v != 6 {
+				t.Fatalf("%v: rank %d allreduce = %v ok=%v, want 6", algo, r, v, ok)
+			}
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	n := 4
+	w := newWorld(n, 9)
+	for i := 0; i < n; i++ {
+		row := make([]any, n)
+		for j := 0; j < n; j++ {
+			row[j] = fmt.Sprintf("%d->%d", i, j)
+		}
+		w.SetLocal(i, row)
+	}
+	w.Alltoall("a2a")
+	for j := 0; j < n; j++ {
+		v, ok := w.Got("a2a", j)
+		if !ok {
+			t.Fatalf("rank %d missing alltoall", j)
+		}
+		col := v.([]any)
+		for i := 0; i < n; i++ {
+			if col[i] != fmt.Sprintf("%d->%d", i, j) {
+				t.Fatalf("rank %d got %v", j, col)
+			}
+		}
+	}
+}
+
+func TestSingleAgentDegenerate(t *testing.T) {
+	w := newWorld(1, 10)
+	w.SetLocal(0, 5)
+	w.Bcast("b", 0, "x", Tree)
+	if v, _ := w.Got("b", 0); v != "x" {
+		t.Fatal("self-bcast broken")
+	}
+	w.Reduce("r", 0, sum, Tree)
+	if v, _ := w.Got("r", 0); v != 5 {
+		t.Fatalf("self-reduce = %v", v)
+	}
+}
+
+// E7 shape check: ring allreduce sends fewer messages than naive
+// (2(n-1) vs 2(n-1)… naive reduce+bcast is also 2(n-1), but naive
+// concentrates them at the root while ring spreads per-node load; what
+// distinguishes them measurably here is tree completing faster than naive
+// at the root bottleneck and ring's elapsed growing linearly).
+func TestAllreduceScalingShape(t *testing.T) {
+	elapsed := map[Algo][]simnet.Time{}
+	for _, algo := range []Algo{Naive, Tree, Ring} {
+		for _, n := range []int{4, 16} {
+			w := newWorld(n, 11)
+			for i := 0; i < n; i++ {
+				w.SetLocal(i, 1)
+			}
+			st := w.Allreduce("ar", sum, algo)
+			for r := 0; r < n; r++ {
+				if v, ok := w.Got("ar", r); !ok || v != n {
+					t.Fatalf("%v n=%d rank %d: %v", algo, n, r, v)
+				}
+			}
+			elapsed[algo] = append(elapsed[algo], st.Elapsed)
+		}
+	}
+	// Ring time grows ~linearly with n; tree ~logarithmically. At n=16 the
+	// tree must beat the ring.
+	if elapsed[Tree][1] >= elapsed[Ring][1] {
+		t.Fatalf("tree allreduce at n=16 (%d) should beat ring (%d)", elapsed[Tree][1], elapsed[Ring][1])
+	}
+}

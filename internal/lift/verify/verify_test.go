@@ -1,0 +1,171 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"hydro/internal/hlang"
+)
+
+func TestLiftIdentityFilter(t *testing.T) {
+	// Legacy loop: keep positives.
+	legacy := func(src []int64) []int64 {
+		var out []int64
+		for _, x := range src {
+			if x > 0 {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	l, err := Lift(legacy, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Filter != "x > 0" || l.Map != "x" {
+		t.Fatalf("lifted = %+v", l)
+	}
+	// The emitted source must be valid HydroLogic.
+	if _, err := hlang.Parse(l.Source); err != nil {
+		t.Fatalf("emitted source does not parse: %v\n%s", err, l.Source)
+	}
+	if !strings.Contains(l.Source, "query lifted(x) :- src(x), x > 0") {
+		t.Fatalf("source = %s", l.Source)
+	}
+}
+
+func TestLiftMappedLoop(t *testing.T) {
+	legacy := func(src []int64) []int64 {
+		var out []int64
+		for _, x := range src {
+			out = append(out, x*2)
+		}
+		return out
+	}
+	l, err := Lift(legacy, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Map != "x * 2" || l.Filter != "true" {
+		t.Fatalf("lifted = %+v", l)
+	}
+}
+
+func TestLiftFilterAndMap(t *testing.T) {
+	legacy := func(src []int64) []int64 {
+		var out []int64
+		for _, x := range src {
+			if x < 3 {
+				out = append(out, x+10)
+			}
+		}
+		return out
+	}
+	l, err := Lift(legacy, 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Filter != "x < 3" || l.Map != "x + 10" {
+		t.Fatalf("lifted = %+v", l)
+	}
+	if l.Checked < 40 {
+		t.Fatalf("checked only %d inputs", l.Checked)
+	}
+}
+
+func TestLiftRejectsOutOfGrammar(t *testing.T) {
+	// Order-dependent (prefix sums): genuinely not a set query.
+	legacy := func(src []int64) []int64 {
+		var out []int64
+		var acc int64
+		for _, x := range src {
+			acc += x
+			out = append(out, acc)
+		}
+		return out
+	}
+	if _, err := Lift(legacy, 4, 40); err == nil {
+		t.Fatal("order-dependent loop must not lift")
+	}
+}
+
+func TestLiftAggCount(t *testing.T) {
+	legacy := func(src []int64) int64 {
+		seen := map[int64]bool{}
+		var n int64
+		for _, x := range src {
+			if !seen[x] && x > 1 {
+				seen[x] = true
+				n++
+			}
+		}
+		return n
+	}
+	l, err := LiftAgg(legacy, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Agg != "count" || l.Filter != "x > 1" {
+		t.Fatalf("lifted = %+v", l)
+	}
+	if _, err := hlang.Parse(l.Source); err != nil {
+		t.Fatalf("emitted agg source does not parse: %v\n%s", err, l.Source)
+	}
+}
+
+func TestLiftAggSum(t *testing.T) {
+	legacy := func(src []int64) int64 {
+		seen := map[int64]bool{}
+		var total int64
+		for _, x := range src {
+			if !seen[x] {
+				seen[x] = true
+				total += x
+			}
+		}
+		return total
+	}
+	l, err := LiftAgg(legacy, 6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Agg != "sum" || l.Filter != "true" {
+		t.Fatalf("lifted = %+v", l)
+	}
+}
+
+func TestLiftAggRejectsProduct(t *testing.T) {
+	legacy := func(src []int64) int64 {
+		var p int64 = 1
+		for _, x := range src {
+			p *= x
+		}
+		return p
+	}
+	if _, err := LiftAgg(legacy, 7, 40); err == nil {
+		t.Fatal("product is outside the aggregate grammar")
+	}
+}
+
+// The check is *bounded*, so an adversarial function agreeing with a
+// candidate on all sampled inputs would mis-lift — the classic limitation
+// the paper acknowledges by pairing synthesis with verification. This test
+// documents the behavior: candidates must survive every probe including
+// fixed edge cases.
+func TestEdgeCasesAlwaysProbed(t *testing.T) {
+	// Differs from "keep positives" only on input 20 (included as an edge
+	// probe), so the x > 0 candidate must be rejected.
+	tricky := func(src []int64) []int64 {
+		var out []int64
+		for _, x := range src {
+			if x > 0 && x != 20 {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	l, err := Lift(tricky, 8, 40)
+	if err == nil && l.Filter == "x > 0" {
+		t.Fatalf("bounded check missed the x=20 divergence: %+v", l)
+	}
+}

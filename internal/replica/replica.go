@@ -1,0 +1,365 @@
+// Package replica implements the availability facet's mechanism toolbox
+// (§6.1): replicated service endpoints that tolerate f independent failures
+// across a chosen failure domain. Three redundancy designs are provided —
+// the design space the Hydrolysis compiler chooses from:
+//
+//   - Proxy: a load-balancing client proxy that fans each request to f+1
+//     replicas and returns the first response (§6.1's "client proxy module").
+//   - LogShip: primary/backup logical logging — the primary applies an
+//     operation, ships the log record, backups replay (§6.1's "log-shipping
+//     pattern").
+//   - Gossip: anti-entropy exchange of lattice state between peers —
+//     coordination-free availability for monotone state.
+package replica
+
+import (
+	"fmt"
+	"sort"
+
+	"hydro/internal/simnet"
+)
+
+// Op is a logged state-machine operation.
+type Op struct {
+	Seq   uint64
+	Kind  string
+	Key   string
+	Value any
+}
+
+// KVState is the replicated toy state machine used by availability tests
+// and experiments: a last-write-wins map plus an append log.
+type KVState struct {
+	Data map[string]any
+	Log  []Op
+}
+
+// NewKVState returns empty state.
+func NewKVState() *KVState { return &KVState{Data: map[string]any{}} }
+
+// Apply executes an op.
+func (s *KVState) Apply(op Op) {
+	s.Log = append(s.Log, op)
+	switch op.Kind {
+	case "put":
+		s.Data[op.Key] = op.Value
+	case "del":
+		delete(s.Data, op.Key)
+	}
+}
+
+// --- Primary/backup log shipping ---
+
+type shipMsg struct {
+	Op Op
+}
+
+type shipAck struct {
+	Seq uint64
+}
+
+type resyncReq struct {
+	From uint64 // first missing sequence number
+}
+
+type clientReq struct {
+	ID    uint64
+	Op    Op
+	Reply string
+}
+
+type clientResp struct {
+	ID  uint64
+	Seq uint64
+	OK  bool
+}
+
+// LogShip is a primary-backup replication group. Writes go to the current
+// primary, which assigns a sequence, applies locally, and ships the record
+// to every backup. Failover promotes the next live replica by ID order.
+type LogShip struct {
+	net      *simnet.Network
+	replicas []string
+	states   map[string]*KVState
+	seq      uint64
+	acks     map[uint64]map[string]bool
+	// AckQuorum is how many replicas (including the primary) must hold an
+	// op before it is reported durable; defaults to all.
+	AckQuorum int
+	durable   map[uint64]bool
+	// Responses delivered to clients: reqID → ok.
+	responses map[uint64]bool
+}
+
+// NewLogShip builds a primary/backup group named name-0..name-{n-1}.
+func NewLogShip(net *simnet.Network, name string, n int) *LogShip {
+	ls := &LogShip{
+		net:       net,
+		states:    map[string]*KVState{},
+		acks:      map[uint64]map[string]bool{},
+		durable:   map[uint64]bool{},
+		responses: map[uint64]bool{},
+		AckQuorum: n,
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s-%d", name, i)
+		ls.replicas = append(ls.replicas, id)
+		ls.states[id] = NewKVState()
+		rid := id
+		net.AddNode(rid, func(now simnet.Time, msg simnet.Message) { ls.handle(rid, msg) })
+	}
+	return ls
+}
+
+// Replicas returns the replica IDs in priority order.
+func (ls *LogShip) Replicas() []string { return append([]string(nil), ls.replicas...) }
+
+// Primary returns the first live replica (failover by ID order).
+func (ls *LogShip) Primary() (string, bool) {
+	for _, r := range ls.replicas {
+		if !ls.net.Down(r) {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+// State exposes a replica's state for inspection.
+func (ls *LogShip) State(replica string) *KVState { return ls.states[replica] }
+
+// Submit sends a client write into the group via the current primary. It
+// returns the request ID, or an error when no replica is live.
+func (ls *LogShip) Submit(client string, op Op) (uint64, error) {
+	primary, ok := ls.Primary()
+	if !ok {
+		return 0, fmt.Errorf("logship: no live replica")
+	}
+	ls.seq++ // client-visible request ID namespace
+	req := clientReq{ID: ls.seq, Op: op, Reply: client}
+	ls.net.Send(client, primary, req)
+	return req.ID, nil
+}
+
+// Durable reports whether the op with the given primary-assigned sequence
+// reached the ack quorum.
+func (ls *LogShip) Durable(seq uint64) bool { return ls.durable[seq] }
+
+// Responded reports whether the client request got a response.
+func (ls *LogShip) Responded(reqID uint64) bool { return ls.responses[reqID] }
+
+func (ls *LogShip) handle(self string, msg simnet.Message) {
+	switch m := msg.Payload.(type) {
+	case clientReq:
+		primary, ok := ls.Primary()
+		if !ok || primary != self {
+			// Not primary: forward (a real system would redirect).
+			if ok {
+				ls.net.Send(self, primary, m)
+			}
+			return
+		}
+		op := m.Op
+		op.Seq = uint64(len(ls.states[self].Log) + 1)
+		ls.states[self].Apply(op)
+		ls.acks[op.Seq] = map[string]bool{self: true}
+		for _, r := range ls.replicas {
+			if r != self {
+				ls.net.Send(self, r, shipMsg{Op: op})
+			}
+		}
+		ls.maybeDurable(op.Seq)
+		ls.net.Send(self, m.Reply, clientResp{ID: m.ID, Seq: op.Seq, OK: true})
+	case shipMsg:
+		// Gap detection: a backup that missed records (drops, transient
+		// partition) requests a resync from the current primary instead
+		// of applying out of order.
+		next := uint64(len(ls.states[self].Log) + 1)
+		if m.Op.Seq > next {
+			if primary, ok := ls.Primary(); ok {
+				ls.net.Send(self, primary, resyncReq{From: next})
+			}
+			return
+		}
+		if m.Op.Seq < next {
+			return // duplicate replay; idempotent skip
+		}
+		ls.states[self].Apply(m.Op)
+		if primary, ok := ls.Primary(); ok {
+			ls.net.Send(self, primary, shipAck{Seq: m.Op.Seq})
+		}
+	case resyncReq:
+		// Primary ships every record from the requested sequence.
+		log := ls.states[self].Log
+		for _, op := range log {
+			if op.Seq >= m.From {
+				ls.net.Send(self, msg.From, shipMsg{Op: op})
+			}
+		}
+	case shipAck:
+		if ls.acks[m.Seq] == nil {
+			ls.acks[m.Seq] = map[string]bool{}
+		}
+		ls.acks[m.Seq][msg.From] = true
+		ls.maybeDurable(m.Seq)
+	}
+}
+
+func (ls *LogShip) maybeDurable(seq uint64) {
+	if len(ls.acks[seq]) >= ls.AckQuorum {
+		ls.durable[seq] = true
+	}
+}
+
+// --- Client proxy fan-out (availability for request handling) ---
+
+// Proxy fans each request out to f+1 replicas and reports success if any
+// replica responds: the interposed "load-balancing client proxy" of §6.1.
+type Proxy struct {
+	net      *simnet.Network
+	name     string
+	replicas []string
+	F        int
+	next     int
+	// Got maps request ID → replicas that answered.
+	Got map[uint64]map[string]bool
+	seq uint64
+}
+
+// NewProxy registers a proxy node fanning out to the given replica nodes.
+func NewProxy(net *simnet.Network, name string, replicas []string, f int) *Proxy {
+	p := &Proxy{net: net, name: name, replicas: replicas, F: f, Got: map[uint64]map[string]bool{}}
+	net.AddNode(name, func(now simnet.Time, msg simnet.Message) {
+		if r, ok := msg.Payload.(proxyResp); ok {
+			if p.Got[r.ID] == nil {
+				p.Got[r.ID] = map[string]bool{}
+			}
+			p.Got[r.ID][msg.From] = true
+		}
+	})
+	return p
+}
+
+type proxyReq struct {
+	ID      uint64
+	Payload any
+	Reply   string
+}
+
+type proxyResp struct {
+	ID uint64
+}
+
+// HandleAtReplica is the handler replicas install to answer proxy requests.
+func HandleAtReplica(net *simnet.Network, replica string, work func(payload any)) {
+	net.AddNode(replica, func(now simnet.Time, msg simnet.Message) {
+		if req, ok := msg.Payload.(proxyReq); ok {
+			if work != nil {
+				work(req.Payload)
+			}
+			net.Send(replica, req.Reply, proxyResp{ID: req.ID})
+		}
+	})
+}
+
+// Send fans a request to f+1 replicas round-robin and returns its ID.
+func (p *Proxy) Send(payload any) uint64 {
+	p.seq++
+	id := p.seq
+	for i := 0; i <= p.F && i < len(p.replicas); i++ {
+		target := p.replicas[(p.next+i)%len(p.replicas)]
+		p.net.Send(p.name, target, proxyReq{ID: id, Payload: payload, Reply: p.name})
+	}
+	p.next++
+	return id
+}
+
+// Answered reports whether at least one replica responded to request id.
+func (p *Proxy) Answered(id uint64) bool { return len(p.Got[id]) > 0 }
+
+// --- Gossip anti-entropy for lattice state ---
+
+// LatticeState is the minimal lattice interface gossip needs, over boxed
+// values (the flow/lattice packages provide typed versions).
+type LatticeState interface {
+	MergeAny(other any) // mutate-in-place merge
+	SnapshotAny() any   // immutable copy to ship
+	EqualAny(other any) bool
+}
+
+// Gossiper replicates a lattice value by periodic pairwise anti-entropy: a
+// coordination-free availability mechanism that is always safe for monotone
+// state (CALM).
+type Gossiper struct {
+	net      *simnet.Network
+	name     string
+	peers    []string
+	state    LatticeState
+	Interval simnet.Time
+	Rounds   int
+}
+
+type gossipMsg struct {
+	Snapshot any
+}
+
+type gossipTick struct{}
+
+// NewGossiper registers a gossip node. Call Start to begin rounds.
+func NewGossiper(net *simnet.Network, name string, peers []string, state LatticeState, interval simnet.Time) *Gossiper {
+	g := &Gossiper{net: net, name: name, peers: peers, state: state, Interval: interval}
+	net.AddNode(name, func(now simnet.Time, msg simnet.Message) {
+		switch m := msg.Payload.(type) {
+		case gossipMsg:
+			g.state.MergeAny(m.Snapshot)
+		case gossipTick:
+			g.round()
+			g.Rounds++
+			net.After(name, g.Interval, gossipTick{})
+		}
+	})
+	return g
+}
+
+// Start schedules the first gossip round.
+func (g *Gossiper) Start() { g.net.After(g.name, g.Interval, gossipTick{}) }
+
+// GossipPayload wraps a client write so that a Gossiper merges it on
+// receipt — clients inject monotone updates through the same anti-entropy
+// path replicas use.
+func GossipPayload(snapshot any) any { return gossipMsg{Snapshot: snapshot} }
+
+// State returns the gossiped lattice state.
+func (g *Gossiper) State() LatticeState { return g.state }
+
+func (g *Gossiper) round() {
+	snap := g.state.SnapshotAny()
+	for _, p := range g.peers {
+		if p != g.name {
+			g.net.Send(g.name, p, gossipMsg{Snapshot: snap})
+		}
+	}
+}
+
+// ConvergedStates reports whether all the given gossipers hold equal state.
+func ConvergedStates(gs []*Gossiper) bool {
+	if len(gs) < 2 {
+		return true
+	}
+	first := gs[0].state.SnapshotAny()
+	for _, g := range gs[1:] {
+		if !g.state.EqualAny(first) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedKeys is a small helper for deterministic iteration in tests.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,188 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func collectNode(net *Network, name string) *[]Message {
+	got := &[]Message{}
+	net.AddNode(name, func(now Time, msg Message) { *got = append(*got, msg) })
+	return got
+}
+
+func TestDeliveryAndLatencyBounds(t *testing.T) {
+	net := New(Config{Seed: 1, MinLatency: 10, MaxLatency: 20})
+	got := collectNode(net, "b")
+	net.AddNode("a", func(now Time, msg Message) {})
+	at := net.Send("a", "b", "hi")
+	if at < 10 || at > 20 {
+		t.Fatalf("latency %d outside [10,20]", at)
+	}
+	net.Drain(10)
+	if len(*got) != 1 || (*got)[0].Payload != "hi" {
+		t.Fatalf("delivery = %v", *got)
+	}
+	if net.Now() != at {
+		t.Fatalf("time did not advance to %d (now %d)", at, net.Now())
+	}
+}
+
+func TestDeterminismUnderSeed(t *testing.T) {
+	run := func() []Time {
+		net := New(Config{Seed: 99, MinLatency: 1, MaxLatency: 1000})
+		var times []Time
+		net.AddNode("b", func(now Time, msg Message) { times = append(times, now) })
+		net.AddNode("a", func(now Time, msg Message) {})
+		for i := 0; i < 20; i++ {
+			net.Send("a", "b", i)
+		}
+		net.Drain(100)
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	net := New(Config{Seed: 7, MinLatency: 1, MaxLatency: 1, DropRate: 0.5})
+	got := collectNode(net, "b")
+	net.AddNode("a", func(now Time, msg Message) {})
+	for i := 0; i < 200; i++ {
+		net.Send("a", "b", i)
+	}
+	net.Drain(500)
+	if len(*got) == 0 || len(*got) == 200 {
+		t.Fatalf("drop rate 0.5 delivered %d/200", len(*got))
+	}
+	s := net.Stats()
+	if s.Dropped+s.Delivered != s.Sent {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net := New(DefaultConfig(3))
+	got := collectNode(net, "b")
+	net.AddNode("a", func(now Time, msg Message) {})
+	net.Partition("a", "b")
+	net.Send("a", "b", "lost")
+	net.Drain(10)
+	if len(*got) != 0 {
+		t.Fatal("partitioned message delivered")
+	}
+	net.Heal("a", "b")
+	net.Send("a", "b", "ok")
+	net.Drain(10)
+	if len(*got) != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+	if net.Stats().Blocked != 1 {
+		t.Fatalf("blocked = %d", net.Stats().Blocked)
+	}
+}
+
+func TestDownNode(t *testing.T) {
+	net := New(DefaultConfig(3))
+	got := collectNode(net, "b")
+	net.AddNode("a", func(now Time, msg Message) {})
+	net.SetDown("b", true)
+	net.Send("a", "b", "x")
+	net.Drain(10)
+	if len(*got) != 0 {
+		t.Fatal("down node received a message")
+	}
+	net.SetDown("b", false)
+	net.Send("a", "b", "y")
+	net.Drain(10)
+	if len(*got) != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+	// Messages *from* a down node are dropped too.
+	net.SetDown("a", true)
+	net.Send("a", "b", "z")
+	net.Drain(10)
+	if len(*got) != 1 {
+		t.Fatal("message from a down sender delivered")
+	}
+}
+
+func TestTimersFireAcrossPartitions(t *testing.T) {
+	net := New(DefaultConfig(5))
+	fired := 0
+	net.AddNode("a", func(now Time, msg Message) { fired++ })
+	net.Partition("a", "a") // nonsensical but must not block timers
+	net.After("a", 100, "tick")
+	net.Drain(10)
+	if fired != 1 {
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestCrossDomainPenalty(t *testing.T) {
+	net := New(Config{Seed: 1, MinLatency: 10, MaxLatency: 10, CrossDomainPenalty: 1000})
+	net.AddNode("a", func(now Time, msg Message) {})
+	net.AddNode("b", func(now Time, msg Message) {})
+	net.SetDomain("a", "az1")
+	net.SetDomain("b", "az2")
+	if at := net.Send("a", "b", "x"); at != 1010 {
+		t.Fatalf("cross-domain latency = %d, want 1010", at)
+	}
+	net.SetDomain("b", "az1")
+	if at := net.Send("a", "b", "x"); at != 10 {
+		t.Fatalf("same-domain latency = %d, want 10", at)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	net := New(Config{Seed: 1, MinLatency: 100, MaxLatency: 100})
+	got := collectNode(net, "b")
+	net.AddNode("a", func(now Time, msg Message) {})
+	net.Send("a", "b", 1)
+	n := net.RunUntil(50) // too early
+	if n != 0 || len(*got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	if net.Now() != 50 {
+		t.Fatalf("clock should advance to deadline, now=%d", net.Now())
+	}
+	net.RunUntil(200)
+	if len(*got) != 1 {
+		t.Fatal("not delivered by deadline")
+	}
+}
+
+func TestOrderingStableAtSameInstant(t *testing.T) {
+	net := New(Config{Seed: 1, MinLatency: 5, MaxLatency: 5})
+	var order []int
+	net.AddNode("b", func(now Time, msg Message) { order = append(order, msg.Payload.(int)) })
+	net.AddNode("a", func(now Time, msg Message) {})
+	for i := 0; i < 5; i++ {
+		net.Send("a", "b", i)
+	}
+	net.Drain(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant delivery reordered: %v", order)
+		}
+	}
+}
+
+func TestCascadingSendsFromHandler(t *testing.T) {
+	net := New(Config{Seed: 1, MinLatency: 1, MaxLatency: 1})
+	hops := 0
+	net.AddNode("relay", func(now Time, msg Message) {
+		if n := msg.Payload.(int); n > 0 {
+			hops++
+			net.Send("relay", "relay", n-1)
+		}
+	})
+	net.Send("relay", "relay", 5)
+	net.Drain(100)
+	if hops != 5 {
+		t.Fatalf("relay hops = %d, want 5", hops)
+	}
+}

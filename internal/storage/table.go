@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is a record: column name → value.
+type Row map[string]any
+
+// Layout names a physical organization for a table — the container choices
+// of §5.1 that Chestnut enumerates.
+type Layout int
+
+// Layouts.
+const (
+	// LayoutHeap is an unordered row list: cheapest writes, O(n) lookups.
+	LayoutHeap Layout = iota
+	// LayoutHash adds a hash index on the key column: O(1) point lookups.
+	LayoutHash
+	// LayoutBTree stores rows in a B+-tree on the key: point + range.
+	LayoutBTree
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutHeap:
+		return "heap"
+	case LayoutHash:
+		return "hash"
+	default:
+		return "btree"
+	}
+}
+
+// Table is a physical table with a primary layout and optional secondary
+// hash indexes. Access-path statistics are recorded for the cost model.
+type Table struct {
+	Name   string
+	KeyCol string
+	layout Layout
+
+	heap      []Row
+	hash      map[string]Row
+	tree      *BTree
+	secondary map[string]map[string][]Row // col → value → rows
+
+	// Stats counts operations by access path, for cost-model calibration
+	// and the E3 experiment's "rows touched" reporting.
+	Stats AccessStats
+}
+
+// AccessStats counts physical work.
+type AccessStats struct {
+	PointLookups uint64
+	Scans        uint64
+	RowsTouched  uint64
+	Inserts      uint64
+}
+
+// NewTable creates a table with the given layout.
+func NewTable(name, keyCol string, layout Layout) *Table {
+	t := &Table{Name: name, KeyCol: keyCol, layout: layout, secondary: map[string]map[string][]Row{}}
+	switch layout {
+	case LayoutHash:
+		t.hash = map[string]Row{}
+	case LayoutBTree:
+		t.tree = NewBTree()
+	}
+	return t
+}
+
+// Layout returns the table's physical layout.
+func (t *Table) Layout() Layout { return t.layout }
+
+func keyString(v any) string { return fmt.Sprint(v) }
+
+// AddSecondaryIndex builds a hash index on a non-key column.
+func (t *Table) AddSecondaryIndex(col string) {
+	idx := map[string][]Row{}
+	t.scanAll(func(r Row) bool {
+		k := keyString(r[col])
+		idx[k] = append(idx[k], r)
+		return true
+	})
+	t.secondary[col] = idx
+}
+
+// Insert adds a row (upsert on primary key for hash/btree layouts).
+func (t *Table) Insert(r Row) {
+	t.Stats.Inserts++
+	key := keyString(r[t.KeyCol])
+	switch t.layout {
+	case LayoutHeap:
+		t.heap = append(t.heap, r)
+	case LayoutHash:
+		t.hash[key] = r
+	case LayoutBTree:
+		t.tree.Put(key, r)
+	}
+	for col, idx := range t.secondary {
+		k := keyString(r[col])
+		idx[k] = append(idx[k], r)
+	}
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	switch t.layout {
+	case LayoutHeap:
+		return len(t.heap)
+	case LayoutHash:
+		return len(t.hash)
+	default:
+		return t.tree.Len()
+	}
+}
+
+// Lookup finds rows where col == val, using the best access path available:
+// primary structure for the key column, a secondary index when present, or
+// a full scan otherwise.
+func (t *Table) Lookup(col string, val any) []Row {
+	k := keyString(val)
+	if col == t.KeyCol {
+		switch t.layout {
+		case LayoutHash:
+			t.Stats.PointLookups++
+			t.Stats.RowsTouched++
+			if r, ok := t.hash[k]; ok {
+				return []Row{r}
+			}
+			return nil
+		case LayoutBTree:
+			t.Stats.PointLookups++
+			t.Stats.RowsTouched += uint64(t.tree.Depth())
+			if v, ok := t.tree.Get(k); ok {
+				return []Row{v.(Row)}
+			}
+			return nil
+		}
+	}
+	if idx, ok := t.secondary[col]; ok {
+		t.Stats.PointLookups++
+		rows := idx[k]
+		t.Stats.RowsTouched += uint64(len(rows))
+		return rows
+	}
+	// Fallback: full scan.
+	var out []Row
+	t.Stats.Scans++
+	t.scanAll(func(r Row) bool {
+		t.Stats.RowsTouched++
+		if keyString(r[col]) == k {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// Range returns rows with lo <= key < hi (string order); only the B+-tree
+// layout supports it natively, other layouts scan.
+func (t *Table) Range(lo, hi string) []Row {
+	var out []Row
+	if t.layout == LayoutBTree {
+		t.Stats.Scans++
+		t.tree.Scan(lo, hi, func(k string, v any) bool {
+			t.Stats.RowsTouched++
+			out = append(out, v.(Row))
+			return true
+		})
+		return out
+	}
+	t.Stats.Scans++
+	t.scanAll(func(r Row) bool {
+		t.Stats.RowsTouched++
+		k := keyString(r[t.KeyCol])
+		if k >= lo && (hi == "" || k < hi) {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+func (t *Table) scanAll(f func(Row) bool) {
+	switch t.layout {
+	case LayoutHeap:
+		for _, r := range t.heap {
+			if !f(r) {
+				return
+			}
+		}
+	case LayoutHash:
+		for _, r := range t.hash {
+			if !f(r) {
+				return
+			}
+		}
+	case LayoutBTree:
+		t.tree.Scan("", "", func(k string, v any) bool { return f(v.(Row)) })
+	}
+}
+
+// ScanAll visits every row (a full table scan, counted in stats).
+func (t *Table) ScanAll(f func(Row) bool) {
+	t.Stats.Scans++
+	t.scanAll(func(r Row) bool {
+		t.Stats.RowsTouched++
+		return f(r)
+	})
+}
+
+// String summarizes the physical design.
+func (t *Table) String() string {
+	var secs []string
+	for col := range t.secondary {
+		secs = append(secs, col)
+	}
+	sec := ""
+	if len(secs) > 0 {
+		sec = " secondary(" + strings.Join(secs, ",") + ")"
+	}
+	return fmt.Sprintf("%s[%s on %s%s]", t.Name, t.layout, t.KeyCol, sec)
+}

@@ -1,0 +1,392 @@
+// Package transducer implements HydroLogic's event-loop semantics (§3.1):
+// each tick takes a snapshot of program state (including newly arrived
+// mailbox messages), computes to fixpoint against that snapshot, and applies
+// all mutations atomically at end of tick. Sends are asynchronous merges
+// into mailboxes that may be delayed an unbounded (simulated) number of
+// ticks, capturing network non-determinism while keeping handler logic
+// deterministic within a tick.
+//
+// The runtime is deliberately agnostic to how handlers were produced: the
+// Hydrolysis compiler registers closures compiled from HydroLogic, and the
+// lifting runtimes (actors, futures, MPI) register hand-written ones.
+package transducer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hydro/internal/datalog"
+)
+
+// Message is one mailbox entry.
+type Message struct {
+	Mailbox string
+	Payload datalog.Tuple
+	// ID correlates requests with responses; From names the sender node
+	// (used by the cluster substrate).
+	ID   uint64
+	From string
+}
+
+// TableSchema registers a table with the runtime.
+type TableSchema struct {
+	Name  string
+	Arity int
+	// Key lists the key column indexes used by field merges.
+	Key []int
+	// LatticeMerge maps a column index to its lattice join. Field merges
+	// are only valid on columns present here.
+	LatticeMerge map[int]func(a, b any) any
+	// Zero builds a fresh row for a key when a field merge targets a
+	// missing row; nil disables auto-creation.
+	Zero func(key []any) datalog.Tuple
+}
+
+// Handler reacts to one message. It must confine all effects to the Tx; the
+// runtime applies them atomically after the tick's fixpoint.
+type Handler func(tx *Tx, msg Message)
+
+// DelayFn decides, per send, how many ticks delivery is delayed (≥1 keeps
+// "sends are not visible during the current tick" true).
+type DelayFn func(r *rand.Rand) int
+
+// DefaultDelay delays 1-3 ticks uniformly.
+func DefaultDelay(r *rand.Rand) int { return 1 + r.Intn(3) }
+
+// Stats counts runtime activity.
+type Stats struct {
+	Ticks     uint64
+	Handled   uint64 // messages processed
+	Derived   uint64 // datalog facts derived across ticks
+	Mutations uint64 // applied end-of-tick mutations
+	Sent      uint64 // messages enqueued
+	Aborted   uint64 // handler invocations aborted by invariants
+}
+
+// Runtime is one transducer: a logical single-node event loop.
+type Runtime struct {
+	// Name identifies the node in distributed deployments.
+	Name string
+
+	db       *datalog.Database
+	vars     map[string]any
+	schemas  map[string]TableSchema
+	handlers map[string]Handler
+	queries  *datalog.Program
+
+	mailboxes map[string][]Message
+	inflight  []pendingSend
+	nextID    uint64
+	rng       *rand.Rand
+	delay     DelayFn
+
+	// Remote, when set, receives sends addressed to mailboxes with an
+	// explicit node ("node/mailbox"); the cluster substrate plugs in here.
+	Remote func(node string, msg Message)
+
+	stats Stats
+}
+
+type pendingSend struct {
+	msg       Message
+	deliverAt uint64
+}
+
+// New returns a runtime seeded for deterministic send delays.
+func New(name string, seed int64) *Runtime {
+	return &Runtime{
+		Name:      name,
+		db:        datalog.NewDatabase(),
+		vars:      map[string]any{},
+		schemas:   map[string]TableSchema{},
+		handlers:  map[string]Handler{},
+		mailboxes: map[string][]Message{},
+		rng:       rand.New(rand.NewSource(seed)),
+		delay:     DefaultDelay,
+	}
+}
+
+// SetDelay overrides the send-delay distribution (tests use a fixed 1).
+func (rt *Runtime) SetDelay(d DelayFn) { rt.delay = d }
+
+// Stats returns a copy of the counters.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// RegisterTable declares a table.
+func (rt *Runtime) RegisterTable(s TableSchema) {
+	rt.schemas[s.Name] = s
+	rt.db.Ensure(s.Name, s.Arity)
+}
+
+// RegisterVar declares a scalar variable with an initial value.
+func (rt *Runtime) RegisterVar(name string, initial any) { rt.vars[name] = initial }
+
+// RegisterHandler binds a mailbox to a handler.
+func (rt *Runtime) RegisterHandler(mailbox string, h Handler) { rt.handlers[mailbox] = h }
+
+// RegisterQueries installs the datalog program evaluated to fixpoint each
+// tick (the compiled `query` declarations).
+func (rt *Runtime) RegisterQueries(p *datalog.Program) { rt.queries = p }
+
+// Table exposes a table's current contents (between ticks).
+func (rt *Runtime) Table(name string) *datalog.Relation { return rt.db.Get(name) }
+
+// Var reads a scalar variable's current value (between ticks).
+func (rt *Runtime) Var(name string) any { return rt.vars[name] }
+
+// Inject places a message in a mailbox for the next tick (external input).
+func (rt *Runtime) Inject(mailbox string, payload datalog.Tuple) uint64 {
+	rt.nextID++
+	id := rt.nextID
+	rt.mailboxes[mailbox] = append(rt.mailboxes[mailbox], Message{Mailbox: mailbox, Payload: payload, ID: id, From: "external"})
+	return id
+}
+
+// Deliver places a fully-formed message into a mailbox (used by the cluster
+// transport for inter-node sends).
+func (rt *Runtime) Deliver(msg Message) {
+	rt.mailboxes[msg.Mailbox] = append(rt.mailboxes[msg.Mailbox], msg)
+}
+
+// Drain removes and returns the contents of a mailbox (used to observe
+// response mailboxes and by lifting runtimes).
+func (rt *Runtime) Drain(mailbox string) []Message {
+	msgs := rt.mailboxes[mailbox]
+	delete(rt.mailboxes, mailbox)
+	return msgs
+}
+
+// Peek returns mailbox contents without consuming them.
+func (rt *Runtime) Peek(mailbox string) []Message { return rt.mailboxes[mailbox] }
+
+// Idle reports no pending mailbox messages and no in-flight sends.
+func (rt *Runtime) Idle() bool {
+	for _, msgs := range rt.mailboxes {
+		if _, handled := rt.handlers[msgs[0].Mailbox]; handled && len(msgs) > 0 {
+			return false
+		}
+	}
+	return len(rt.inflight) == 0
+}
+
+// Tick runs one iteration of the event loop and returns the number of
+// messages handled.
+func (rt *Runtime) Tick() int {
+	rt.stats.Ticks++
+	// 1. Deliver matured in-flight sends into mailboxes (they become part
+	//    of this tick's snapshot).
+	var still []pendingSend
+	for _, ps := range rt.inflight {
+		if ps.deliverAt <= rt.stats.Ticks {
+			rt.deliverLocalOrRemote(ps.msg)
+		} else {
+			still = append(still, ps)
+		}
+	}
+	rt.inflight = still
+
+	// 2. Snapshot: handlers read a frozen copy of state; queries run to
+	//    fixpoint against the snapshot — lazily, on the first read, so
+	//    ticks that never consult a derived query skip the fixpoint
+	//    entirely (a Hydrolysis optimization: most monotone handlers only
+	//    merge).
+	snapDB := rt.db.Clone()
+	queriesEvaled := false
+	ensureQueries := func() {
+		if queriesEvaled || rt.queries == nil {
+			return
+		}
+		queriesEvaled = true
+		n, err := rt.queries.Eval(snapDB)
+		if err != nil {
+			// Programs are validated at compile time; a failure here is
+			// a compiler bug.
+			panic(fmt.Sprintf("transducer %s: query evaluation failed: %v", rt.Name, err))
+		}
+		rt.stats.Derived += uint64(n)
+	}
+	snapVars := make(map[string]any, len(rt.vars))
+	for k, v := range rt.vars {
+		snapVars[k] = v
+	}
+
+	// 3. Handle every message in every handled mailbox against the
+	//    snapshot, accumulating deferred effects. Mailboxes are processed
+	//    in sorted order for determinism.
+	var boxes []string
+	for name := range rt.mailboxes {
+		if _, ok := rt.handlers[name]; ok {
+			boxes = append(boxes, name)
+		}
+	}
+	sort.Strings(boxes)
+	eff := &effects{assigns: map[string]any{}}
+	handled := 0
+	for _, box := range boxes {
+		msgs := rt.mailboxes[box]
+		delete(rt.mailboxes, box)
+		h := rt.handlers[box]
+		for _, msg := range msgs {
+			tx := rt.newTx(snapDB, snapVars, eff, msg)
+			tx.ensureQueries = ensureQueries
+			h(tx, msg)
+			if tx.aborted {
+				rt.stats.Aborted++
+				// Discard this handler invocation's staged effects.
+				eff.truncate(tx.mark)
+			}
+			handled++
+			rt.stats.Handled++
+		}
+	}
+
+	// 4. Apply effects atomically.
+	rt.applyEffects(eff)
+	return handled
+}
+
+// RunUntilIdle ticks until no work remains or maxTicks elapses; it returns
+// the number of ticks executed.
+func (rt *Runtime) RunUntilIdle(maxTicks int) int {
+	for i := 0; i < maxTicks; i++ {
+		rt.Tick()
+		if rt.Idle() {
+			return i + 1
+		}
+	}
+	return maxTicks
+}
+
+func (rt *Runtime) deliverLocalOrRemote(msg Message) {
+	if node, box, ok := splitAddr(msg.Mailbox); ok && node != rt.Name {
+		if rt.Remote != nil {
+			msg.Mailbox = box
+			rt.Remote(node, msg)
+			return
+		}
+	}
+	rt.mailboxes[msg.Mailbox] = append(rt.mailboxes[msg.Mailbox], msg)
+}
+
+func splitAddr(addr string) (node, mailbox string, ok bool) {
+	for i := 0; i < len(addr); i++ {
+		if addr[i] == '/' {
+			return addr[:i], addr[i+1:], true
+		}
+	}
+	return "", addr, false
+}
+
+// applyEffects commits the tick's staged mutations: inserts and field
+// merges (monotone), then assigns and deletes (non-monotone), then sends.
+func (rt *Runtime) applyEffects(eff *effects) {
+	for _, ins := range eff.inserts {
+		rt.applyInsert(ins.table, ins.row)
+		rt.stats.Mutations++
+	}
+	for _, fm := range eff.fieldMerges {
+		rt.applyFieldMerge(fm)
+		rt.stats.Mutations++
+	}
+	// Deterministic order for assigns: sorted by var name; last staged
+	// value per name wins (conflicting assigns within a tick are a
+	// program race the analyzer flags, but the runtime stays deterministic).
+	var names []string
+	for name := range eff.assigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt.vars[name] = eff.assigns[name]
+		rt.stats.Mutations++
+	}
+	for _, del := range eff.deletes {
+		if rel := rt.db.Get(del.table); rel != nil {
+			rel.Delete(del.row)
+		}
+		rt.stats.Mutations++
+	}
+	for _, msg := range eff.sends {
+		rt.nextID++
+		msg.ID = rt.nextID
+		msg.From = rt.Name
+		rt.inflight = append(rt.inflight, pendingSend{
+			msg:       msg,
+			deliverAt: rt.stats.Ticks + uint64(rt.delay(rt.rng)),
+		})
+		rt.stats.Sent++
+	}
+}
+
+// applyInsert inserts a tuple, honoring key-based merge semantics: when the
+// table declares key columns and a row with the same key exists, lattice
+// columns merge and zero-valued non-lattice columns adopt the new values
+// (first non-zero writer wins otherwise, deterministically). This gives
+// `merge table(...)` the upsert behavior the paper's data model implies
+// ("a table keyed on each person's pid").
+func (rt *Runtime) applyInsert(table string, row datalog.Tuple) {
+	rel := rt.db.Ensure(table, len(row))
+	schema, ok := rt.schemas[table]
+	if !ok || len(schema.Key) == 0 {
+		rel.Insert(row)
+		return
+	}
+	key := make([]any, len(schema.Key))
+	for i, idx := range schema.Key {
+		key[i] = row[idx]
+	}
+	existing := rel.Lookup(schema.Key, key)
+	if len(existing) == 0 {
+		rel.Insert(row)
+		return
+	}
+	var zero datalog.Tuple
+	if schema.Zero != nil {
+		zero = schema.Zero(key)
+	}
+	merged := append(datalog.Tuple{}, existing[0]...)
+	for i := range merged {
+		if mf, isLat := schema.LatticeMerge[i]; isLat {
+			merged[i] = mf(merged[i], row[i])
+		} else if zero != nil && merged[i] == zero[i] {
+			merged[i] = row[i]
+		}
+	}
+	if !merged.Equal(existing[0]) {
+		rel.Delete(existing[0])
+		rel.Insert(merged)
+	}
+}
+
+func (rt *Runtime) applyFieldMerge(fm fieldMerge) {
+	schema, ok := rt.schemas[fm.table]
+	if !ok {
+		panic(fmt.Sprintf("transducer %s: field merge into unregistered table %q", rt.Name, fm.table))
+	}
+	mergeFn, ok := schema.LatticeMerge[fm.col]
+	if !ok {
+		panic(fmt.Sprintf("transducer %s: column %d of %q is not a lattice", rt.Name, fm.col, fm.table))
+	}
+	rel := rt.db.Ensure(fm.table, schema.Arity)
+	// Find the row by key columns.
+	rows := rel.Lookup(schema.Key, fm.key)
+	if len(rows) == 0 {
+		if schema.Zero == nil {
+			return // no row, no auto-create: merge is a no-op
+		}
+		row := schema.Zero(fm.key)
+		updated := append(datalog.Tuple{}, row...)
+		updated[fm.col] = mergeFn(updated[fm.col], fm.value)
+		rel.Insert(updated)
+		return
+	}
+	for _, row := range rows {
+		updated := append(datalog.Tuple{}, row...)
+		updated[fm.col] = mergeFn(updated[fm.col], fm.value)
+		if !updated.Equal(row) {
+			rel.Delete(row)
+			rel.Insert(updated)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package transducer
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydro/internal/datalog"
+)
+
+func fixedDelay(r *rand.Rand) int { return 1 }
+
+func newTestRuntime() *Runtime {
+	rt := New("n1", 42)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(TableSchema{
+		Name:  "people",
+		Arity: 3, // pid, covid, vaccinated
+		Key:   []int{0},
+		LatticeMerge: map[int]func(a, b any) any{
+			1: orMerge,
+			2: orMerge,
+		},
+		Zero: func(key []any) datalog.Tuple { return datalog.Tuple{key[0], false, false} },
+	})
+	return rt
+}
+
+func orMerge(a, b any) any { return a.(bool) || b.(bool) }
+
+func TestMutationsDeferredToEndOfTick(t *testing.T) {
+	rt := newTestRuntime()
+	var sawDuringTick int
+	rt.RegisterHandler("add", func(tx *Tx, msg Message) {
+		tx.MergeTuple("people", datalog.Tuple{msg.Payload[0], false, false})
+		// Within the tick the snapshot must not show this tick's inserts.
+		sawDuringTick = len(tx.Query("people"))
+	})
+	rt.Inject("add", datalog.Tuple{int64(1)})
+	rt.Inject("add", datalog.Tuple{int64(2)})
+	rt.Tick()
+	if sawDuringTick != 0 {
+		t.Fatalf("handler saw %d rows mid-tick, want 0 (snapshot semantics)", sawDuringTick)
+	}
+	if rt.Table("people").Len() != 2 {
+		t.Fatalf("after tick: %d rows, want 2", rt.Table("people").Len())
+	}
+}
+
+func TestFieldMergeMonotoneAndAutoCreate(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterHandler("diagnose", func(tx *Tx, msg Message) {
+		tx.MergeField("people", []any{msg.Payload[0]}, 1, true)
+	})
+	// Auto-create: merging into a missing row materializes the zero row.
+	rt.Inject("diagnose", datalog.Tuple{int64(7)})
+	rt.Tick()
+	if !rt.Table("people").Contains(datalog.Tuple{int64(7), true, false}) {
+		t.Fatalf("rows = %v", rt.Table("people").Tuples())
+	}
+	// Merging false over true must not regress (or-lattice).
+	rt.RegisterHandler("undiagnose", func(tx *Tx, msg Message) {
+		tx.MergeField("people", []any{msg.Payload[0]}, 1, false)
+	})
+	rt.Inject("undiagnose", datalog.Tuple{int64(7)})
+	rt.Tick()
+	if !rt.Table("people").Contains(datalog.Tuple{int64(7), true, false}) {
+		t.Fatal("or-lattice merge regressed")
+	}
+}
+
+func TestSendsInvisibleUntilLaterTick(t *testing.T) {
+	rt := newTestRuntime()
+	var got []Message
+	rt.RegisterHandler("ping", func(tx *Tx, msg Message) {
+		tx.Send("pong", datalog.Tuple{"hello"})
+	})
+	rt.RegisterHandler("pong", func(tx *Tx, msg Message) {
+		got = append(got, msg)
+	})
+	rt.Inject("ping", datalog.Tuple{int64(1)})
+	rt.Tick() // handles ping, send staged
+	if len(got) != 0 {
+		t.Fatal("send visible in same tick")
+	}
+	rt.Tick() // delivery (delay=1) and handling
+	if len(got) != 1 || got[0].Payload[0] != "hello" {
+		t.Fatalf("pong got %v", got)
+	}
+}
+
+func TestReplyCorrelation(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterHandler("ask", func(tx *Tx, msg Message) {
+		tx.Reply("answer")
+	})
+	id := rt.Inject("ask", datalog.Tuple{})
+	rt.Tick()
+	rt.Tick()
+	resp := rt.Drain("ask<response>")
+	if len(resp) != 1 {
+		t.Fatalf("responses = %v", resp)
+	}
+	if resp[0].Payload[0] != id || resp[0].Payload[1] != "answer" {
+		t.Fatalf("payload = %v, want [%d answer]", resp[0].Payload, id)
+	}
+}
+
+func TestAbortDiscardsEffects(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterVar("count", int64(0))
+	rt.RegisterHandler("guarded", func(tx *Tx, msg Message) {
+		tx.MergeTuple("people", datalog.Tuple{msg.Payload[0], false, false})
+		tx.Assign("count", tx.ReadVar("count").(int64)+1)
+		tx.Send("side", datalog.Tuple{"never"})
+		if msg.Payload[0].(int64) < 0 {
+			tx.Abort()
+		}
+	})
+	rt.Inject("guarded", datalog.Tuple{int64(-5)}) // aborts
+	rt.Inject("guarded", datalog.Tuple{int64(5)})  // commits
+	rt.Tick()
+	if rt.Table("people").Len() != 1 {
+		t.Fatalf("people = %v", rt.Table("people").Tuples())
+	}
+	if rt.Var("count").(int64) != 1 {
+		t.Fatalf("count = %v", rt.Var("count"))
+	}
+	if rt.Stats().Aborted != 1 {
+		t.Fatalf("aborted = %d", rt.Stats().Aborted)
+	}
+	rt.Tick()
+	if len(rt.Drain("side")) != 1 {
+		t.Fatal("committed handler's send lost or aborted handler's send leaked")
+	}
+}
+
+func TestQueriesRunToFixpointPerTick(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+	prog, err := datalog.NewProgram(
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.RegisterQueries(prog)
+	rt.RegisterHandler("add_edge", func(tx *Tx, msg Message) {
+		tx.MergeTuple("edge", msg.Payload)
+	})
+	var reach []datalog.Tuple
+	rt.RegisterHandler("probe", func(tx *Tx, msg Message) {
+		reach = tx.QueryWhere("path", []int{0}, []any{msg.Payload[0]})
+	})
+	rt.Inject("add_edge", datalog.Tuple{"a", "b"})
+	rt.Inject("add_edge", datalog.Tuple{"b", "c"})
+	rt.Tick()
+	rt.Inject("probe", datalog.Tuple{"a"})
+	rt.Tick()
+	if len(reach) != 2 {
+		t.Fatalf("path(a, _) = %v, want 2 rows", reach)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []datalog.Tuple {
+		rt := newTestRuntime()
+		rt.RegisterHandler("add", func(tx *Tx, msg Message) {
+			tx.MergeTuple("people", datalog.Tuple{msg.Payload[0], false, false})
+			tx.Send("echo", msg.Payload)
+		})
+		rt.RegisterHandler("echo", func(tx *Tx, msg Message) {
+			tx.MergeField("people", []any{msg.Payload[0]}, 2, true)
+		})
+		for i := int64(0); i < 10; i++ {
+			rt.Inject("add", datalog.Tuple{i})
+		}
+		rt.RunUntilIdle(50)
+		return rt.Table("people").Tuples()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic row count")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAssignLastWriteWinsDeterministically(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterVar("x", int64(0))
+	rt.RegisterHandler("seta", func(tx *Tx, msg Message) { tx.Assign("x", msg.Payload[0]) })
+	rt.Inject("seta", datalog.Tuple{int64(1)})
+	rt.Inject("seta", datalog.Tuple{int64(2)})
+	rt.Tick()
+	// Both staged in one tick: the later message in mailbox order wins;
+	// the point is determinism, asserted by repetition.
+	first := rt.Var("x")
+	for i := 0; i < 5; i++ {
+		rt2 := newTestRuntime()
+		rt2.RegisterVar("x", int64(0))
+		rt2.RegisterHandler("seta", func(tx *Tx, msg Message) { tx.Assign("x", msg.Payload[0]) })
+		rt2.Inject("seta", datalog.Tuple{int64(1)})
+		rt2.Inject("seta", datalog.Tuple{int64(2)})
+		rt2.Tick()
+		if rt2.Var("x") != first {
+			t.Fatal("conflicting assigns resolved non-deterministically")
+		}
+	}
+}
+
+func TestDeleteAppliedAfterInserts(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterHandler("addrm", func(tx *Tx, msg Message) {
+		tx.MergeTuple("people", datalog.Tuple{msg.Payload[0], false, false})
+		tx.Delete("people", datalog.Tuple{msg.Payload[0], false, false})
+	})
+	rt.Inject("addrm", datalog.Tuple{int64(1)})
+	rt.Tick()
+	if rt.Table("people").Len() != 0 {
+		t.Fatal("delete must apply after insert within the same tick")
+	}
+}
+
+func TestRemoteRouting(t *testing.T) {
+	rt := newTestRuntime()
+	var remote []Message
+	rt.Remote = func(node string, msg Message) {
+		if node != "n2" {
+			t.Fatalf("routed to %q", node)
+		}
+		remote = append(remote, msg)
+	}
+	rt.RegisterHandler("go", func(tx *Tx, msg Message) {
+		tx.Send("n2/inbox", datalog.Tuple{"x"})
+	})
+	rt.Inject("go", datalog.Tuple{})
+	rt.Tick()
+	rt.Tick()
+	if len(remote) != 1 || remote[0].Mailbox != "inbox" {
+		t.Fatalf("remote = %v", remote)
+	}
+}
+
+func TestIdleAndRunUntilIdle(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterHandler("a", func(tx *Tx, msg Message) { tx.Send("b", datalog.Tuple{}) })
+	rt.RegisterHandler("b", func(tx *Tx, msg Message) {})
+	if !rt.Idle() {
+		t.Fatal("fresh runtime should be idle")
+	}
+	rt.Inject("a", datalog.Tuple{})
+	if rt.Idle() {
+		t.Fatal("pending message should make runtime busy")
+	}
+	n := rt.RunUntilIdle(20)
+	if n >= 20 || !rt.Idle() {
+		t.Fatalf("did not quiesce: %d ticks", n)
+	}
+}
+
+func TestUnhandledMailboxAccumulates(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterHandler("fan", func(tx *Tx, msg Message) {
+		tx.Send("alerts", datalog.Tuple{msg.Payload[0]})
+	})
+	rt.Inject("fan", datalog.Tuple{int64(1)})
+	rt.Inject("fan", datalog.Tuple{int64(2)})
+	rt.RunUntilIdle(10)
+	if got := len(rt.Peek("alerts")); got != 2 {
+		t.Fatalf("alerts mailbox has %d messages, want 2", got)
+	}
+}

@@ -1,0 +1,155 @@
+package transducer
+
+import "hydro/internal/datalog"
+
+// Tx is a handler's view of one tick: reads come from the immutable
+// snapshot, writes are staged and applied at end of tick. This is what
+// makes handler bodies order-independent within a tick.
+type Tx struct {
+	rt       *Runtime
+	snapDB   *datalog.Database
+	snapVars map[string]any
+	eff      *effects
+	msg      Message
+	aborted  bool
+	mark     effectMark
+	// ensureQueries runs the registered query program against the
+	// snapshot on first use (lazy per-tick fixpoint).
+	ensureQueries func()
+}
+
+type tableRow struct {
+	table string
+	row   datalog.Tuple
+}
+
+type fieldMerge struct {
+	table string
+	key   []any
+	col   int
+	value any
+}
+
+// effects accumulates a tick's staged mutations across all handler
+// invocations.
+type effects struct {
+	inserts     []tableRow
+	fieldMerges []fieldMerge
+	assigns     map[string]any
+	assignKeys  []string // insertion order, for truncate
+	deletes     []tableRow
+	sends       []Message
+}
+
+// effectMark snapshots effect counts so an aborted handler's staged effects
+// can be discarded.
+type effectMark struct {
+	inserts, merges, assigns, deletes, sends int
+}
+
+func (e *effects) mark() effectMark {
+	return effectMark{len(e.inserts), len(e.fieldMerges), len(e.assignKeys), len(e.deletes), len(e.sends)}
+}
+
+func (e *effects) truncate(m effectMark) {
+	e.inserts = e.inserts[:m.inserts]
+	e.fieldMerges = e.fieldMerges[:m.merges]
+	for _, k := range e.assignKeys[m.assigns:] {
+		delete(e.assigns, k)
+	}
+	e.assignKeys = e.assignKeys[:m.assigns]
+	e.deletes = e.deletes[:m.deletes]
+	e.sends = e.sends[:m.sends]
+}
+
+// newTx is created per message by the runtime; handlers never construct one.
+func (rt *Runtime) newTx(snapDB *datalog.Database, snapVars map[string]any, eff *effects, msg Message) *Tx {
+	return &Tx{rt: rt, snapDB: snapDB, snapVars: snapVars, eff: eff, msg: msg, mark: eff.mark()}
+}
+
+// Msg returns the message being handled.
+func (tx *Tx) Msg() Message { return tx.msg }
+
+// Query returns the snapshot contents of a relation (table or compiled
+// query) as of the start of the tick, fixpoint included.
+func (tx *Tx) Query(name string) []datalog.Tuple {
+	tx.lazyQueries()
+	rel := tx.snapDB.Get(name)
+	if rel == nil {
+		return nil
+	}
+	return rel.Tuples()
+}
+
+// QueryWhere returns snapshot tuples whose columns at pos equal vals.
+func (tx *Tx) QueryWhere(name string, pos []int, vals []any) []datalog.Tuple {
+	tx.lazyQueries()
+	rel := tx.snapDB.Get(name)
+	if rel == nil {
+		return nil
+	}
+	return rel.Lookup(pos, vals)
+}
+
+// ReadVar reads a scalar variable from the snapshot.
+func (tx *Tx) ReadVar(name string) any { return tx.snapVars[name] }
+
+// Derive evaluates one datalog rule against the tick snapshot (which
+// contains the fixpoint of the registered queries, computed on demand).
+// Compiled rule-driven sends use this.
+func (tx *Tx) Derive(rule datalog.Rule) ([]datalog.Tuple, error) {
+	tx.lazyQueries()
+	return datalog.Derive(tx.snapDB, rule)
+}
+
+func (tx *Tx) lazyQueries() {
+	if tx.ensureQueries != nil {
+		tx.ensureQueries()
+	}
+}
+
+// MergeTuple stages a (monotonic) tuple insertion.
+func (tx *Tx) MergeTuple(table string, row datalog.Tuple) {
+	tx.eff.inserts = append(tx.eff.inserts, tableRow{table: table, row: row})
+}
+
+// MergeField stages a (monotonic) lattice merge into one column of the row
+// identified by key.
+func (tx *Tx) MergeField(table string, key []any, col int, value any) {
+	tx.eff.fieldMerges = append(tx.eff.fieldMerges, fieldMerge{table: table, key: key, col: col, value: value})
+}
+
+// Assign stages a (non-monotonic) scalar overwrite.
+func (tx *Tx) Assign(name string, value any) {
+	if _, ok := tx.eff.assigns[name]; !ok {
+		tx.eff.assignKeys = append(tx.eff.assignKeys, name)
+	}
+	tx.eff.assigns[name] = value
+}
+
+// Delete stages a (non-monotonic) tuple removal.
+func (tx *Tx) Delete(table string, row datalog.Tuple) {
+	tx.eff.deletes = append(tx.eff.deletes, tableRow{table: table, row: row})
+}
+
+// Send stages an asynchronous message. Mailbox may be "node/mailbox" to
+// address another transducer through the cluster transport.
+func (tx *Tx) Send(mailbox string, payload datalog.Tuple) {
+	tx.eff.sends = append(tx.eff.sends, Message{Mailbox: mailbox, Payload: payload})
+}
+
+// Reply stages a response to the current message's implicit response
+// mailbox (mailbox + "<response>"), correlated by message ID — the sugar
+// described under "Handlers" in §3.1.
+func (tx *Tx) Reply(values ...any) {
+	payload := append(datalog.Tuple{tx.msg.ID}, values...)
+	box := tx.msg.Mailbox + "<response>"
+	if tx.msg.From != "" && tx.msg.From != "external" && tx.msg.From != tx.rt.Name {
+		box = tx.msg.From + "/" + box
+	}
+	tx.eff.sends = append(tx.eff.sends, Message{Mailbox: box, Payload: payload})
+}
+
+// Abort discards every effect this handler invocation has staged — used by
+// compiled `require(...)` invariants.
+func (tx *Tx) Abort() { tx.aborted = true }

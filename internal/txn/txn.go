@@ -1,0 +1,432 @@
+// Package txn provides the transactional machinery the consistency facet
+// (§7) draws on when invariants demand isolation: a strict two-phase-locking
+// lock manager with deadlock detection, a local transaction manager, and a
+// two-phase-commit coordinator for multi-partition transactions.
+//
+// The paper's vaccinate handler compiles to exactly this when its
+// serializable spec cannot be discharged by monotonicity analysis alone.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LockMode is shared or exclusive.
+type LockMode int
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+// ErrDeadlock is returned when acquiring would create a wait cycle.
+var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// ErrConflict is returned by TryAcquire when the lock is unavailable.
+var ErrConflict = errors.New("txn: lock conflict")
+
+// ErrAborted is returned when operating on an aborted transaction.
+var ErrAborted = errors.New("txn: transaction aborted")
+
+type lockState struct {
+	holders map[uint64]LockMode
+}
+
+func (ls *lockState) compatible(tid uint64, mode LockMode) bool {
+	for holder, held := range ls.holders {
+		if holder == tid {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// LockManager implements strict 2PL with wait-for-graph deadlock detection.
+// It is safe for concurrent use.
+type LockManager struct {
+	mu      sync.Mutex
+	locks   map[string]*lockState
+	waitFor map[uint64]map[uint64]bool // waiter → holders
+	cond    *sync.Cond
+	aborted map[uint64]bool
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	lm := &LockManager{
+		locks:   map[string]*lockState{},
+		waitFor: map[uint64]map[uint64]bool{},
+		aborted: map[uint64]bool{},
+	}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// TryAcquire attempts a non-blocking acquire.
+func (lm *LockManager) TryAcquire(tid uint64, key string, mode LockMode) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.tryLocked(tid, key, mode)
+}
+
+func (lm *LockManager) tryLocked(tid uint64, key string, mode LockMode) error {
+	if lm.aborted[tid] {
+		return ErrAborted
+	}
+	ls, ok := lm.locks[key]
+	if !ok {
+		ls = &lockState{holders: map[uint64]LockMode{}}
+		lm.locks[key] = ls
+	}
+	if held, mine := ls.holders[tid]; mine && (held == Exclusive || held == mode) {
+		return nil // already held at sufficient strength
+	}
+	if !ls.compatible(tid, mode) {
+		return ErrConflict
+	}
+	// Upgrade or fresh acquire.
+	if held, mine := ls.holders[tid]; !mine || held == Shared {
+		ls.holders[tid] = mode
+	}
+	return nil
+}
+
+// Acquire blocks until the lock is granted or a deadlock is detected, in
+// which case the requesting transaction is aborted and ErrDeadlock returned.
+func (lm *LockManager) Acquire(tid uint64, key string, mode LockMode) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for {
+		err := lm.tryLocked(tid, key, mode)
+		if err == nil {
+			delete(lm.waitFor, tid)
+			return nil
+		}
+		if errors.Is(err, ErrAborted) {
+			return err
+		}
+		// Record edges waiter→holders and check for a cycle.
+		holders := map[uint64]bool{}
+		for h := range lm.locks[key].holders {
+			if h != tid {
+				holders[h] = true
+			}
+		}
+		lm.waitFor[tid] = holders
+		if lm.cycleFrom(tid) {
+			delete(lm.waitFor, tid)
+			lm.aborted[tid] = true
+			lm.releaseAllLocked(tid)
+			return ErrDeadlock
+		}
+		lm.cond.Wait()
+	}
+}
+
+// cycleFrom reports whether tid participates in a wait-for cycle.
+func (lm *LockManager) cycleFrom(start uint64) bool {
+	visited := map[uint64]bool{}
+	var dfs func(cur uint64) bool
+	dfs = func(cur uint64) bool {
+		for next := range lm.waitFor[cur] {
+			if next == start {
+				return true
+			}
+			if !visited[next] {
+				visited[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// ReleaseAll drops every lock a transaction holds (commit or abort).
+func (lm *LockManager) ReleaseAll(tid uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.releaseAllLocked(tid)
+	delete(lm.aborted, tid)
+}
+
+func (lm *LockManager) releaseAllLocked(tid uint64) {
+	for key, ls := range lm.locks {
+		if _, ok := ls.holders[tid]; ok {
+			delete(ls.holders, tid)
+			if len(ls.holders) == 0 {
+				delete(lm.locks, key)
+			}
+		}
+	}
+	lm.cond.Broadcast()
+}
+
+// Held reports the mode tid holds on key, if any.
+func (lm *LockManager) Held(tid uint64, key string) (LockMode, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	ls, ok := lm.locks[key]
+	if !ok {
+		return 0, false
+	}
+	m, ok := ls.holders[tid]
+	return m, ok
+}
+
+// --- Local transactional store (strict 2PL over a KV map) ---
+
+// Store is a serializable key-value store: every read takes a shared lock,
+// every write an exclusive lock, all held to commit (strict 2PL).
+type Store struct {
+	mu   sync.Mutex
+	data map[string]any
+	lm   *LockManager
+	next uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: map[string]any{}, lm: NewLockManager()}
+}
+
+// Txn is one open transaction.
+type Txn struct {
+	ID     uint64
+	s      *Store
+	writes map[string]any
+	dels   map[string]bool
+	done   bool
+}
+
+// Begin opens a transaction.
+func (s *Store) Begin() *Txn {
+	s.mu.Lock()
+	s.next++
+	id := s.next
+	s.mu.Unlock()
+	return &Txn{ID: id, s: s, writes: map[string]any{}, dels: map[string]bool{}}
+}
+
+// Get reads a key under a shared lock (own writes win).
+func (t *Txn) Get(key string) (any, bool, error) {
+	if t.done {
+		return nil, false, ErrAborted
+	}
+	if t.dels[key] {
+		return nil, false, nil
+	}
+	if v, ok := t.writes[key]; ok {
+		return v, true, nil
+	}
+	if err := t.s.lm.Acquire(t.ID, key, Shared); err != nil {
+		t.rollback()
+		return nil, false, err
+	}
+	t.s.mu.Lock()
+	v, ok := t.s.data[key]
+	t.s.mu.Unlock()
+	return v, ok, nil
+}
+
+// Put buffers a write under an exclusive lock.
+func (t *Txn) Put(key string, v any) error {
+	if t.done {
+		return ErrAborted
+	}
+	if err := t.s.lm.Acquire(t.ID, key, Exclusive); err != nil {
+		t.rollback()
+		return err
+	}
+	delete(t.dels, key)
+	t.writes[key] = v
+	return nil
+}
+
+// Delete buffers a deletion under an exclusive lock.
+func (t *Txn) Delete(key string) error {
+	if t.done {
+		return ErrAborted
+	}
+	if err := t.s.lm.Acquire(t.ID, key, Exclusive); err != nil {
+		t.rollback()
+		return err
+	}
+	delete(t.writes, key)
+	t.dels[key] = true
+	return nil
+}
+
+// Commit applies buffered writes and releases locks.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrAborted
+	}
+	t.s.mu.Lock()
+	for k, v := range t.writes {
+		t.s.data[k] = v
+	}
+	for k := range t.dels {
+		delete(t.s.data, k)
+	}
+	t.s.mu.Unlock()
+	t.s.lm.ReleaseAll(t.ID)
+	t.done = true
+	return nil
+}
+
+// Abort discards buffered writes and releases locks.
+func (t *Txn) Abort() {
+	if !t.done {
+		t.rollback()
+	}
+}
+
+func (t *Txn) rollback() {
+	t.s.lm.ReleaseAll(t.ID)
+	t.writes = map[string]any{}
+	t.dels = map[string]bool{}
+	t.done = true
+}
+
+// Snapshot returns a copy of committed state (test/inspection helper).
+func (s *Store) Snapshot() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]any, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// --- Two-phase commit across partitions ---
+
+// Participant is one partition in a distributed transaction: it can prepare
+// (acquire locks, validate) and then commit or abort.
+type Participant interface {
+	Name() string
+	Prepare(tid uint64, writes map[string]any) error
+	Commit(tid uint64)
+	Abort(tid uint64)
+}
+
+// StorePart adapts a Store to the Participant interface.
+type StorePart struct {
+	PartName string
+	S        *Store
+	prepared map[uint64]*Txn
+	mu       sync.Mutex
+}
+
+// NewStorePart wraps a store as a 2PC participant.
+func NewStorePart(name string, s *Store) *StorePart {
+	return &StorePart{PartName: name, S: s, prepared: map[uint64]*Txn{}}
+}
+
+// Name implements Participant.
+func (sp *StorePart) Name() string { return sp.PartName }
+
+// Prepare acquires locks and buffers writes; the vote is the error value.
+func (sp *StorePart) Prepare(tid uint64, writes map[string]any) error {
+	t := sp.S.Begin()
+	keys := make([]string, 0, len(writes))
+	for k := range writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic lock order reduces deadlocks
+	for _, k := range keys {
+		if err := t.Put(k, writes[k]); err != nil {
+			return fmt.Errorf("participant %s: %w", sp.PartName, err)
+		}
+	}
+	sp.mu.Lock()
+	sp.prepared[tid] = t
+	sp.mu.Unlock()
+	return nil
+}
+
+// Commit implements Participant.
+func (sp *StorePart) Commit(tid uint64) {
+	sp.mu.Lock()
+	t := sp.prepared[tid]
+	delete(sp.prepared, tid)
+	sp.mu.Unlock()
+	if t != nil {
+		t.Commit()
+	}
+}
+
+// Abort implements Participant.
+func (sp *StorePart) Abort(tid uint64) {
+	sp.mu.Lock()
+	t := sp.prepared[tid]
+	delete(sp.prepared, tid)
+	sp.mu.Unlock()
+	if t != nil {
+		t.Abort()
+	}
+}
+
+// Coordinator runs two-phase commit.
+type Coordinator struct {
+	mu     sync.Mutex
+	nextID uint64
+	// Stats for the consistency-cost experiments.
+	Commits, Aborts uint64
+	RoundTrips      uint64
+}
+
+// Execute runs one distributed transaction: writesByPart maps participant
+// name → its writes. All-or-nothing across participants.
+func (c *Coordinator) Execute(parts []Participant, writesByPart map[string]map[string]any) error {
+	c.mu.Lock()
+	c.nextID++
+	tid := c.nextID
+	c.mu.Unlock()
+
+	// Phase 1: prepare everyone involved.
+	var involved []Participant
+	for _, p := range parts {
+		if w, ok := writesByPart[p.Name()]; ok && len(w) > 0 {
+			involved = append(involved, p)
+		}
+	}
+	for i, p := range involved {
+		c.bumpRT()
+		if err := p.Prepare(tid, writesByPart[p.Name()]); err != nil {
+			// Abort everything prepared so far (and the failed one).
+			for j := 0; j <= i && j < len(involved); j++ {
+				involved[j].Abort(tid)
+			}
+			c.mu.Lock()
+			c.Aborts++
+			c.mu.Unlock()
+			return err
+		}
+	}
+	// Phase 2: commit.
+	for _, p := range involved {
+		c.bumpRT()
+		p.Commit(tid)
+	}
+	c.mu.Lock()
+	c.Commits++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Coordinator) bumpRT() {
+	c.mu.Lock()
+	c.RoundTrips++
+	c.mu.Unlock()
+}

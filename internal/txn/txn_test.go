@@ -1,0 +1,230 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestLockCompatibility(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.TryAcquire(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.TryAcquire(2, "k", Shared); err != nil {
+		t.Fatal("shared locks must be compatible")
+	}
+	if err := lm.TryAcquire(3, "k", Exclusive); !errors.Is(err, ErrConflict) {
+		t.Fatal("exclusive must conflict with shared holders")
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+	if err := lm.TryAcquire(3, "k", Exclusive); err != nil {
+		t.Fatal("lock not released")
+	}
+	if err := lm.TryAcquire(4, "k", Shared); !errors.Is(err, ErrConflict) {
+		t.Fatal("shared must conflict with exclusive holder")
+	}
+}
+
+func TestLockReentrancyAndUpgrade(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.TryAcquire(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.TryAcquire(1, "k", Shared); err != nil {
+		t.Fatal("re-acquire of held shared lock failed")
+	}
+	if err := lm.TryAcquire(1, "k", Exclusive); err != nil {
+		t.Fatal("sole-holder upgrade failed")
+	}
+	if m, ok := lm.Held(1, "k"); !ok || m != Exclusive {
+		t.Fatal("upgrade not recorded")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.TryAcquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.TryAcquire(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = lm.Acquire(1, "b", Exclusive) }()
+	go func() { defer wg.Done(); errs[1] = lm.Acquire(2, "a", Exclusive) }()
+	wg.Wait()
+	deadlocks := 0
+	for _, err := range errs {
+		if errors.Is(err, ErrDeadlock) {
+			deadlocks++
+		} else if err != nil {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatal("deadlock went undetected")
+	}
+	if deadlocks == 2 {
+		t.Fatal("both transactions aborted; one should survive")
+	}
+}
+
+func TestTxnCommitAndAbort(t *testing.T) {
+	s := NewStore()
+	t1 := s.Begin()
+	if err := t1.Put("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := s.Begin()
+	if err := t2.Put("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	t2.Abort()
+	if got := s.Snapshot()["x"]; got != 1 {
+		t.Fatalf("abort leaked: x = %v", got)
+	}
+	// Delete path.
+	t3 := s.Begin()
+	if err := t3.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	t3.Commit()
+	if _, ok := s.Snapshot()["x"]; ok {
+		t.Fatal("delete not applied")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	tx.Put("k", "mine")
+	v, ok, err := tx.Get("k")
+	if err != nil || !ok || v != "mine" {
+		t.Fatalf("own write invisible: %v %v %v", v, ok, err)
+	}
+	tx.Delete("k")
+	if _, ok, _ := tx.Get("k"); ok {
+		t.Fatal("own delete invisible")
+	}
+	tx.Commit()
+}
+
+func TestSerializabilityUnderConcurrency(t *testing.T) {
+	// Classic bank transfer: concurrent transfers preserve total balance.
+	s := NewStore()
+	init := s.Begin()
+	init.Put("acct:a", 100)
+	init.Put("acct:b", 100)
+	init.Commit()
+
+	var wg sync.WaitGroup
+	transfer := func(from, to string, amt int) {
+		defer wg.Done()
+		for {
+			tx := s.Begin()
+			fv, _, err := tx.Get(from)
+			if err != nil {
+				continue // deadlock abort: retry
+			}
+			tv, _, err := tx.Get(to)
+			if err != nil {
+				continue
+			}
+			if err := tx.Put(from, fv.(int)-amt); err != nil {
+				continue
+			}
+			if err := tx.Put(to, tv.(int)+amt); err != nil {
+				continue
+			}
+			if tx.Commit() == nil {
+				return
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go transfer("acct:a", "acct:b", 5)
+		go transfer("acct:b", "acct:a", 3)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	total := snap["acct:a"].(int) + snap["acct:b"].(int)
+	if total != 200 {
+		t.Fatalf("total balance = %d, want 200 (isolation violated)", total)
+	}
+}
+
+func Test2PCCommitAcrossPartitions(t *testing.T) {
+	s1, s2 := NewStore(), NewStore()
+	p1, p2 := NewStorePart("p1", s1), NewStorePart("p2", s2)
+	coord := &Coordinator{}
+	err := coord.Execute([]Participant{p1, p2}, map[string]map[string]any{
+		"p1": {"x": 1},
+		"p2": {"y": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Snapshot()["x"] != 1 || s2.Snapshot()["y"] != 2 {
+		t.Fatal("2PC writes not applied")
+	}
+	if coord.Commits != 1 || coord.Aborts != 0 {
+		t.Fatalf("stats: %+v", coord)
+	}
+}
+
+// failingPart votes no in prepare.
+type failingPart struct{ name string }
+
+func (f *failingPart) Name() string                               { return f.name }
+func (f *failingPart) Prepare(tid uint64, w map[string]any) error { return errors.New("vote no") }
+func (f *failingPart) Commit(tid uint64)                          {}
+func (f *failingPart) Abort(tid uint64)                           {}
+
+func Test2PCAbortsAtomically(t *testing.T) {
+	s1 := NewStore()
+	p1 := NewStorePart("p1", s1)
+	bad := &failingPart{name: "p2"}
+	coord := &Coordinator{}
+	err := coord.Execute([]Participant{p1, bad}, map[string]map[string]any{
+		"p1": {"x": 1},
+		"p2": {"y": 2},
+	})
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+	if _, ok := s1.Snapshot()["x"]; ok {
+		t.Fatal("aborted 2PC leaked a write")
+	}
+	// Locks must be released so later transactions proceed.
+	tx := s1.Begin()
+	if err := tx.Put("x", 9); err != nil {
+		t.Fatalf("locks leaked after abort: %v", err)
+	}
+	tx.Commit()
+	if coord.Aborts != 1 {
+		t.Fatalf("stats: %+v", coord)
+	}
+}
+
+func Test2PCSkipsUninvolvedParticipants(t *testing.T) {
+	s1, s2 := NewStore(), NewStore()
+	p1, p2 := NewStorePart("p1", s1), NewStorePart("p2", s2)
+	coord := &Coordinator{}
+	if err := coord.Execute([]Participant{p1, p2}, map[string]map[string]any{
+		"p1": {"x": 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Only p1 involved: 1 prepare + 1 commit round trips.
+	if coord.RoundTrips != 2 {
+		t.Fatalf("round trips = %d, want 2", coord.RoundTrips)
+	}
+}
