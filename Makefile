@@ -1,0 +1,25 @@
+GO ?= go
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: build test vet ci bench tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test
+
+# bench runs every benchmark (root experiment wrappers + datalog micro
+# benchmarks) and records the parsed results in BENCH_1.json so the perf
+# trajectory is tracked PR over PR.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchtab -benchjson BENCH_1.json
+
+tables:
+	$(GO) run ./cmd/benchtab -quick

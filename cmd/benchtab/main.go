@@ -1,24 +1,126 @@
-// Command benchtab regenerates every experiment table from DESIGN.md §4.
+// Command benchtab regenerates every experiment table from DESIGN.md §4,
+// and converts `go test -bench` output into the JSON benchmark record the
+// perf trajectory is tracked with.
 //
 // Usage:
 //
 //	benchtab            # run all experiments
 //	benchtab -exp=E3    # run one
 //	benchtab -quick     # smaller parameters (CI-friendly)
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchtab -benchjson BENCH_1.json
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 
 	"hydro/internal/experiments"
 )
 
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseBench reads `go test -bench` output and extracts benchmark lines.
+// Lines look like:
+//
+//	BenchmarkFoo-8   123   456 ns/op   789 B/op   12 allocs/op   3.4 custom/metric
+func parseBench(r *bufio.Scanner) ([]benchResult, error) {
+	var out []benchResult
+	pkg := ""
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark...: output" log line
+		}
+		res := benchResult{Name: fields[0], Pkg: pkg, Iterations: iters}
+		if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+			// Strip the -GOMAXPROCS suffix.
+			if _, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+				res.Name = res.Name[:i]
+			}
+		}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, r.Err()
+}
+
+func writeBenchJSON(path string) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results, err := parseBench(sc)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	quick := flag.Bool("quick", false, "smaller parameters")
+	benchjson := flag.String("benchjson", "", "write benchmarks parsed from 'go test -bench' stdin to this JSON `file`")
 	flag.Parse()
+
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchjson)
+		return
+	}
 
 	scale := 1
 	if *quick {

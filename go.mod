@@ -1,0 +1,3 @@
+module hydro
+
+go 1.24

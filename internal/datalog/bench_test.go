@@ -1,0 +1,194 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the storage and plan layers. The end-to-end numbers
+// live in the repository root (BenchmarkDatalogTC et al.); these isolate
+// the pieces this package optimizes: hash-native insert/probe, incremental
+// index maintenance under deletes, compiled plans vs interpretive walks.
+
+func tcProgram(b *testing.B) *Program {
+	b.Helper()
+	p, err := NewProgram(
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("y")}},
+			Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+		},
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "path", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("y"), V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func chainDB(n int) *Database {
+	db := NewDatabase()
+	e := db.Ensure("edge", 2)
+	for i := 0; i < n; i++ {
+		e.Insert(Tuple{int64(i), int64(i + 1)})
+	}
+	return db
+}
+
+func BenchmarkRelationInsert(b *testing.B) {
+	b.ReportAllocs()
+	rel := NewRelation("t", 3)
+	for i := 0; i < b.N; i++ {
+		rel.Insert(Tuple{int64(i), "payload", int64(i % 64)})
+	}
+}
+
+func BenchmarkRelationContains(b *testing.B) {
+	rel := NewRelation("t", 2)
+	for i := 0; i < 1024; i++ {
+		rel.Insert(Tuple{int64(i), "v"})
+	}
+	probe := Tuple{int64(512), "v"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !rel.Contains(probe) {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkRelationLookupIndexed(b *testing.B) {
+	rel := NewRelation("t", 2)
+	for i := 0; i < 4096; i++ {
+		rel.Insert(Tuple{int64(i % 64), int64(i)})
+	}
+	pos := []int{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := rel.Lookup(pos, []any{int64(i % 64)}); len(got) != 64 {
+			b.Fatalf("lookup = %d rows", len(got))
+		}
+	}
+}
+
+// BenchmarkRelationUpsert is the transducer's applyInsert pattern: indexed
+// lookup, delete, re-insert. Under the old storage every delete rebuilt all
+// indexes from scratch.
+func BenchmarkRelationUpsert(b *testing.B) {
+	rel := NewRelation("people", 3)
+	for i := 0; i < 512; i++ {
+		rel.Insert(Tuple{int64(i), "us", false})
+	}
+	pos := []int{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := int64(i % 512)
+		rows := rel.Lookup(pos, []any{key})
+		for _, row := range rows {
+			rel.Delete(row)
+			updated := Tuple{row[0], row[1], i%2 == 0}
+			rel.Insert(updated)
+		}
+	}
+}
+
+func BenchmarkEvalTCChain(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := tcProgram(b)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := chainDB(n)
+				if _, err := p.Eval(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvalNaiveTCChain(b *testing.B) {
+	p := tcProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := chainDB(64)
+		if _, err := p.EvalNaive(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateGrouping(b *testing.B) {
+	p, err := NewProgram(Rule{
+		Head:   Atom{Pred: "fanout", Args: []Term{V("x"), V("y")}},
+		Body:   []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+		Agg:    AggCount,
+		AggVar: "y",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := NewDatabase()
+		e := db.Ensure("edge", 2)
+		for j := 0; j < 1024; j++ {
+			e.Insert(Tuple{int64(j % 32), int64(j)})
+		}
+		if _, err := p.Eval(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeriveAdHoc vs BenchmarkDerivePrepared: the cost of per-call
+// rule compilation against the pre-compiled path handlers use.
+func BenchmarkDeriveAdHoc(b *testing.B) {
+	db := chainDB(64)
+	p := tcProgram(b)
+	if _, err := p.Eval(db); err != nil {
+		b.Fatal(err)
+	}
+	rule := Rule{
+		Head: Atom{Pred: "__send", Args: []Term{V("y")}},
+		Body: []Literal{{Atom: Atom{Pred: "path", Args: []Term{C(int64(0)), V("y")}}}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Derive(db, rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDerivePrepared(b *testing.B) {
+	db := chainDB(64)
+	p := tcProgram(b)
+	if _, err := p.Eval(db); err != nil {
+		b.Fatal(err)
+	}
+	pr, err := PrepareRule(Rule{
+		Head: Atom{Pred: "__send", Args: []Term{V("y")}},
+		Body: []Literal{{Atom: Atom{Pred: "path", Args: []Term{V("pid"), V("y")}}}},
+	}, "pid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := map[string]any{"pid": int64(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Derive(db, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

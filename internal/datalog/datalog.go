@@ -3,59 +3,22 @@
 // (differential) fixpoint evaluator. HydroLogic queries such as the
 // transitive-closure `trace` in the COVID example compile to rules here, and
 // the evaluator is what runs "to fixpoint" inside each transducer tick.
+//
+// Storage is hash-native: tuples live in an insertion-ordered slot array
+// keyed by a 64-bit typed FNV-1a hash with collision buckets, and column
+// indexes (the access paths of §5.1) are maintained incrementally on both
+// Insert and Delete. Rules execute as compiled plans (see plan.go).
 package datalog
 
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 )
 
 // Tuple is one fact: a row of constants. Elements must be comparable Go
 // values (string, integer, float, bool).
 type Tuple []any
-
-// encodeKey renders a tuple (or projection of one) as a hashable string.
-// A type prefix prevents 1 and "1" from colliding.
-func encodeKey(vals []any) string {
-	var b strings.Builder
-	for _, v := range vals {
-		switch x := v.(type) {
-		case string:
-			b.WriteByte('s')
-			b.WriteString(strconv.Itoa(len(x)))
-			b.WriteByte(':')
-			b.WriteString(x)
-		case int:
-			b.WriteByte('i')
-			b.WriteString(strconv.FormatInt(int64(x), 10))
-		case int64:
-			b.WriteByte('i')
-			b.WriteString(strconv.FormatInt(x, 10))
-		case uint64:
-			b.WriteByte('u')
-			b.WriteString(strconv.FormatUint(x, 10))
-		case float64:
-			b.WriteByte('f')
-			b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
-		case bool:
-			if x {
-				b.WriteString("bT")
-			} else {
-				b.WriteString("bF")
-			}
-		default:
-			b.WriteByte('?')
-			fmt.Fprintf(&b, "%v", x)
-		}
-		b.WriteByte('|')
-	}
-	return b.String()
-}
-
-// Key returns the canonical hash key of the tuple.
-func (t Tuple) Key() string { return encodeKey(t) }
 
 // Equal reports elementwise equality.
 func (t Tuple) Equal(o Tuple) bool {
@@ -79,25 +42,53 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// Relation is a named set of tuples of fixed arity, with hash indexes built
-// on demand over column subsets (the "access path" machinery of §5.1).
+// Relation is a named set of tuples of fixed arity. Rows are stored in an
+// insertion-ordered slot array (deleted rows leave tombstones that are
+// compacted once they dominate); membership is a typed-hash set with
+// collision buckets; column indexes over any column subset are built on
+// first use and maintained incrementally afterwards.
 type Relation struct {
 	Name  string
 	Arity int
 
-	rows map[string]Tuple
-	// indexes maps an encoded column-position list to a hash index from
-	// projected key to tuples.
-	indexes map[string]map[string][]Tuple
+	slots  []Tuple // insertion order; nil = tombstone
+	dead   int
+	byHash map[uint64][]int32 // full-tuple hash → slots; nil after Clone (lazily rebuilt)
+	idx    []*colIndex
 }
 
 // NewRelation returns an empty relation.
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{Name: name, Arity: arity, rows: map[string]Tuple{}, indexes: map[string]map[string][]Tuple{}}
+	return &Relation{Name: name, Arity: arity, byHash: map[uint64][]int32{}}
 }
 
-// Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+// Len returns the number of live tuples.
+func (r *Relation) Len() int { return len(r.slots) - r.dead }
+
+// ensureByHash rebuilds the membership hash after a lazy Clone.
+func (r *Relation) ensureByHash() {
+	if r.byHash != nil {
+		return
+	}
+	r.byHash = make(map[uint64][]int32, nextPow2(len(r.slots)))
+	for i, t := range r.slots {
+		if t == nil {
+			continue
+		}
+		h := hashTuple(t)
+		r.byHash[h] = append(r.byHash[h], int32(i))
+	}
+}
+
+// findSlot returns the slot of t, or -1.
+func (r *Relation) findSlot(h uint64, t Tuple) int32 {
+	for _, s := range r.byHash[h] {
+		if r.slots[s].Equal(t) {
+			return s
+		}
+	}
+	return -1
+}
 
 // Insert adds a tuple, returning true if it was new. Panics on arity
 // mismatch: that is a compiler bug, not a data error.
@@ -105,111 +96,172 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("datalog: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
 	}
-	k := t.Key()
-	if _, ok := r.rows[k]; ok {
+	r.ensureByHash()
+	h := hashTuple(t)
+	if r.findSlot(h, t) >= 0 {
 		return false
 	}
-	r.rows[k] = t
-	for cols, idx := range r.indexes {
-		pos := decodeCols(cols)
-		idx[projectKey(t, pos)] = append(idx[projectKey(t, pos)], t)
+	slot := int32(len(r.slots))
+	r.slots = append(r.slots, t)
+	r.byHash[h] = append(r.byHash[h], slot)
+	for _, ci := range r.idx {
+		ci.add(t, slot)
 	}
 	return true
 }
 
 // Delete removes a tuple, returning true if it was present. Deletion is
 // non-monotonic; the transducer only applies it atomically between ticks.
+// Indexes are maintained incrementally — no rebuild.
 func (r *Relation) Delete(t Tuple) bool {
-	k := t.Key()
-	if _, ok := r.rows[k]; !ok {
+	r.ensureByHash()
+	h := hashTuple(t)
+	slot := r.findSlot(h, t)
+	if slot < 0 {
 		return false
 	}
-	delete(r.rows, k)
-	// Rebuilding indexes on delete keeps Insert fast; deletes happen only
-	// at tick boundaries and are rare relative to lookups.
-	r.indexes = map[string]map[string][]Tuple{}
+	bucket := r.byHash[h]
+	for i, s := range bucket {
+		if s == slot {
+			r.byHash[h] = append(bucket[:i], bucket[i+1:]...)
+			if len(r.byHash[h]) == 0 {
+				delete(r.byHash, h)
+			}
+			break
+		}
+	}
+	for _, ci := range r.idx {
+		ci.remove(r.slots[slot], slot)
+	}
+	r.slots[slot] = nil
+	r.dead++
+	r.maybeCompact()
 	return true
+}
+
+// maybeCompact squeezes out tombstones (preserving insertion order) once
+// they dominate the slot array, rebuilding hash and indexes.
+func (r *Relation) maybeCompact() {
+	if r.dead <= 32 || r.dead*2 <= len(r.slots) {
+		return
+	}
+	live := make([]Tuple, 0, len(r.slots)-r.dead)
+	for _, t := range r.slots {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	r.slots = live
+	r.dead = 0
+	r.byHash = nil
+	r.ensureByHash()
+	for _, ci := range r.idx {
+		ci.m = make(map[uint64][]int32, nextPow2(len(live)))
+		for i, t := range live {
+			ci.add(t, int32(i))
+		}
+	}
 }
 
 // Contains reports membership of t.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.rows[t.Key()]
-	return ok
+	r.ensureByHash()
+	return r.findSlot(hashTuple(t), t) >= 0
 }
 
-// Tuples returns all tuples in deterministic (sorted-key) order.
+// Tuples returns all tuples in a deterministic (sorted) order. Evaluation
+// never calls this on the hot path — it scans insertion order directly.
 func (r *Relation) Tuples() []Tuple {
-	keys := make([]string, 0, len(r.rows))
-	for k := range r.rows {
-		keys = append(keys, k)
+	out := make([]Tuple, 0, r.Len())
+	for _, t := range r.slots {
+		if t != nil {
+			out = append(out, t)
+		}
 	}
-	sort.Strings(keys)
-	out := make([]Tuple, len(keys))
-	for i, k := range keys {
-		out[i] = r.rows[k]
-	}
+	sortTuples(out)
 	return out
 }
 
-// Clone returns a deep copy sharing no state.
+// appendRaw appends a tuple without the duplicate check or hash/index
+// maintenance (byHash is rebuilt lazily if ever consulted). The evaluator
+// uses it for delta relations, whose tuples are pre-deduplicated and only
+// ever scanned.
+func (r *Relation) appendRaw(t Tuple) {
+	r.byHash = nil
+	r.idx = nil
+	r.slots = append(r.slots, t)
+}
+
+// scan calls fn for every live tuple in insertion order; fn returning
+// false stops the scan.
+func (r *Relation) scan(fn func(t Tuple) bool) {
+	for _, t := range r.slots {
+		if t != nil && !fn(t) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy sharing no mutable state. The membership hash
+// and indexes are rebuilt lazily on first use, so cloning (the transducer's
+// per-tick snapshot) is a single slice copy for relations the tick never
+// touches.
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.Name, r.Arity)
-	for k, t := range r.rows {
-		c.rows[k] = t
+	c := &Relation{Name: r.Name, Arity: r.Arity}
+	c.slots = make([]Tuple, 0, r.Len())
+	for _, t := range r.slots {
+		if t != nil {
+			c.slots = append(c.slots, t)
+		}
 	}
 	return c
 }
 
-func encodeCols(pos []int) string {
-	parts := make([]string, len(pos))
-	for i, p := range pos {
-		parts[i] = strconv.Itoa(p)
+// index returns (building on first use) the incrementally-maintained index
+// over the column subset pos.
+func (r *Relation) index(pos []int) *colIndex {
+	for _, ci := range r.idx {
+		if sameCols(ci.pos, pos) {
+			return ci
+		}
 	}
-	return strings.Join(parts, ",")
+	ci := &colIndex{pos: append([]int(nil), pos...), m: make(map[uint64][]int32, nextPow2(r.Len()))}
+	for i, t := range r.slots {
+		if t != nil {
+			ci.add(t, int32(i))
+		}
+	}
+	r.idx = append(r.idx, ci)
+	return ci
 }
 
-func decodeCols(s string) []int {
-	if s == "" {
-		return nil
-	}
-	parts := strings.Split(s, ",")
-	out := make([]int, len(parts))
-	for i, p := range parts {
-		out[i], _ = strconv.Atoi(p)
-	}
-	return out
-}
-
-func projectKey(t Tuple, pos []int) string {
-	proj := make([]any, len(pos))
-	for i, p := range pos {
-		proj[i] = t[p]
-	}
-	return encodeKey(proj)
+// lookupSlots returns candidate slot numbers whose projection hash matches;
+// callers must verify equality (hash collisions are possible).
+func (r *Relation) lookupSlots(pos []int, vals []any) []int32 {
+	return r.index(pos).m[hashVals(vals)]
 }
 
 // Lookup returns the tuples whose columns at pos equal vals, using (and
-// building if needed) a hash index on those columns.
+// building if needed) a hash index on those columns. With no columns it
+// returns the full relation in deterministic sorted order.
 func (r *Relation) Lookup(pos []int, vals []any) []Tuple {
 	if len(pos) == 0 {
 		return r.Tuples()
 	}
-	cols := encodeCols(pos)
-	idx, ok := r.indexes[cols]
-	if !ok {
-		idx = make(map[string][]Tuple, len(r.rows))
-		for _, t := range r.rows {
-			k := projectKey(t, pos)
-			idx[k] = append(idx[k], t)
+	var out []Tuple
+	for _, s := range r.lookupSlots(pos, vals) {
+		if t := r.slots[s]; projEqual(t, pos, vals) {
+			out = append(out, t)
 		}
-		r.indexes[cols] = idx
 	}
-	return idx[encodeKey(vals)]
+	return out
 }
 
 // Database is a set of named relations.
 type Database struct {
 	rels map[string]*Relation
+	// names caches sorted relation names; invalidated by Ensure.
+	names []string
 }
 
 // NewDatabase returns an empty database.
@@ -222,6 +274,7 @@ func (db *Database) Ensure(name string, arity int) *Relation {
 	}
 	r := NewRelation(name, arity)
 	db.rels[name] = r
+	db.names = nil
 	return r
 }
 
@@ -230,17 +283,20 @@ func (db *Database) Get(name string) *Relation { return db.rels[name] }
 
 // Names returns relation names sorted.
 func (db *Database) Names() []string {
-	out := make([]string, 0, len(db.rels))
-	for n := range db.rels {
-		out = append(out, n)
+	if db.names == nil {
+		out := make([]string, 0, len(db.rels))
+		for n := range db.rels {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		db.names = out
 	}
-	sort.Strings(out)
-	return out
+	return db.names
 }
 
 // Clone deep-copies the database — the transducer's state snapshot.
 func (db *Database) Clone() *Database {
-	c := NewDatabase()
+	c := &Database{rels: make(map[string]*Relation, len(db.rels))}
 	for n, r := range db.rels {
 		c.rels[n] = r.Clone()
 	}

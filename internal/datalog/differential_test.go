@@ -1,0 +1,314 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// This file is the differential property test guarding the compiled
+// evaluator: random small programs (chains, cycles, multi-way joins,
+// stratified negation, aggregates, filters) run through both the planned
+// semi-naive Eval and the interpretive naive EvalNaive, and the fixpoints
+// must be identical relation by relation. A planner or executor bug that
+// changes semantics, not just speed, fails here.
+
+// randFact returns a random constant from a small mixed-type domain.
+func randConst(r *rand.Rand) any {
+	if r.Intn(2) == 0 {
+		return string(rune('a' + r.Intn(4)))
+	}
+	return int64(r.Intn(4))
+}
+
+// randEDB populates edge/2, attr/2 (entity, numeric value) and node/1.
+func randEDB(r *rand.Rand) *Database {
+	db := NewDatabase()
+	edge := db.Ensure("edge", 2)
+	for i := 0; i < 3+r.Intn(10); i++ {
+		edge.Insert(Tuple{randConst(r), randConst(r)})
+	}
+	attr := db.Ensure("attr", 2)
+	for i := 0; i < 2+r.Intn(6); i++ {
+		attr.Insert(Tuple{randConst(r), int64(r.Intn(10))})
+	}
+	node := db.Ensure("node", 1)
+	for i := 0; i < 2+r.Intn(5); i++ {
+		node.Insert(Tuple{randConst(r)})
+	}
+	return db
+}
+
+// randRules builds a stratifiable random program in layers: a recursive
+// positive layer over the EDB, an optional negation layer over it, and an
+// optional aggregate layer on top.
+func randRules(r *rand.Rand) []Rule {
+	var rules []Rule
+
+	// Layer 1: transitive closure with randomized recursion shape.
+	rules = append(rules, Rule{
+		Head: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}},
+		Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+	})
+	switch r.Intn(3) {
+	case 0: // left-recursive
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "p1", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("y"), V("z")}}},
+			},
+		})
+	case 1: // right-recursive
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "p1", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "p1", Args: []Term{V("y"), V("z")}}},
+			},
+		})
+	default: // nonlinear (doubling)
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "p1", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "p1", Args: []Term{V("y"), V("z")}}},
+			},
+		})
+	}
+	// Symmetric-edge join: the second literal is fully bound when
+	// scheduled — exercises the plan's existence-check (Contains) path.
+	if r.Intn(2) == 0 {
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "sym", Args: []Term{V("x"), V("y")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("y"), V("x")}}},
+			},
+		})
+	}
+	// Self-loop: a variable repeated within one literal — exercises the
+	// plan's within-literal equality checks.
+	if r.Intn(2) == 0 {
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "loop", Args: []Term{V("x")}},
+			Body: []Literal{{Atom: Atom{Pred: "p1", Args: []Term{V("x"), V("x")}}}},
+		})
+	}
+	// Random multi-way join with an attribute filter.
+	if r.Intn(2) == 0 {
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "p2", Args: []Term{V("x"), V("v")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "attr", Args: []Term{V("y"), V("v")}}},
+			},
+			Filters: []Filter{{Op: OpGe, L: V("v"), R: C(int64(r.Intn(5)))}},
+		})
+	}
+	// Layer 2: stratified negation over layer 1.
+	if r.Intn(2) == 0 {
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "q", Args: []Term{V("x")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "node", Args: []Term{V("x")}}},
+				{Atom: Atom{Pred: "p1", Args: []Term{C(randConst(r)), V("x")}}, Negated: true},
+			},
+		})
+	}
+	// Layer 3: aggregates over the closure and attributes.
+	switch r.Intn(4) {
+	case 0:
+		rules = append(rules, Rule{
+			Head:   Atom{Pred: "fanout", Args: []Term{V("x"), V("y")}},
+			Body:   []Literal{{Atom: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}}}},
+			Agg:    AggCount,
+			AggVar: "y",
+		})
+	case 1:
+		rules = append(rules, Rule{
+			Head: Atom{Pred: "wsum", Args: []Term{V("x"), V("v")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "attr", Args: []Term{V("y"), V("v")}}},
+			},
+			Agg:    AggSum,
+			AggVar: "v",
+		})
+	case 2:
+		rules = append(rules, Rule{
+			Head:   Atom{Pred: "best", Args: []Term{V("x"), V("v")}},
+			Body:   []Literal{{Atom: Atom{Pred: "attr", Args: []Term{V("x"), V("v")}}}},
+			Agg:    AggMax,
+			AggVar: "v",
+		})
+	}
+	return rules
+}
+
+// runBoth evaluates the same program over clones of the same EDB with the
+// compiled and the naive evaluator and reports any divergence.
+func runBoth(rules []Rule, db *Database) error {
+	p, err := NewProgram(rules...)
+	if err != nil {
+		return fmt.Errorf("program rejected: %w", err)
+	}
+	dbC, dbN := db.Clone(), db.Clone()
+	nC, err := p.Eval(dbC)
+	if err != nil {
+		return fmt.Errorf("Eval: %w", err)
+	}
+	nN, err := p.EvalNaive(dbN)
+	if err != nil {
+		return fmt.Errorf("EvalNaive: %w", err)
+	}
+	if nC != nN {
+		return fmt.Errorf("derived counts diverge: compiled=%d naive=%d", nC, nN)
+	}
+	names := map[string]bool{}
+	for _, n := range dbC.Names() {
+		names[n] = true
+	}
+	for _, n := range dbN.Names() {
+		names[n] = true
+	}
+	for n := range names {
+		rc, rn := dbC.Get(n), dbN.Get(n)
+		if (rc == nil) != (rn == nil) {
+			return fmt.Errorf("relation %s exists in one fixpoint only", n)
+		}
+		if rc == nil {
+			continue
+		}
+		tc, tn := rc.Tuples(), rn.Tuples()
+		if len(tc) != len(tn) {
+			return fmt.Errorf("relation %s: %d vs %d tuples\ncompiled: %v\nnaive:    %v", n, len(tc), len(tn), tc, tn)
+		}
+		for i := range tc {
+			if !tc[i].Equal(tn[i]) {
+				return fmt.Errorf("relation %s diverges at %d: %v vs %v", n, i, tc[i], tn[i])
+			}
+		}
+	}
+	return nil
+}
+
+// TestDifferentialCompiledVsNaive is the headline property: for random
+// programs and databases, compiled semi-naive evaluation computes exactly
+// the interpretive naive fixpoint.
+func TestDifferentialCompiledVsNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rules := randRules(r)
+		db := randEDB(r)
+		if err := runBoth(rules, db); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialPreparedDerive checks that the prepared (pre-bound
+// parameter) derivation path agrees with per-call Derive on the same rule
+// with constants substituted.
+func TestDifferentialPreparedDerive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randEDB(r)
+		p, err := NewProgram(randRules(r)...)
+		if err != nil {
+			return false
+		}
+		if _, err := p.Eval(db); err != nil {
+			return false
+		}
+		pivot := randConst(r)
+		dynamic := Rule{
+			Head: Atom{Pred: "__send", Args: []Term{V("y")}},
+			Body: []Literal{{Atom: Atom{Pred: "p1", Args: []Term{C(pivot), V("y")}}}},
+		}
+		param := Rule{
+			Head: Atom{Pred: "__send", Args: []Term{V("y")}},
+			Body: []Literal{{Atom: Atom{Pred: "p1", Args: []Term{V("pid"), V("y")}}}},
+		}
+		want, err := Derive(db, dynamic)
+		if err != nil {
+			t.Logf("seed %d: Derive: %v", seed, err)
+			return false
+		}
+		pr, err := PrepareRule(param, "pid")
+		if err != nil {
+			t.Logf("seed %d: PrepareRule: %v", seed, err)
+			return false
+		}
+		got, err := pr.Derive(db, map[string]any{"pid": pivot})
+		if err != nil {
+			t.Logf("seed %d: prepared Derive: %v", seed, err)
+			return false
+		}
+		sortTuples(want)
+		sortTuples(got)
+		if len(want) != len(got) {
+			t.Logf("seed %d: %v vs %v", seed, want, got)
+			return false
+		}
+		for i := range want {
+			if !want[i].Equal(got[i]) {
+				t.Logf("seed %d: %v vs %v", seed, want, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteKeepsIndexesConsistent hammers interleaved inserts, deletes and
+// indexed lookups — the transducer's upsert pattern — and cross-checks the
+// incremental index against a brute-force scan.
+func TestDeleteKeepsIndexesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := NewRelation("t", 2)
+		var live []Tuple
+		for step := 0; step < 200; step++ {
+			if r.Intn(3) == 0 && len(live) > 0 {
+				i := r.Intn(len(live))
+				if !rel.Delete(live[i]) {
+					t.Logf("seed %d: delete of live tuple failed", seed)
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				tup := Tuple{randConst(r), int64(r.Intn(4))}
+				if rel.Insert(tup) {
+					live = append(live, tup)
+				}
+			}
+			// Indexed lookup vs brute force on a random probe.
+			probe := randConst(r)
+			got := rel.Lookup([]int{0}, []any{probe})
+			want := 0
+			for _, tu := range live {
+				if tu[0] == probe {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Logf("seed %d step %d: lookup=%d scan=%d", seed, step, len(got), want)
+				return false
+			}
+		}
+		return rel.Len() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,16 +2,22 @@ package datalog
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 )
 
 // Program is a set of rules over a database. Evaluation computes the least
-// fixpoint of all rules, stratum by stratum.
+// fixpoint of all rules, stratum by stratum. Rules are compiled to plans
+// (slot-numbered bindings, boundness-ordered joins, cached stratification)
+// once, on the first evaluation or an explicit Prepare call.
 type Program struct {
 	Rules []Rule
+
+	prepOnce sync.Once
+	prep     *prepared
+	prepErr  error
 }
 
-// NewProgram validates and bundles rules.
+// NewProgram validates, bundles and compiles rules.
 func NewProgram(rules ...Rule) (*Program, error) {
 	for _, r := range rules {
 		if err := r.Validate(); err != nil {
@@ -19,7 +25,7 @@ func NewProgram(rules ...Rule) (*Program, error) {
 		}
 	}
 	p := &Program{Rules: rules}
-	if _, err := p.Stratify(); err != nil {
+	if err := p.Prepare(); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -37,6 +43,8 @@ func (p *Program) idbPreds() map[string]bool {
 // Stratify partitions rules into strata such that negated or aggregated
 // dependencies always point to strictly lower strata. It returns an error
 // when negation/aggregation occurs through recursion (unstratifiable).
+// Evaluation uses the cached result inside Prepare; this method recomputes
+// and exists for diagnostics and tests.
 func (p *Program) Stratify() ([][]Rule, error) {
 	idb := p.idbPreds()
 	// stratum number per predicate, computed by the classic iterative
@@ -89,16 +97,16 @@ func (p *Program) Stratify() ([][]Rule, error) {
 }
 
 // Eval runs the program to fixpoint over db using semi-naive (differential)
-// evaluation per stratum. It mutates db in place, creating IDB relations as
-// needed, and returns the number of derived tuples.
+// evaluation per stratum, executing compiled plans. It mutates db in place,
+// creating IDB relations as needed, and returns the number of derived
+// tuples.
 func (p *Program) Eval(db *Database) (int, error) {
-	strata, err := p.Stratify()
-	if err != nil {
+	if err := p.Prepare(); err != nil {
 		return 0, err
 	}
 	derived := 0
-	for _, rules := range strata {
-		n, err := evalStratumSemiNaive(db, rules)
+	for _, plans := range p.prep.strata {
+		n, err := evalStratumSemiNaive(db, plans)
 		if err != nil {
 			return derived, err
 		}
@@ -108,15 +116,23 @@ func (p *Program) Eval(db *Database) (int, error) {
 }
 
 // EvalNaive runs the program with naive (all-at-once) iteration: every rule
-// re-derives from the full relations each round. It exists as the baseline
-// for experiment E8 (differential vs all-at-once flows, §8.2).
+// re-derives from the full relations each round, walking rules
+// interpretively (map bindings, no plans). It is the baseline for
+// experiment E8 (differential vs all-at-once flows, §8.2) and the reference
+// implementation the differential property test checks Eval against.
 func (p *Program) EvalNaive(db *Database) (int, error) {
-	strata, err := p.Stratify()
-	if err != nil {
+	// Stratification comes from the Prepare cache (so E8 times evaluation
+	// strategy, not per-call stratification); derivation itself stays
+	// interpretive.
+	if err := p.Prepare(); err != nil {
 		return 0, err
 	}
 	derived := 0
-	for _, rules := range strata {
+	for _, plans := range p.prep.strata {
+		rules := make([]Rule, len(plans))
+		for i, pl := range plans {
+			rules[i] = pl.r
+		}
 		ensureHeads(db, rules)
 		for {
 			changed := 0
@@ -124,7 +140,7 @@ func (p *Program) EvalNaive(db *Database) (int, error) {
 				if r.Agg != "" {
 					continue
 				}
-				for _, t := range deriveRule(db, r, nil, nil) {
+				for _, t := range deriveRule(db, r) {
 					if db.Get(r.Head.Pred).Insert(t) {
 						changed++
 					}
@@ -135,7 +151,7 @@ func (p *Program) EvalNaive(db *Database) (int, error) {
 				break
 			}
 		}
-		n, err := evalAggregates(db, rules)
+		n, err := evalAggregatesNaive(db, rules)
 		if err != nil {
 			return derived, err
 		}
@@ -150,29 +166,42 @@ func ensureHeads(db *Database, rules []Rule) {
 	}
 }
 
-// evalStratumSemiNaive computes the fixpoint of one stratum. Aggregate
-// rules run once after the non-aggregate fixpoint (they depend only on
-// lower strata plus this stratum's final relations).
-func evalStratumSemiNaive(db *Database, rules []Rule) (int, error) {
-	ensureHeads(db, rules)
+func ensureHeadsPlanned(db *Database, plans []*rulePlan) {
+	for _, pl := range plans {
+		db.Ensure(pl.r.Head.Pred, len(pl.r.Head.Args))
+	}
+}
+
+// evalStratumSemiNaive computes the fixpoint of one stratum off compiled
+// plans. Aggregate rules run once after the non-aggregate fixpoint (they
+// depend only on lower strata plus this stratum's final relations).
+func evalStratumSemiNaive(db *Database, plans []*rulePlan) (int, error) {
+	ensureHeadsPlanned(db, plans)
 	derived := 0
 
 	// delta holds tuples derived in the previous round, per predicate.
+	// Delta relations are append-only scan targets: tuples enter them
+	// already deduplicated (guarded by the head relation's Insert), so
+	// they skip hash/index maintenance entirely.
 	delta := map[string]*Relation{}
+	var out []Tuple // reused derivation buffer
+	collect := func(t Tuple) { out = append(out, t) }
 	// Round 0: full derivation to seed deltas.
-	for _, r := range rules {
-		if r.Agg != "" {
+	for _, pl := range plans {
+		if pl.r.Agg != "" {
 			continue
 		}
-		rel := db.Get(r.Head.Pred)
-		d := delta[r.Head.Pred]
+		rel := db.Get(pl.r.Head.Pred)
+		d := delta[pl.r.Head.Pred]
 		if d == nil {
-			d = NewRelation(r.Head.Pred, rel.Arity)
-			delta[r.Head.Pred] = d
+			d = NewRelation(pl.r.Head.Pred, rel.Arity)
+			delta[pl.r.Head.Pred] = d
 		}
-		for _, t := range deriveRule(db, r, nil, nil) {
+		out = out[:0]
+		pl.run(db, -1, nil, nil, collect)
+		for _, t := range out {
 			if rel.Insert(t) {
-				d.Insert(t)
+				d.appendRaw(t)
 				derived++
 			}
 		}
@@ -181,15 +210,16 @@ func evalStratumSemiNaive(db *Database, rules []Rule) (int, error) {
 	for {
 		next := map[string]*Relation{}
 		any := false
-		for _, r := range rules {
-			if r.Agg != "" {
+		for _, pl := range plans {
+			if pl.r.Agg != "" {
 				continue
 			}
-			rel := db.Get(r.Head.Pred)
+			rel := db.Get(pl.r.Head.Pred)
 			// Differential step: for each positive body literal with a
-			// non-empty delta, derive joining that literal against the
-			// delta and the rest against full relations.
-			for i, l := range r.Body {
+			// non-empty delta, re-derive driving that literal from the
+			// delta (delta-first join order) and the rest from full
+			// relations.
+			for i, l := range pl.r.Body {
 				if l.Negated {
 					continue
 				}
@@ -197,14 +227,16 @@ func evalStratumSemiNaive(db *Database, rules []Rule) (int, error) {
 				if !ok || d.Len() == 0 {
 					continue
 				}
-				for _, t := range deriveRule(db, r, &i, d) {
+				out = out[:0]
+				pl.run(db, i, d, nil, collect)
+				for _, t := range out {
 					if rel.Insert(t) {
-						nd := next[r.Head.Pred]
+						nd := next[pl.r.Head.Pred]
 						if nd == nil {
-							nd = NewRelation(r.Head.Pred, rel.Arity)
-							next[r.Head.Pred] = nd
+							nd = NewRelation(pl.r.Head.Pred, rel.Arity)
+							next[pl.r.Head.Pred] = nd
 						}
-						nd.Insert(t)
+						nd.appendRaw(t)
 						derived++
 						any = true
 					}
@@ -217,28 +249,33 @@ func evalStratumSemiNaive(db *Database, rules []Rule) (int, error) {
 		delta = next
 	}
 
-	n, err := evalAggregates(db, rules)
+	n, err := evalAggregatesPlanned(db, plans)
 	return derived + n, err
 }
 
 // Derive evaluates one rule's body against the database and returns the
 // head tuples, without fixpoint iteration. The Hydrolysis compiler uses it
 // for send-rules inside handlers (`send alert(p) :- transitive(pid, p)`),
-// which run against an already-fixpointed snapshot.
+// which run against an already-fixpointed snapshot. Callers that derive the
+// same rule repeatedly should compile it once with PrepareRule instead.
 func Derive(db *Database, r Rule) ([]Tuple, error) {
-	if err := r.Validate(); err != nil {
-		return nil, err
-	}
 	if r.Agg != "" {
 		return nil, fmt.Errorf("datalog: Derive does not support aggregates")
 	}
-	return deriveRule(db, r, nil, nil), nil
+	pl, err := compileRule(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	pl.run(db, -1, nil, nil, func(t Tuple) { out = append(out, t) })
+	return out, nil
 }
 
-// deriveRule enumerates all bindings satisfying the body and returns head
-// tuples. If deltaIdx is non-nil, body literal *deltaIdx is evaluated
-// against deltaRel instead of the full relation (the semi-naive rewrite).
-func deriveRule(db *Database, r Rule, deltaIdx *int, deltaRel *Relation) []Tuple {
+// deriveRule is the interpretive evaluator kept as the naive baseline: it
+// enumerates all bindings satisfying the body with a cloned-map environment
+// and returns head tuples. (Semi-naive delta substitution lives entirely in
+// the compiled plans now.)
+func deriveRule(db *Database, r Rule) []Tuple {
 	if r.Agg != "" {
 		return nil
 	}
@@ -264,9 +301,6 @@ func deriveRule(db *Database, r Rule, deltaIdx *int, deltaRel *Relation) []Tuple
 		}
 		l := r.Body[i]
 		rel := db.Get(l.Pred)
-		if deltaIdx != nil && i == *deltaIdx {
-			rel = deltaRel
-		}
 		if rel == nil {
 			if l.Negated {
 				walk(i+1, b) // absent relation: negation trivially holds
@@ -331,9 +365,88 @@ func deriveRule(db *Database, r Rule, deltaIdx *int, deltaRel *Relation) []Tuple
 	return out
 }
 
-// evalAggregates runs aggregate rules of a stratum once, grouping by the
-// non-aggregate head arguments.
-func evalAggregates(db *Database, rules []Rule) (int, error) {
+// groupTable accumulates (group..., value) rows by the typed hash of the
+// group prefix, with collision buckets and first-seen ordering — the
+// aggregate path's replacement for string group keys.
+type groupTable struct {
+	m    map[uint64][]int
+	accs []*groupAcc // first-seen order
+}
+
+type groupAcc struct {
+	prefix []any
+	rows   []Tuple
+}
+
+func newGroupTable() *groupTable { return &groupTable{m: map[uint64][]int{}} }
+
+func (g *groupTable) add(row Tuple) {
+	prefix := row[:len(row)-1]
+	h := hashVals(prefix)
+	for _, i := range g.m[h] {
+		if projEqualVals(g.accs[i].prefix, prefix) {
+			g.accs[i].rows = append(g.accs[i].rows, row)
+			return
+		}
+	}
+	g.m[h] = append(g.m[h], len(g.accs))
+	g.accs = append(g.accs, &groupAcc{prefix: prefix, rows: []Tuple{row}})
+}
+
+func projEqualVals(a []any, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// foldGroups folds each group with the aggregate and inserts head rows.
+func foldGroups(rel *Relation, kind AggKind, headPred string, g *groupTable) (int, error) {
+	derived := 0
+	for _, acc := range g.accs {
+		val, err := aggregate(kind, acc.rows)
+		if err != nil {
+			return derived, fmt.Errorf("rule %s: %w", headPred, err)
+		}
+		head := make(Tuple, len(acc.prefix)+1)
+		copy(head, acc.prefix)
+		head[len(acc.prefix)] = val
+		if rel.Insert(head) {
+			derived++
+		}
+	}
+	return derived, nil
+}
+
+// evalAggregatesPlanned runs a stratum's aggregate rules once off compiled
+// plans, grouping by the non-aggregate head arguments via the hash
+// machinery.
+func evalAggregatesPlanned(db *Database, plans []*rulePlan) (int, error) {
+	derived := 0
+	for _, pl := range plans {
+		if pl.r.Agg == "" {
+			continue
+		}
+		rel := db.Ensure(pl.r.Head.Pred, len(pl.r.Head.Args))
+		g := newGroupTable()
+		pl.run(db, -1, nil, nil, g.add)
+		n, err := foldGroups(rel, pl.r.Agg, pl.r.Head.Pred, g)
+		derived += n
+		if err != nil {
+			return derived, err
+		}
+	}
+	return derived, nil
+}
+
+// evalAggregatesNaive is the interpretive aggregate path used by EvalNaive:
+// derivation via deriveRule, grouping via the same hash group table.
+func evalAggregatesNaive(db *Database, rules []Rule) (int, error) {
 	derived := 0
 	for _, r := range rules {
 		if r.Agg == "" {
@@ -347,27 +460,14 @@ func evalAggregates(db *Database, rules []Rule) (int, error) {
 			Body:    r.Body,
 			Filters: r.Filters,
 		}
-		rows := deriveRule(db, probe, nil, nil)
-		groups := map[string][]Tuple{}
-		for _, row := range rows {
-			k := encodeKey(row[:len(row)-1])
-			groups[k] = append(groups[k], row)
+		g := newGroupTable()
+		for _, row := range deriveRule(db, probe) {
+			g.add(row)
 		}
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			rows := groups[k]
-			val, err := aggregate(r.Agg, rows)
-			if err != nil {
-				return derived, fmt.Errorf("rule %s: %w", r.Head.Pred, err)
-			}
-			head := append(append(Tuple{}, rows[0][:len(rows[0])-1]...), val)
-			if rel.Insert(head) {
-				derived++
-			}
+		n, err := foldGroups(rel, r.Agg, r.Head.Pred, g)
+		derived += n
+		if err != nil {
+			return derived, err
 		}
 	}
 	return derived, nil
@@ -377,11 +477,11 @@ func aggregate(kind AggKind, rows []Tuple) (any, error) {
 	last := func(t Tuple) any { return t[len(t)-1] }
 	switch kind {
 	case AggCount:
-		seen := map[string]bool{}
+		seen := newValueSet()
 		for _, t := range rows {
-			seen[encodeKey([]any{last(t)})] = true
+			seen.add(last(t))
 		}
-		return int64(len(seen)), nil
+		return int64(seen.len()), nil
 	case AggSum:
 		var s float64
 		allInt := true

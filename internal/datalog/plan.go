@@ -1,0 +1,513 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// This file is the rule-compilation layer (the Hydrolysis access-path story
+// of §5.1 applied to the evaluator itself): a one-time Prepare step numbers
+// variables into slots so bindings are a flat []any instead of cloned maps,
+// caches stratification, splits every literal's columns into bound (probe)
+// and free (bind) sets, greedily reorders body literals by boundness, and
+// pushes filters to the earliest point they are evaluable. Eval, Derive and
+// the aggregate path all execute these plans; EvalNaive keeps the
+// interpretive walk in eval.go as the E8 baseline and as a reference
+// implementation for differential testing.
+
+// slotTerm is a compiled term: a slot in the flat binding environment, or
+// an inline constant when slot < 0.
+type slotTerm struct {
+	slot int
+	c    any
+}
+
+func (st slotTerm) value(env []any) any {
+	if st.slot >= 0 {
+		return env[st.slot]
+	}
+	return st.c
+}
+
+// filterPlan is a comparison compiled onto slots, scheduled at the earliest
+// plan position where both sides are bound.
+type filterPlan struct {
+	op   CmpOp
+	l, r slotTerm
+}
+
+func (fp filterPlan) eval(env []any) bool {
+	return compareValues(fp.op, fp.l.value(env), fp.r.value(env))
+}
+
+// litPlan is one body literal compiled against the binding state at its
+// scheduled position in the join order.
+type litPlan struct {
+	pred    string
+	origIdx int // index in Rule.Body (delta substitution key)
+	negated bool
+
+	// Positive literals: probe columns (bound at this point) and free
+	// columns (bound by this literal). checkPos/checkSlots handle a
+	// variable repeated within the same literal.
+	probePos   []int
+	probeArgs  []slotTerm
+	freePos    []int
+	freeSlots  []int
+	checkPos   []int
+	checkSlots []int
+	// allBound marks a positive literal with every column bound: a pure
+	// existence check answered by the relation's membership hash, with no
+	// column index needed.
+	allBound bool
+
+	// Negated literals probe the full tuple (range restriction guarantees
+	// every column is bound here).
+	negArgs []slotTerm
+
+	// Filters that become fully bound once this literal binds its slots.
+	filters []filterPlan
+}
+
+// rulePlan is a fully compiled rule: slot count, join orders, head builder.
+type rulePlan struct {
+	r      Rule
+	nslots int
+
+	// preFilters involve only constants and pre-bound slots; checked once.
+	preFilters []filterPlan
+	// orders[0] is the standard greedy order. orders[1+i] starts with body
+	// literal i — the semi-naive variant that drives the (small) delta
+	// first; nil for negated literals.
+	orders [][]litPlan
+	// head builds the emitted tuple. For aggregate rules the last entry is
+	// the aggregation variable's slot and grouping happens in the caller.
+	head []slotTerm
+}
+
+// validateWith is Rule.Validate extended with caller-provided pre-bound
+// variables (handler parameters in compiled send-rules).
+func validateWith(r Rule, preBound []string) error {
+	bound := map[string]bool{}
+	for _, v := range preBound {
+		bound[v] = true
+	}
+	for _, l := range r.Body {
+		if l.Negated {
+			continue
+		}
+		for _, t := range l.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	for _, l := range r.Body {
+		if !l.Negated {
+			continue
+		}
+		for _, t := range l.Args {
+			if t.IsVar() && !bound[t.Var] {
+				return fmt.Errorf("rule %s: variable ?%s appears only under negation", r.Head.Pred, t.Var)
+			}
+		}
+	}
+	headArgs := r.Head.Args
+	if r.Agg != "" && len(headArgs) > 0 {
+		headArgs = headArgs[:len(headArgs)-1]
+	}
+	for _, t := range headArgs {
+		if t.IsVar() && !bound[t.Var] {
+			return fmt.Errorf("rule %s: head variable ?%s not bound in body", r.Head.Pred, t.Var)
+		}
+	}
+	if r.Agg != "" && r.AggVar != "" && !bound[r.AggVar] {
+		return fmt.Errorf("rule %s: aggregate variable ?%s not bound in body", r.Head.Pred, r.AggVar)
+	}
+	for _, f := range r.Filters {
+		for _, t := range []Term{f.L, f.R} {
+			if t.IsVar() && !bound[t.Var] {
+				return fmt.Errorf("rule %s: filter variable ?%s not bound in body", r.Head.Pred, t.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// compileRule builds the plan for one rule. preBound variables occupy the
+// first slots and are filled by the caller before execution.
+func compileRule(r Rule, preBound []string) (*rulePlan, error) {
+	if err := validateWith(r, preBound); err != nil {
+		return nil, err
+	}
+	// Slot numbering: pre-bound vars first, then first appearance in body
+	// text order, then head/filters (defensive; validation implies bound).
+	slotOf := map[string]int{}
+	assign := func(name string) int {
+		if s, ok := slotOf[name]; ok {
+			return s
+		}
+		s := len(slotOf)
+		slotOf[name] = s
+		return s
+	}
+	for _, v := range preBound {
+		assign(v)
+	}
+	for _, l := range r.Body {
+		for _, t := range l.Args {
+			if t.IsVar() {
+				assign(t.Var)
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if t.IsVar() {
+			assign(t.Var)
+		}
+	}
+	for _, f := range r.Filters {
+		for _, t := range []Term{f.L, f.R} {
+			if t.IsVar() {
+				assign(t.Var)
+			}
+		}
+	}
+	if r.Agg != "" && r.AggVar != "" {
+		assign(r.AggVar)
+	}
+
+	p := &rulePlan{r: r, nslots: len(slotOf)}
+
+	term := func(t Term) slotTerm {
+		if t.IsVar() {
+			return slotTerm{slot: slotOf[t.Var]}
+		}
+		return slotTerm{slot: -1, c: t.Const}
+	}
+
+	// Filters whose variables are all pre-bound run before any literal.
+	preBoundSet := map[string]bool{}
+	for _, v := range preBound {
+		preBoundSet[v] = true
+	}
+	filterVarsBound := func(f Filter, bound map[string]bool) bool {
+		for _, t := range []Term{f.L, f.R} {
+			if t.IsVar() && !bound[t.Var] {
+				return false
+			}
+		}
+		return true
+	}
+	filterUsed := make([]bool, len(r.Filters))
+	for fi, f := range r.Filters {
+		if filterVarsBound(f, preBoundSet) {
+			p.preFilters = append(p.preFilters, filterPlan{op: f.Op, l: term(f.L), r: term(f.R)})
+			filterUsed[fi] = true
+		}
+	}
+
+	// buildOrder compiles one join order, optionally forcing body literal
+	// `first` (the delta literal) to the front.
+	buildOrder := func(first int) []litPlan {
+		bound := map[string]bool{}
+		for v := range preBoundSet {
+			bound[v] = true
+		}
+		used := make([]bool, len(r.Body))
+		fused := append([]bool(nil), filterUsed...)
+		var order []litPlan
+
+		schedule := func(bi int) {
+			l := r.Body[bi]
+			lp := litPlan{pred: l.Pred, origIdx: bi, negated: l.Negated}
+			if l.Negated {
+				lp.negArgs = make([]slotTerm, len(l.Args))
+				for j, t := range l.Args {
+					lp.negArgs[j] = term(t)
+				}
+			} else {
+				seenHere := map[string]bool{}
+				for j, t := range l.Args {
+					switch {
+					case !t.IsVar():
+						lp.probePos = append(lp.probePos, j)
+						lp.probeArgs = append(lp.probeArgs, term(t))
+					case bound[t.Var]:
+						lp.probePos = append(lp.probePos, j)
+						lp.probeArgs = append(lp.probeArgs, term(t))
+					case seenHere[t.Var]:
+						lp.checkPos = append(lp.checkPos, j)
+						lp.checkSlots = append(lp.checkSlots, slotOf[t.Var])
+					default:
+						lp.freePos = append(lp.freePos, j)
+						lp.freeSlots = append(lp.freeSlots, slotOf[t.Var])
+						seenHere[t.Var] = true
+					}
+				}
+				lp.allBound = len(lp.freePos) == 0 && len(lp.checkPos) == 0 && len(lp.probePos) == len(l.Args)
+				for _, t := range l.Args {
+					if t.IsVar() {
+						bound[t.Var] = true
+					}
+				}
+			}
+			// Attach every not-yet-scheduled filter that just became
+			// evaluable: filtering as early as possible prunes the walk.
+			for fi, f := range r.Filters {
+				if !fused[fi] && filterVarsBound(f, bound) {
+					lp.filters = append(lp.filters, filterPlan{op: f.Op, l: term(f.L), r: term(f.R)})
+					fused[fi] = true
+				}
+			}
+			used[bi] = true
+			order = append(order, lp)
+		}
+
+		if first >= 0 {
+			schedule(first)
+		}
+		for len(order) < len(r.Body) {
+			best, bestScore := -1, -1
+			for bi, l := range r.Body {
+				if used[bi] {
+					continue
+				}
+				allBound := true
+				boundCount := 0
+				for _, t := range l.Args {
+					if !t.IsVar() || bound[t.Var] {
+						boundCount++
+					} else {
+						allBound = false
+					}
+				}
+				var score int
+				if l.Negated {
+					if !allBound {
+						continue // not schedulable yet
+					}
+					// Negation is a pure filter: run it as soon as legal.
+					score = 1 << 20
+				} else {
+					// Greedy boundness: more probe columns ≈ more selective.
+					score = boundCount*16 - len(l.Args)
+					if allBound {
+						score += 8 // existence check, maximally selective
+					}
+				}
+				if best < 0 || score > bestScore {
+					best, bestScore = bi, score
+				}
+			}
+			if best < 0 {
+				// Only possible for unschedulable negation, which
+				// validateWith rules out.
+				panic(fmt.Sprintf("datalog: no schedulable literal in %s", r.Head.Pred))
+			}
+			schedule(best)
+		}
+		return order
+	}
+
+	p.orders = make([][]litPlan, 1+len(r.Body))
+	p.orders[0] = buildOrder(-1)
+	for bi, l := range r.Body {
+		if !l.Negated {
+			p.orders[1+bi] = buildOrder(bi)
+		}
+	}
+
+	headArgs := r.Head.Args
+	if r.Agg != "" {
+		// Aggregate rules emit (groupVars..., aggVar) rows; grouping and
+		// folding happen in the caller over these rows.
+		headArgs = append(append([]Term{}, headArgs[:len(headArgs)-1]...), V(r.AggVar))
+	}
+	p.head = make([]slotTerm, len(headArgs))
+	for i, t := range headArgs {
+		p.head[i] = term(t)
+	}
+	return p, nil
+}
+
+// run executes the plan: deltaIdx < 0 selects the standard order; otherwise
+// body literal deltaIdx reads from delta instead of its full relation and
+// the delta-first order is used. emit receives each derived head row.
+func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any, emit func(Tuple)) {
+	env := make([]any, p.nslots)
+	copy(env, preset)
+	for _, f := range p.preFilters {
+		if !f.eval(env) {
+			return
+		}
+	}
+	order := p.orders[0]
+	if deltaIdx >= 0 {
+		if o := p.orders[1+deltaIdx]; o != nil {
+			order = o
+		}
+	}
+	// Per-position scratch for probe values and negation probes, allocated
+	// once per run.
+	scratch := make([][]any, len(order))
+	for i := range order {
+		lp := &order[i]
+		if lp.negated {
+			scratch[i] = make([]any, len(lp.negArgs))
+		} else {
+			scratch[i] = make([]any, len(lp.probeArgs))
+		}
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(order) {
+			head := make(Tuple, len(p.head))
+			for j, st := range p.head {
+				head[j] = st.value(env)
+			}
+			emit(head)
+			return
+		}
+		lp := &order[i]
+		rel := db.Get(lp.pred)
+		if deltaIdx >= 0 && lp.origIdx == deltaIdx {
+			rel = delta
+		}
+		if rel == nil {
+			if lp.negated {
+				rec(i + 1) // absent relation: negation trivially holds
+			}
+			return
+		}
+		if lp.negated {
+			probe := scratch[i]
+			for j, st := range lp.negArgs {
+				probe[j] = st.value(env)
+			}
+			if !rel.Contains(Tuple(probe)) {
+				rec(i + 1)
+			}
+			return
+		}
+		step := func(t Tuple) bool {
+			for k, pos := range lp.freePos {
+				env[lp.freeSlots[k]] = t[pos]
+			}
+			for k, pos := range lp.checkPos {
+				if t[pos] != env[lp.checkSlots[k]] {
+					return true
+				}
+			}
+			for _, f := range lp.filters {
+				if !f.eval(env) {
+					return true
+				}
+			}
+			rec(i + 1)
+			return true
+		}
+		if len(lp.probePos) == 0 {
+			rel.scan(step)
+			return
+		}
+		vals := scratch[i]
+		for k, st := range lp.probeArgs {
+			vals[k] = st.value(env)
+		}
+		if lp.allBound {
+			// Existence check: probePos covers every column in order, so
+			// vals is the full tuple; the membership hash answers directly.
+			if rel.Contains(Tuple(vals)) {
+				for _, f := range lp.filters {
+					if !f.eval(env) {
+						return
+					}
+				}
+				rec(i + 1)
+			}
+			return
+		}
+		for _, s := range rel.lookupSlots(lp.probePos, vals) {
+			t := rel.slots[s]
+			if !projEqual(t, lp.probePos, vals) {
+				continue // projection-hash collision
+			}
+			step(t)
+		}
+	}
+	rec(0)
+}
+
+// prepared is the cached compilation of a whole program.
+type prepared struct {
+	// strata[i] holds the plans of stratum i, preserving rule order.
+	strata [][]*rulePlan
+}
+
+// Prepare compiles the program once: stratification, slot numbering, join
+// orders, filter placement. It is idempotent and safe for concurrent use;
+// Eval and EvalNaive call it implicitly. Mutating Rules after the first
+// Prepare (or after NewProgram) is not supported.
+func (p *Program) Prepare() error {
+	p.prepOnce.Do(func() {
+		strata, err := p.Stratify()
+		if err != nil {
+			p.prepErr = err
+			return
+		}
+		pr := &prepared{}
+		for _, rules := range strata {
+			var plans []*rulePlan
+			for _, r := range rules {
+				pl, err := compileRule(r, nil)
+				if err != nil {
+					p.prepErr = err
+					return
+				}
+				plans = append(plans, pl)
+			}
+			pr.strata = append(pr.strata, plans)
+		}
+		p.prep = pr
+	})
+	return p.prepErr
+}
+
+// PreparedRule is a single rule compiled once for repeated Derive calls,
+// optionally with variables that the caller binds per call (the Hydrolysis
+// compiler pre-binds handler parameters this way).
+type PreparedRule struct {
+	plan      *rulePlan
+	boundVars []string
+}
+
+// PrepareRule compiles r for repeated derivation. boundVars names variables
+// the caller will supply at Derive time; they count as bound for range
+// restriction.
+func PrepareRule(r Rule, boundVars ...string) (*PreparedRule, error) {
+	if r.Agg != "" {
+		return nil, fmt.Errorf("datalog: PrepareRule does not support aggregates")
+	}
+	plan, err := compileRule(r, boundVars)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedRule{plan: plan, boundVars: boundVars}, nil
+}
+
+// Derive evaluates the compiled rule against db. bound supplies values for
+// the declared boundVars (missing entries are an error).
+func (pr *PreparedRule) Derive(db *Database, bound map[string]any) ([]Tuple, error) {
+	preset := make([]any, len(pr.boundVars))
+	for i, v := range pr.boundVars {
+		val, ok := bound[v]
+		if !ok {
+			return nil, fmt.Errorf("datalog: prepared rule %s: no binding for ?%s", pr.plan.r.Head.Pred, v)
+		}
+		preset[i] = val
+	}
+	var out []Tuple
+	pr.plan.run(db, -1, nil, preset, func(t Tuple) { out = append(out, t) })
+	return out, nil
+}

@@ -492,6 +492,8 @@ func RunE8(sizes []int) Table {
 	if err != nil {
 		panic(err)
 	}
+	// NewProgram compiled plans and stratification already; both timed
+	// sections below therefore compare evaluation strategies only.
 	mkDB := func(n int) *datalog.Database {
 		db := datalog.NewDatabase()
 		e := db.Ensure("edge", 2)

@@ -2,6 +2,7 @@ package hydrolysis
 
 import (
 	"fmt"
+	"sort"
 
 	"hydro/internal/datalog"
 	"hydro/internal/hlang"
@@ -113,9 +114,75 @@ func toInt64(v any) int64 {
 
 // env is an expression-evaluation environment for one handler invocation.
 type env struct {
-	c      *Compiled
-	tx     *transducer.Tx
-	params map[string]any
+	c         *Compiled
+	tx        *transducer.Tx
+	params    map[string]any
+	sendPlans map[*hlang.SendStmt]*sendPlan
+}
+
+// sendPlan is a rule-driven send compiled once per handler: the datalog
+// rule is planned at compile time with the handler's parameters declared as
+// pre-bound variables, so per-message work is pure plan execution.
+type sendPlan struct {
+	pr     *datalog.PreparedRule
+	params []string // parameter names the rule binds at message time
+}
+
+// prepareSend compiles a rule-driven send statement. Parameters stay
+// variables (pre-bound at Derive time) instead of being substituted as
+// constants per message, which is what lets the plan be reused.
+func prepareSend(st *hlang.SendStmt, paramSet map[string]bool) (*sendPlan, error) {
+	rule := datalog.Rule{Head: datalog.Atom{Pred: "__send"}}
+	usedParams := map[string]bool{}
+	bindArg := func(a hlang.QueryArg) (datalog.Term, error) {
+		if a.Var != "" {
+			if paramSet[a.Var] {
+				usedParams[a.Var] = true
+			}
+			return datalog.V(a.Var), nil
+		}
+		return argToTerm(a)
+	}
+	for _, a := range st.Args {
+		t, err := bindArg(a)
+		if err != nil {
+			return nil, err
+		}
+		rule.Head.Args = append(rule.Head.Args, t)
+	}
+	for _, b := range st.Body {
+		lit := datalog.Literal{Atom: datalog.Atom{Pred: b.Pred}, Negated: b.Negated}
+		for _, a := range b.Args {
+			t, err := bindArg(a)
+			if err != nil {
+				return nil, err
+			}
+			lit.Args = append(lit.Args, t)
+		}
+		rule.Body = append(rule.Body, lit)
+	}
+	for _, f := range st.Filters {
+		df, err := filterToDatalog(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, term := range []datalog.Term{df.L, df.R} {
+			if term.IsVar() && paramSet[term.Var] {
+				usedParams[term.Var] = true
+			}
+		}
+		rule.Filters = append(rule.Filters, df)
+	}
+	var bound []string
+	for p := range usedParams {
+		bound = append(bound, p)
+	}
+	sort.Strings(bound)
+	pr, err := datalog.PrepareRule(rule, bound...)
+	if err != nil {
+		return nil, err
+	}
+	return &sendPlan{pr: pr, params: bound}, nil
 }
 
 func (c *Compiled) compileHandler(h *hlang.HandlerDecl) (transducer.Handler, error) {
@@ -142,6 +209,21 @@ func (c *Compiled) compileHandler(h *hlang.HandlerDecl) (transducer.Handler, err
 	if preErr != nil {
 		return nil, preErr
 	}
+	// Compile rule-driven sends once per handler. On compile failure the
+	// statement falls back to per-message rule construction, which surfaces
+	// the same error at run time (matching the uncompiled behavior).
+	paramSet := map[string]bool{}
+	for _, p := range h.Params {
+		paramSet[p.Name] = true
+	}
+	sendPlans := map[*hlang.SendStmt]*sendPlan{}
+	for _, s := range h.Body {
+		if st, ok := s.(*hlang.SendStmt); ok && len(st.Body) > 0 {
+			if sp, err := prepareSend(st, paramSet); err == nil {
+				sendPlans[st] = sp
+			}
+		}
+	}
 
 	return func(tx *transducer.Tx, msg transducer.Message) {
 		params := map[string]any{}
@@ -150,7 +232,7 @@ func (c *Compiled) compileHandler(h *hlang.HandlerDecl) (transducer.Handler, err
 				params[p.Name] = msg.Payload[i]
 			}
 		}
-		e := &env{c: c, tx: tx, params: params}
+		e := &env{c: c, tx: tx, params: params, sendPlans: sendPlans}
 		// require(...) invariants abort the whole invocation when false.
 		for _, r := range h.Requires {
 			v, err := e.eval(r)
@@ -260,7 +342,28 @@ func (e *env) execSend(st *hlang.SendStmt) error {
 		e.tx.Send(st.Mailbox, row)
 		return nil
 	}
-	// Rule-driven: build a one-off datalog rule with handler params bound
+	// Fast path: the rule was compiled at handler-compile time; bind the
+	// parameters and execute the plan.
+	if sp := e.sendPlans[st]; sp != nil {
+		complete := true
+		for _, p := range sp.params {
+			if _, ok := e.params[p]; !ok {
+				complete = false // short payload; fall back
+				break
+			}
+		}
+		if complete {
+			rows, err := e.tx.DerivePrepared(sp.pr, e.params)
+			if err != nil {
+				return err
+			}
+			for _, row := range rows {
+				e.tx.Send(st.Mailbox, row)
+			}
+			return nil
+		}
+	}
+	// Fallback: build a one-off datalog rule with handler params bound
 	// as constants, then derive against the snapshot.
 	rule := datalog.Rule{Head: datalog.Atom{Pred: "__send"}}
 	bindArg := func(a hlang.QueryArg) (datalog.Term, error) {

@@ -1,0 +1,196 @@
+// Package target implements the target facet of §9.1: mapping each handler
+// of a HydroLogic program onto a fleet of machine classes so that declared
+// latency and cost budgets hold, by solving the deployment problem as an
+// integer program (the paper formulates Fig 3's deployment exactly this
+// way). It sits on top of the generic branch-and-bound solver in
+// internal/ilp and the machine-class catalog in internal/cluster.
+package target
+
+import (
+	"fmt"
+	"math"
+
+	"hydro/internal/cluster"
+	"hydro/internal/hlang"
+	"hydro/internal/ilp"
+)
+
+// HandlerLoad is the offered load of one handler: request rate and the
+// per-call service time on the baseline (SpeedFactor=1) machine class.
+type HandlerLoad struct {
+	RatePerSec float64
+	ServiceMs  float64
+}
+
+// utilizationCap bounds per-handler fleet utilization; the queueing factor
+// 1/(1-ρ) is then at most 5×, which is what the class-feasibility gate
+// checks against the declared latency budget.
+const utilizationCap = 0.8
+
+// Allocation is the solved deployment of one handler.
+type Allocation struct {
+	// Counts maps machine-class name to the number of machines assigned.
+	Counts map[string]int
+	// LatencyMs is the modeled per-call latency: the slowest assigned
+	// class's service time scaled by the M/M/1 queueing factor 1/(1-ρ).
+	LatencyMs float64
+	// CostPerCall is the fleet's hourly cost amortized over the call rate.
+	CostPerCall float64
+	// Hourly is the fleet's total hourly cost for this handler.
+	Hourly float64
+}
+
+// Plan is a full deployment mapping for a program.
+type Plan struct {
+	Allocations map[string]Allocation
+	// Machines is the total machine count across all handlers.
+	Machines int
+	// TotalHourly is the whole deployment's hourly cost.
+	TotalHourly float64
+}
+
+// defaultLoad stands in for handlers the caller gave no measurement for.
+var defaultLoad = HandlerLoad{RatePerSec: 1, ServiceMs: 1}
+
+// serviceMs returns the per-call service time of the handler on a class.
+func serviceMs(load HandlerLoad, c cluster.MachineClass) float64 {
+	return load.ServiceMs / c.SpeedFactor
+}
+
+// capacityPerSec returns calls/sec one machine of the class sustains.
+func capacityPerSec(load HandlerLoad, c cluster.MachineClass) float64 {
+	return 1000 / serviceMs(load, c)
+}
+
+// classAllowed applies the spec's hard gates: processor pinning and the
+// worst-case latency a class could deliver at the utilization cap.
+func classAllowed(spec hlang.TargetSpec, load HandlerLoad, c cluster.MachineClass) bool {
+	if spec.Processor == "gpu" && !c.GPU {
+		return false
+	}
+	if spec.LatencyMs > 0 && serviceMs(load, c)/(1-utilizationCap) > spec.LatencyMs {
+		return false
+	}
+	return true
+}
+
+// Solve builds and solves the deployment integer program: one integer
+// variable per (handler, machine class) pair, minimizing total hourly cost
+// subject to capacity (utilization ≤ 0.8), per-call cost budgets, processor
+// pinning, and the global machine budget maxNodes. It returns
+// ilp.ErrInfeasible-wrapped errors when no deployment satisfies the facets.
+func Solve(p *hlang.Program, classes []cluster.MachineClass, loads map[string]HandlerLoad, maxNodes int) (*Plan, error) {
+	if len(p.Handlers) == 0 {
+		return &Plan{Allocations: map[string]Allocation{}}, nil
+	}
+	if maxNodes <= 0 {
+		maxNodes = len(p.Handlers) * len(classes)
+	}
+	prob := ilp.New()
+	type varRef struct {
+		handler string
+		class   cluster.MachineClass
+		idx     int
+	}
+	var vars []varRef
+	nv := func() int { return prob.NumVars() }
+
+	for _, h := range p.Handlers {
+		spec := p.TargetFor(h.Name)
+		load, ok := loads[h.Name]
+		if !ok {
+			load = defaultLoad
+		}
+		allowed := 0
+		for _, c := range classes {
+			if !classAllowed(spec, load, c) {
+				continue
+			}
+			// Enough machines of this class alone to carry the handler
+			// bounds the branch-and-bound search tightly.
+			need := int(math.Ceil(load.RatePerSec / (utilizationCap * capacityPerSec(load, c))))
+			if need < 1 {
+				need = 1
+			}
+			ub := need
+			if ub > maxNodes {
+				ub = maxNodes
+			}
+			idx := prob.AddVar(h.Name+":"+c.Name, 0, ub, c.CostPerHour)
+			vars = append(vars, varRef{handler: h.Name, class: c, idx: idx})
+			allowed++
+		}
+		if allowed == 0 {
+			return nil, fmt.Errorf("target: handler %s: no machine class satisfies processor=%q latency=%gms",
+				h.Name, spec.Processor, spec.LatencyMs)
+		}
+	}
+
+	// Per-handler capacity and cost-budget constraints.
+	for _, h := range p.Handlers {
+		spec := p.TargetFor(h.Name)
+		load, ok := loads[h.Name]
+		if !ok {
+			load = defaultLoad
+		}
+		capCoefs := make([]float64, nv())
+		costCoefs := make([]float64, nv())
+		for _, v := range vars {
+			if v.handler != h.Name {
+				continue
+			}
+			capCoefs[v.idx] = capacityPerSec(load, v.class)
+			costCoefs[v.idx] = v.class.CostPerHour
+		}
+		prob.AddConstraint("cap:"+h.Name, capCoefs, ilp.GE, load.RatePerSec/utilizationCap)
+		if spec.Cost > 0 {
+			// hourly cost ≤ per-call budget × calls per hour
+			prob.AddConstraint("cost:"+h.Name, costCoefs, ilp.LE, spec.Cost*load.RatePerSec*3600)
+		}
+	}
+
+	// Global machine budget.
+	all := make([]float64, nv())
+	for i := range all {
+		all[i] = 1
+	}
+	prob.AddConstraint("max-nodes", all, ilp.LE, float64(maxNodes))
+
+	sol, err := prob.Solve(0)
+	if err != nil {
+		return nil, fmt.Errorf("target: deployment ILP: %w", err)
+	}
+
+	plan := &Plan{Allocations: map[string]Allocation{}}
+	for _, h := range p.Handlers {
+		load, ok := loads[h.Name]
+		if !ok {
+			load = defaultLoad
+		}
+		a := Allocation{Counts: map[string]int{}}
+		capacity := 0.0
+		worstServ := 0.0
+		for _, v := range vars {
+			if v.handler != h.Name {
+				continue
+			}
+			n := sol.Values[v.idx]
+			if n == 0 {
+				continue
+			}
+			a.Counts[v.class.Name] = n
+			a.Hourly += float64(n) * v.class.CostPerHour
+			capacity += float64(n) * capacityPerSec(load, v.class)
+			if s := serviceMs(load, v.class); s > worstServ {
+				worstServ = s
+			}
+			plan.Machines += n
+		}
+		rho := load.RatePerSec / capacity
+		a.LatencyMs = worstServ / (1 - rho)
+		a.CostPerCall = a.Hourly / (load.RatePerSec * 3600)
+		plan.TotalHourly += a.Hourly
+		plan.Allocations[h.Name] = a
+	}
+	return plan, nil
+}

@@ -1,0 +1,118 @@
+package target
+
+import (
+	"testing"
+
+	"hydro/internal/cluster"
+	"hydro/internal/hlang"
+)
+
+func covidProgram(t *testing.T) *hlang.Program {
+	t.Helper()
+	p, err := hlang.Parse(hlang.CovidSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func stdClasses() []cluster.MachineClass {
+	return []cluster.MachineClass{cluster.ClassSmall, cluster.ClassLarge, cluster.ClassGPU}
+}
+
+func stdLoads() map[string]HandlerLoad {
+	return map[string]HandlerLoad{
+		"add_person":  {RatePerSec: 50, ServiceMs: 2},
+		"add_contact": {RatePerSec: 200, ServiceMs: 2},
+		"trace":       {RatePerSec: 10, ServiceMs: 20},
+		"diagnosed":   {RatePerSec: 5, ServiceMs: 20},
+		"likelihood":  {RatePerSec: 5, ServiceMs: 40},
+		"vaccinate":   {RatePerSec: 20, ServiceMs: 3},
+	}
+}
+
+func TestSolveCovidDeployment(t *testing.T) {
+	p := covidProgram(t)
+	plan, err := Solve(p, stdClasses(), stdLoads(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Machines == 0 || plan.Machines > 8 {
+		t.Fatalf("machines = %d, want 1..8", plan.Machines)
+	}
+	// likelihood declares processor=gpu: it must land only on GPU classes.
+	lh := plan.Allocations["likelihood"]
+	if len(lh.Counts) == 0 {
+		t.Fatal("likelihood got no machines")
+	}
+	for name := range lh.Counts {
+		if name != cluster.ClassGPU.Name {
+			t.Fatalf("likelihood on non-GPU class %s", name)
+		}
+	}
+	for name, a := range plan.Allocations {
+		spec := p.TargetFor(name)
+		if spec.LatencyMs > 0 && a.LatencyMs > spec.LatencyMs {
+			t.Fatalf("%s modeled latency %.1fms exceeds spec %.0fms", name, a.LatencyMs, spec.LatencyMs)
+		}
+		if spec.Cost > 0 && a.CostPerCall > spec.Cost {
+			t.Fatalf("%s cost/call %.6f exceeds budget %.2f", name, a.CostPerCall, spec.Cost)
+		}
+	}
+	if plan.TotalHourly <= 0 {
+		t.Fatal("zero-cost deployment")
+	}
+}
+
+func TestSolveScalesWithLoad(t *testing.T) {
+	p := covidProgram(t)
+	loads := stdLoads()
+	// 4000 calls/sec at 2ms service: one small machine (500/s) cannot carry
+	// it at 80% utilization, so the solver must assign multiple machines.
+	loads["add_contact"] = HandlerLoad{RatePerSec: 4000, ServiceMs: 2}
+	plan, err := Solve(p, stdClasses(), loads, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range plan.Allocations["add_contact"].Counts {
+		total += n
+	}
+	if total < 2 {
+		t.Fatalf("add_contact got %d machines for 4000/s load", total)
+	}
+}
+
+func TestSolveInfeasibleMachineBudget(t *testing.T) {
+	p := covidProgram(t)
+	// 6 handlers each need at least one machine; 3 cannot work.
+	if _, err := Solve(p, stdClasses(), stdLoads(), 3); err == nil {
+		t.Fatal("want infeasibility error with maxNodes=3")
+	}
+}
+
+func TestSolveNoFeasibleClass(t *testing.T) {
+	p := covidProgram(t)
+	// Only the small class, but likelihood requires a GPU.
+	if _, err := Solve(p, []cluster.MachineClass{cluster.ClassSmall}, stdLoads(), 8); err == nil {
+		t.Fatal("want error when processor=gpu has no GPU class")
+	}
+}
+
+func TestLatencyGateExcludesSlowClass(t *testing.T) {
+	p := covidProgram(t)
+	loads := stdLoads()
+	// 60ms service on small (speed 1) is 300ms at the utilization cap,
+	// violating the default 100ms budget; the large class (24ms service,
+	// 120ms worst-case) also fails; GPU (15ms → 75ms) passes.
+	loads["trace"] = HandlerLoad{RatePerSec: 10, ServiceMs: 60}
+	plan, err := Solve(p, stdClasses(), loads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range plan.Allocations["trace"].Counts {
+		if name == cluster.ClassSmall.Name || name == cluster.ClassLarge.Name {
+			t.Fatalf("trace placed on %s, which cannot meet the latency budget", name)
+		}
+	}
+}

@@ -126,8 +126,15 @@ func (rt *Runtime) RegisterVar(name string, initial any) { rt.vars[name] = initi
 func (rt *Runtime) RegisterHandler(mailbox string, h Handler) { rt.handlers[mailbox] = h }
 
 // RegisterQueries installs the datalog program evaluated to fixpoint each
-// tick (the compiled `query` declarations).
-func (rt *Runtime) RegisterQueries(p *datalog.Program) { rt.queries = p }
+// tick (the compiled `query` declarations). The program is compiled to
+// plans here, once, so no tick ever pays stratification or rule-planning
+// costs (any compile error resurfaces from Eval inside Tick).
+func (rt *Runtime) RegisterQueries(p *datalog.Program) {
+	if p != nil {
+		_ = p.Prepare()
+	}
+	rt.queries = p
+}
 
 // Table exposes a table's current contents (between ticks).
 func (rt *Runtime) Table(name string) *datalog.Relation { return rt.db.Get(name) }

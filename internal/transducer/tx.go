@@ -96,10 +96,19 @@ func (tx *Tx) ReadVar(name string) any { return tx.snapVars[name] }
 
 // Derive evaluates one datalog rule against the tick snapshot (which
 // contains the fixpoint of the registered queries, computed on demand).
-// Compiled rule-driven sends use this.
+// The rule is compiled on the fly; handlers that fire the same rule on
+// every message should compile it once and use DerivePrepared.
 func (tx *Tx) Derive(rule datalog.Rule) ([]datalog.Tuple, error) {
 	tx.lazyQueries()
 	return datalog.Derive(tx.snapDB, rule)
+}
+
+// DerivePrepared evaluates a rule compiled once with datalog.PrepareRule
+// against the tick snapshot, binding the rule's declared variables from
+// bound — the zero-recompilation path compiled rule-driven sends use.
+func (tx *Tx) DerivePrepared(pr *datalog.PreparedRule, bound map[string]any) ([]datalog.Tuple, error) {
+	tx.lazyQueries()
+	return pr.Derive(tx.snapDB, bound)
 }
 
 func (tx *Tx) lazyQueries() {
