@@ -2,7 +2,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test vet ci bench tables
+.PHONY: build test vet ci bench benchdiff tables
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ ci: build vet test
 # trajectory is tracked PR over PR.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchtab -benchjson BENCH_1.json
+
+# benchdiff guards the perf trajectory: it re-runs every benchmark and
+# fails if any shared benchmark slowed down more than BENCHDIFF_THRESHOLD×
+# against the committed BENCH_1.json (see ROADMAP.md for the workflow).
+BENCHDIFF_THRESHOLD ?= 1.5
+benchdiff:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchtab -benchdiff BENCH_1.json -threshold $(BENCHDIFF_THRESHOLD)
 
 tables:
 	$(GO) run ./cmd/benchtab -quick

@@ -13,6 +13,7 @@ import (
 	"hydro/internal/datalog"
 	"hydro/internal/experiments"
 	"hydro/internal/kvs"
+	"hydro/internal/transducer"
 )
 
 // BenchmarkE1CovidEquivalence: the compiled Fig-3 application's end-to-end
@@ -223,6 +224,82 @@ func BenchmarkDatalogTC(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// tickBenchRuntime builds a transducer with a transitive-closure query
+// over an edge table, prebuilt with 8 disjoint 64-node chains — the
+// small-delta/large-DB tick workload of E13.
+func tickBenchRuntime(b *testing.B, incremental bool) *transducer.Runtime {
+	b.Helper()
+	rt := transducer.New("bench", 1)
+	rt.SetDelay(func(r *rand.Rand) int { return 1 })
+	rt.RegisterTable(transducer.TableSchema{Name: "edge", Arity: 2})
+	prog, err := datalog.NewProgram(
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if incremental {
+		if err := rt.RegisterQueriesIncremental(prog); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		rt.RegisterQueries(prog)
+	}
+	rt.RegisterHandler("add_edge", func(tx *transducer.Tx, msg transducer.Message) { tx.MergeTuple("edge", msg.Payload) })
+	var sink int
+	rt.RegisterHandler("probe", func(tx *transducer.Tx, msg transducer.Message) {
+		sink += len(tx.QueryWhere("path", []int{0}, []any{msg.Payload[0]}))
+	})
+	for c := 0; c < 8; c++ {
+		for i := int64(0); i < 64; i++ {
+			rt.Inject("add_edge", datalog.Tuple{int64(c*1000) + i, int64(c*1000) + i + 1})
+		}
+	}
+	rt.Tick()
+	return rt
+}
+
+// tickSmallDelta measures the amortized cost of one tick that merges one
+// fresh edge and reads the path query — O(database) per tick under full
+// re-evaluation, O(delta) under cross-tick incremental maintenance.
+func tickSmallDelta(b *testing.B, incremental bool) {
+	rt := tickBenchRuntime(b, incremental)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int64(1_000_000 + 2*i)
+		rt.Inject("add_edge", datalog.Tuple{u, u + 1})
+		rt.Inject("probe", datalog.Tuple{u})
+		rt.Tick()
+	}
+}
+
+// BenchmarkTickSmallDeltaFullEval / BenchmarkTickSmallDeltaIncremental:
+// the headline pair of this PR (ISSUE 2); BENCH_1.json records both so the
+// perf trajectory tracks full vs incremental tick costs.
+func BenchmarkTickSmallDeltaFullEval(b *testing.B)    { tickSmallDelta(b, false) }
+func BenchmarkTickSmallDeltaIncremental(b *testing.B) { tickSmallDelta(b, true) }
+
+// BenchmarkE13IncrementalTicks reports the amortized full/incremental tick
+// cost ratio from the E13 experiment table.
+func BenchmarkE13IncrementalTicks(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunE13(6, 200)
+		speedup = parseRatio(t.Rows[1][4])
+	}
+	b.ReportMetric(speedup, "incremental×")
 }
 
 func parseFloat(s string) float64 {

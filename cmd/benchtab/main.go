@@ -9,6 +9,7 @@
 //	benchtab -quick     # smaller parameters (CI-friendly)
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchtab -benchjson BENCH_1.json
+//	go test -run '^$' -bench . -benchmem ./... | benchtab -benchdiff BENCH_1.json -threshold 1.5
 package main
 
 import (
@@ -107,10 +108,74 @@ func writeBenchJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// diffBench compares a fresh bench run (stdin) against the committed
+// baseline JSON and fails when any shared benchmark slowed down by more
+// than the threshold factor. Benchmarks present on only one side are
+// reported but never fail the run (they are new or retired, not
+// regressed).
+func diffBench(baselinePath string, threshold float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline []benchResult
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	base := map[string]benchResult{}
+	for _, r := range baseline {
+		base[r.Pkg+"."+r.Name] = r
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fresh, err := parseBench(sc)
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	var regressions []string
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		key := r.Pkg + "." + r.Name
+		seen[key] = true
+		b, ok := base[key]
+		if !ok {
+			fmt.Printf("NEW   %-50s %12.0f ns/op\n", key, r.NsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue // metric-only benchmarks carry no timing to compare
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > threshold {
+			status = "SLOW"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f → %.0f ns/op (%.2f× > %.2f×)",
+				key, b.NsPerOp, r.NsPerOp, ratio, threshold))
+		}
+		fmt.Printf("%-5s %-50s %12.0f → %12.0f ns/op  (%.2f×)\n", status, key, b.NsPerOp, r.NsPerOp, ratio)
+	}
+	for key := range base {
+		if !seen[key] {
+			fmt.Printf("GONE  %s\n", key)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.2f×:\n  %s",
+			len(regressions), threshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("benchdiff: no regression past %.2f× against %s\n", threshold, baselinePath)
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	quick := flag.Bool("quick", false, "smaller parameters")
 	benchjson := flag.String("benchjson", "", "write benchmarks parsed from 'go test -bench' stdin to this JSON `file`")
+	benchdiff := flag.String("benchdiff", "", "compare benchmarks parsed from 'go test -bench' stdin against this baseline JSON `file`; exit non-zero on regression")
+	threshold := flag.Float64("threshold", 1.5, "slowdown factor tolerated by -benchdiff before failing")
 	flag.Parse()
 
 	if *benchjson != "" {
@@ -119,6 +184,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *benchjson)
+		return
+	}
+	if *benchdiff != "" {
+		if err := diffBench(*benchdiff, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -143,6 +215,7 @@ func main() {
 		{"E10", func() experiments.Table { return experiments.RunE10(20 / scale) }},
 		{"E11", func() experiments.Table { return experiments.RunE11() }},
 		{"E12", func() experiments.Table { return experiments.RunE12(1000 / scale) }},
+		{"E13", func() experiments.Table { return experiments.RunE13(8/scale + 1, 400/scale) }},
 	}
 	ran := false
 	for _, r := range runs {
@@ -153,6 +226,6 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Printf("unknown experiment %q; known: E1..E12, E5b\n", *exp)
+		fmt.Printf("unknown experiment %q; known: E1..E13, E5b\n", *exp)
 	}
 }

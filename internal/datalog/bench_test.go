@@ -149,6 +149,62 @@ func BenchmarkAggregateGrouping(b *testing.B) {
 	}
 }
 
+// multiChainDB builds chains disjoint 64-node chains: a large database
+// whose transitive closure has chains*64*65/2 path tuples.
+func multiChainDB(chains int) *Database {
+	db := NewDatabase()
+	e := db.Ensure("edge", 2)
+	for c := 0; c < chains; c++ {
+		base := int64(c * 1000)
+		for i := int64(0); i < 64; i++ {
+			e.Insert(Tuple{base + i, base + i + 1})
+		}
+	}
+	return db
+}
+
+// BenchmarkFullEvalSmallDeltaTC is the per-tick cost of the pre-PR
+// strategy on a small-delta/large-DB workload: every tick clones the
+// database (the transducer snapshot) and re-derives the full fixpoint,
+// regardless of how little changed.
+func BenchmarkFullEvalSmallDeltaTC(b *testing.B) {
+	p := tcProgram(b)
+	db := multiChainDB(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := db.Clone()
+		if _, err := p.Eval(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalSmallDeltaTC is the same workload under cross-tick
+// maintenance: each tick one new edge arrives and only its consequences
+// are derived. The ratio against BenchmarkFullEvalSmallDeltaTC is the
+// headline O(delta)-vs-O(database) number.
+func BenchmarkIncrementalSmallDeltaTC(b *testing.B) {
+	p := tcProgram(b)
+	inc, err := NewIncremental(p, multiChainDB(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	edge := inc.DB().Get("edge")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := int64(1_000_000+2*i), int64(1_000_001+2*i)
+		tup := Tuple{u, v}
+		edge.Insert(tup)
+		d := NewDelta()
+		d.Insert("edge", tup)
+		if _, err := inc.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDeriveAdHoc vs BenchmarkDerivePrepared: the cost of per-call
 // rule compilation against the pre-compiled path handlers use.
 func BenchmarkDeriveAdHoc(b *testing.B) {

@@ -281,6 +281,18 @@ func (db *Database) Ensure(name string, arity int) *Relation {
 // Get returns the named relation, or nil.
 func (db *Database) Get(name string) *Relation { return db.rels[name] }
 
+// reset replaces a relation with a fresh empty one of the given arity —
+// the incremental evaluator's recompute path clears derived relations this
+// way instead of deleting tuple by tuple.
+func (db *Database) reset(name string, arity int) *Relation {
+	r := NewRelation(name, arity)
+	if _, existed := db.rels[name]; !existed {
+		db.names = nil
+	}
+	db.rels[name] = r
+	return r
+}
+
 // Names returns relation names sorted.
 func (db *Database) Names() []string {
 	if db.names == nil {

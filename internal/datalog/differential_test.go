@@ -270,6 +270,204 @@ func TestDifferentialPreparedDerive(t *testing.T) {
 	}
 }
 
+// diffDatabases reports the first relation on which two fixpoints diverge.
+func diffDatabases(label string, a, b *Database) error {
+	names := map[string]bool{}
+	for _, n := range a.Names() {
+		names[n] = true
+	}
+	for _, n := range b.Names() {
+		names[n] = true
+	}
+	for n := range names {
+		ra, rb := a.Get(n), b.Get(n)
+		var ta, tb []Tuple
+		if ra != nil {
+			ta = ra.Tuples()
+		}
+		if rb != nil {
+			tb = rb.Tuples()
+		}
+		if len(ta) != len(tb) {
+			return fmt.Errorf("%s: relation %s: %d vs %d tuples\nleft:  %v\nright: %v", label, n, len(ta), len(tb), ta, tb)
+		}
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				return fmt.Errorf("%s: relation %s diverges at %d: %v vs %v", label, n, i, ta[i], tb[i])
+			}
+		}
+	}
+	return nil
+}
+
+// edbPreds are the base relations the random tick sequences mutate.
+var edbPreds = []string{"edge", "attr", "node"}
+
+// randEDBTuple draws a tuple for one of the base relations.
+func randEDBTuple(r *rand.Rand, pred string) Tuple {
+	switch pred {
+	case "edge":
+		return Tuple{randConst(r), randConst(r)}
+	case "attr":
+		return Tuple{randConst(r), int64(r.Intn(10))}
+	default:
+		return Tuple{randConst(r)}
+	}
+}
+
+// TestDifferentialThreeWayIncremental is this PR's headline property: across
+// randomized tick sequences with interleaved inserts AND deletes, the
+// cross-tick incremental evaluator maintains exactly the fixpoint that both
+// the compiled semi-naive Eval and the interpretive EvalNaive compute from
+// scratch on the same base data. The failing seed is printed for
+// reproduction.
+func TestDifferentialThreeWayIncremental(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rules := randRules(r)
+		p, err := NewProgram(rules...)
+		if err != nil {
+			t.Logf("seed %d: program rejected: %v", seed, err)
+			return false
+		}
+		edb := randEDB(r) // pure base data, never touched by evaluation
+		inc, err := NewIncremental(p, edb.Clone())
+		if err != nil {
+			t.Logf("seed %d: NewIncremental: %v", seed, err)
+			return false
+		}
+		for tick := 0; tick < 6; tick++ {
+			// Random base changes: inserts of fresh tuples and deletes of
+			// existing ones, mirrored into the reference EDB and the
+			// incremental database, with realized changes recorded.
+			delta := NewDelta()
+			for op := 0; op < 1+r.Intn(4); op++ {
+				pred := edbPreds[r.Intn(len(edbPreds))]
+				ref, live := edb.Get(pred), inc.DB().Get(pred)
+				if r.Intn(2) == 0 {
+					tup := randEDBTuple(r, pred)
+					was := ref.Insert(tup)
+					if live.Insert(tup) != was {
+						t.Logf("seed %d tick %d: base insert diverged on %s%v", seed, tick, pred, tup)
+						return false
+					}
+					if was {
+						delta.Insert(pred, tup)
+					}
+				} else if existing := ref.Tuples(); len(existing) > 0 {
+					tup := existing[r.Intn(len(existing))]
+					ref.Delete(tup)
+					if !live.Delete(tup) {
+						t.Logf("seed %d tick %d: base delete diverged on %s%v", seed, tick, pred, tup)
+						return false
+					}
+					delta.Delete(pred, tup)
+				}
+			}
+			if _, err := inc.Apply(delta); err != nil {
+				t.Logf("seed %d tick %d: Apply: %v", seed, tick, err)
+				return false
+			}
+			refC := edb.Clone()
+			if _, err := p.Eval(refC); err != nil {
+				t.Logf("seed %d tick %d: Eval: %v", seed, tick, err)
+				return false
+			}
+			if err := diffDatabases("incremental vs compiled", inc.DB(), refC); err != nil {
+				t.Logf("seed %d tick %d: %v", seed, tick, err)
+				return false
+			}
+			refN := edb.Clone()
+			if _, err := p.EvalNaive(refN); err != nil {
+				t.Logf("seed %d tick %d: EvalNaive: %v", seed, tick, err)
+				return false
+			}
+			if err := diffDatabases("incremental vs naive", inc.DB(), refN); err != nil {
+				t.Logf("seed %d tick %d: %v", seed, tick, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalRejectsDerivedMutation: feeding a batch that claims to
+// have mutated a derived relation must error rather than corrupt counts.
+func TestIncrementalRejectsDerivedMutation(t *testing.T) {
+	p, err := NewProgram(Rule{
+		Head: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}},
+		Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.Ensure("edge", 2).Insert(Tuple{"a", "b"})
+	inc, err := NewIncremental(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta()
+	d.Insert("p1", Tuple{"x", "y"})
+	if _, err := inc.Apply(d); err == nil {
+		t.Fatal("mutating a derived relation as base must fail")
+	}
+	if _, err := inc.Apply(NewDelta()); err == nil {
+		t.Fatal("evaluator must refuse reuse after an error")
+	}
+}
+
+// TestIncrementalCountsStayBounded: an upsert-churn workload (every tick
+// deletes and re-inserts rows) through a counting component must not
+// accumulate dead count entries — the maintained multiplicity map tracks
+// the live fixpoint, not every tuple ever derived.
+func TestIncrementalCountsStayBounded(t *testing.T) {
+	p, err := NewProgram(Rule{
+		Head: Atom{Pred: "view", Args: []Term{V("x"), V("v")}},
+		Body: []Literal{{Atom: Atom{Pred: "row", Args: []Term{V("x"), V("v")}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	rows := db.Ensure("row", 2)
+	for i := int64(0); i < 16; i++ {
+		rows.Insert(Tuple{i, int64(0)})
+	}
+	inc, err := NewIncremental(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := map[int64]int64{} // key → live version
+	for ver := int64(1); ver <= 500; ver++ {
+		d := NewDelta()
+		key := ver % 16
+		old := Tuple{key, current[key]}
+		rows.Delete(old)
+		d.Delete("row", old)
+		updated := Tuple{key, ver}
+		rows.Insert(updated)
+		d.Insert("row", updated)
+		current[key] = ver
+		if _, err := inc.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cnt := inc.counts["view"]
+	if live := len(cnt.ents) - cnt.dead; live != 16 {
+		t.Fatalf("live count entries = %d, want 16", live)
+	}
+	if len(cnt.ents) > 128 {
+		t.Fatalf("count entries grew to %d after churn (tombstones not compacted)", len(cnt.ents))
+	}
+	if got := inc.DB().Get("view").Len(); got != 16 {
+		t.Fatalf("view has %d rows, want 16", got)
+	}
+}
+
 // TestDeleteKeepsIndexesConsistent hammers interleaved inserts, deletes and
 // indexed lookups — the transducer's upsert pattern — and cross-checks the
 // incremental index against a brute-force scan.

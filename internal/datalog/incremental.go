@@ -1,0 +1,566 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// This file is the cross-tick incremental evaluator: instead of re-running
+// the fixpoint from a fresh snapshot on every transducer tick (O(database)
+// per tick), an Incremental retains the fixpoint in its database and folds
+// in each tick's base-relation delta (O(delta) amortized on monotone
+// workloads). The strategy is chosen per evaluation component (an
+// SCC-refined stratum, see plan.go):
+//
+//   - Non-recursive monotone components maintain a derivation count per
+//     head tuple (the classic counting algorithm): an insert or delete on
+//     an input enumerates exactly the derivations gained or lost, and a
+//     head tuple appears or disappears when its count crosses zero.
+//     Exactness comes from the positional old/new discipline — driving the
+//     delta through body position i joins positions before i against the
+//     post-batch state and positions after i against the pre-batch view.
+//   - Recursive monotone components (e.g. transitive closure) propagate
+//     insert-only deltas with the compiled semi-naive plans. Counting is
+//     unsound under recursion (cyclic self-support), so a delta that
+//     deletes one of their inputs falls back to recomputing the component
+//     and diffing, which feeds precise deltas downstream.
+//   - Components containing negation or aggregates recompute whenever any
+//     input (including negated ones) changed, then diff.
+
+// Delta is a batch of realized set-level changes to base relations: every
+// recorded insert/delete must have actually changed membership, in the
+// order it was applied. Apply normalizes away insert/delete churn on the
+// same tuple, and extends the delta with the derived-relation changes it
+// realizes so downstream components (and the caller, if interested) see
+// the full cascade.
+type Delta struct {
+	added   map[string][]Tuple
+	removed map[string][]Tuple
+	preds   []string // first-touch order, for deterministic iteration
+}
+
+// NewDelta returns an empty change batch.
+func NewDelta() *Delta {
+	return &Delta{added: map[string][]Tuple{}, removed: map[string][]Tuple{}}
+}
+
+func (d *Delta) touch(pred string) {
+	if _, ok := d.added[pred]; ok {
+		return
+	}
+	if _, ok := d.removed[pred]; ok {
+		return
+	}
+	d.preds = append(d.preds, pred)
+}
+
+// Insert records that t was inserted into rel (and was not present before).
+func (d *Delta) Insert(rel string, t Tuple) {
+	d.touch(rel)
+	d.added[rel] = append(d.added[rel], t)
+}
+
+// Delete records that t was deleted from rel (and was present before).
+func (d *Delta) Delete(rel string, t Tuple) {
+	d.touch(rel)
+	d.removed[rel] = append(d.removed[rel], t)
+}
+
+// Empty reports whether the batch contains no changes.
+func (d *Delta) Empty() bool {
+	for _, ts := range d.added {
+		if len(ts) > 0 {
+			return false
+		}
+	}
+	for _, ts := range d.removed {
+		if len(ts) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// normalize nets out same-tuple churn (insert→delete→insert within one
+// batch), leaving at most one signed change per tuple — the precondition
+// for the counting algebra and for old-view reconstruction.
+func (d *Delta) normalize() {
+	for _, pred := range d.preds {
+		add, rem := d.added[pred], d.removed[pred]
+		if len(add) == 0 || len(rem) == 0 {
+			continue // realized changes on one side cannot repeat a tuple
+		}
+		net := newTupleCounts()
+		for _, t := range add {
+			net.add(t, 1)
+		}
+		for _, t := range rem {
+			net.add(t, -1)
+		}
+		var na, nr []Tuple
+		for _, e := range net.ents {
+			switch {
+			case e.n > 0:
+				na = append(na, e.t)
+			case e.n < 0:
+				nr = append(nr, e.t)
+			}
+		}
+		d.added[pred], d.removed[pred] = na, nr
+	}
+}
+
+// relView is a relation as of a point in the batch: the current relation
+// minus tuples added by the batch plus tuples it removed (the pre-batch
+// "old" view), or just the current relation (the "new" view).
+type relView struct {
+	rel   *Relation
+	hide  *tupleSet // batch-added tuples, excluded from the old view
+	extra []Tuple   // batch-removed tuples, re-included in the old view
+}
+
+func (v relView) lookup(pos []int, vals []any) []Tuple {
+	var out []Tuple
+	if v.rel != nil {
+		for _, t := range v.rel.Lookup(pos, vals) {
+			if v.hide == nil || !v.hide.has(t) {
+				out = append(out, t)
+			}
+		}
+	}
+	for _, t := range v.extra {
+		if projEqual(t, pos, vals) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// incComponent classifies one evaluation component for maintenance.
+type incComponent struct {
+	plans     []*rulePlan
+	heads     []string // distinct head preds, first-appearance order
+	headSet   map[string]bool
+	inputs    []string // distinct non-head body preds, first-appearance order
+	inputSet  map[string]bool
+	recursive bool // some positive body literal reads a component head
+	nonMono   bool // some rule negates or aggregates
+}
+
+// Incremental maintains a program's fixpoint across base-relation change
+// batches. The database handed to NewIncremental becomes the maintained
+// state: base relations are mutated by the caller (reporting realized
+// changes through Apply), derived relations belong to the evaluator.
+type Incremental struct {
+	prog   *Program
+	db     *Database
+	comps  []incComponent
+	counts map[string]*tupleCounts // derivation counts for counting comps
+	idb    map[string]bool
+	broken bool
+}
+
+// NewIncremental compiles p, classifies its evaluation components, and
+// seeds the fixpoint (with derivation counts where counting applies) into
+// db. Derived relations must not contain base tuples.
+func NewIncremental(p *Program, db *Database) (*Incremental, error) {
+	if err := p.Prepare(); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{prog: p, db: db, counts: map[string]*tupleCounts{}, idb: p.idbPreds()}
+	for pred := range inc.idb {
+		if r := db.Get(pred); r != nil && r.Len() > 0 {
+			return nil, fmt.Errorf("datalog: incremental: relation %s is derived by rules but already holds base tuples", pred)
+		}
+	}
+	for _, plans := range p.prep.strata {
+		c := incComponent{plans: plans, headSet: map[string]bool{}, inputSet: map[string]bool{}}
+		for _, pl := range plans {
+			if !c.headSet[pl.r.Head.Pred] {
+				c.headSet[pl.r.Head.Pred] = true
+				c.heads = append(c.heads, pl.r.Head.Pred)
+			}
+			if pl.r.Agg != "" {
+				c.nonMono = true
+			}
+		}
+		for _, pl := range plans {
+			for _, l := range pl.r.Body {
+				if l.Negated {
+					c.nonMono = true
+				}
+				if c.headSet[l.Pred] {
+					if !l.Negated {
+						c.recursive = true
+					}
+					continue
+				}
+				if !c.inputSet[l.Pred] {
+					c.inputSet[l.Pred] = true
+					c.inputs = append(c.inputs, l.Pred)
+				}
+			}
+		}
+		inc.comps = append(inc.comps, c)
+	}
+	for i := range inc.comps {
+		if err := inc.seed(&inc.comps[i]); err != nil {
+			return nil, err
+		}
+	}
+	return inc, nil
+}
+
+// DB returns the maintained database: base relations plus the current
+// fixpoint of every derived relation.
+func (inc *Incremental) DB() *Database { return inc.db }
+
+func (inc *Incremental) countsFor(pred string) *tupleCounts {
+	c := inc.counts[pred]
+	if c == nil {
+		c = newTupleCounts()
+		inc.counts[pred] = c
+	}
+	return c
+}
+
+// seed computes a component's initial fixpoint. Counting components
+// enumerate every derivation exactly once (the full join order emits one
+// head per body binding); the rest run the normal component fixpoint.
+func (inc *Incremental) seed(c *incComponent) error {
+	ensureHeadsPlanned(inc.db, c.plans)
+	if c.recursive || c.nonMono {
+		_, err := evalStratumSemiNaive(inc.db, c.plans)
+		return err
+	}
+	for _, pl := range c.plans {
+		rel := inc.db.Get(pl.r.Head.Pred)
+		cnt := inc.countsFor(pl.r.Head.Pred)
+		pl.run(inc.db, -1, nil, nil, func(t Tuple) {
+			if _, now := cnt.add(t, 1); now == 1 {
+				rel.Insert(t)
+			}
+		})
+	}
+	return nil
+}
+
+// Apply folds one batch of base-relation changes — already applied to the
+// database by the caller — into the maintained fixpoint. It returns the
+// number of derived-relation set changes realized. On error the evaluator
+// is marked broken (its state may be inconsistent) and refuses further use.
+func (inc *Incremental) Apply(d *Delta) (int, error) {
+	if inc.broken {
+		return 0, fmt.Errorf("datalog: incremental evaluator unusable after earlier error")
+	}
+	d.normalize()
+	for _, pred := range d.preds {
+		if inc.idb[pred] && (len(d.added[pred]) > 0 || len(d.removed[pred]) > 0) {
+			inc.broken = true
+			return 0, fmt.Errorf("datalog: incremental: derived relation %s was mutated as a base relation", pred)
+		}
+	}
+	changes := 0
+	for i := range inc.comps {
+		c := &inc.comps[i]
+		hasAdd, hasDel := false, false
+		for _, in := range c.inputs {
+			if len(d.added[in]) > 0 {
+				hasAdd = true
+			}
+			if len(d.removed[in]) > 0 {
+				hasDel = true
+			}
+		}
+		if !hasAdd && !hasDel {
+			continue
+		}
+		switch {
+		case !c.recursive && !c.nonMono:
+			changes += inc.applyCounting(c, d)
+		case c.nonMono || hasDel:
+			n, err := inc.recompute(c, d)
+			if err != nil {
+				inc.broken = true
+				return changes, err
+			}
+			changes += n
+		default:
+			changes += inc.propagateInserts(c, d)
+		}
+	}
+	return changes, nil
+}
+
+// applyCounting maintains a non-recursive monotone component exactly: the
+// batch's input changes enumerate the derivations gained and lost, signed
+// counts accumulate per head tuple, and zero crossings realize set-level
+// changes (which extend the delta for downstream components).
+func (inc *Incremental) applyCounting(c *incComponent, d *Delta) int {
+	acc := map[string]*tupleCounts{}
+	oldViews := map[string]relView{}
+	oldOf := func(pred string) relView {
+		v, ok := oldViews[pred]
+		if !ok {
+			v = relView{rel: inc.db.Get(pred), extra: d.removed[pred]}
+			if add := d.added[pred]; len(add) > 0 {
+				v.hide = newTupleSet()
+				for _, t := range add {
+					v.hide.add(t)
+				}
+			}
+			oldViews[pred] = v
+		}
+		return v
+	}
+	for _, pl := range c.plans {
+		r := pl.r
+		for i := range r.Body {
+			pred := r.Body[i].Pred
+			for _, t := range d.added[pred] {
+				inc.deltaJoin(r, i, t, 1, oldOf, acc)
+			}
+			for _, t := range d.removed[pred] {
+				inc.deltaJoin(r, i, t, -1, oldOf, acc)
+			}
+		}
+	}
+	changes := 0
+	for _, h := range c.heads {
+		a := acc[h]
+		if a == nil {
+			continue
+		}
+		rel := inc.db.Get(h)
+		cnt := inc.countsFor(h)
+		for _, e := range a.ents {
+			if e.n == 0 {
+				continue
+			}
+			old, now := cnt.add(e.t, e.n)
+			if now < 0 {
+				panic(fmt.Sprintf("datalog: incremental: negative derivation count for %s%v", h, e.t))
+			}
+			switch {
+			case old == 0 && now > 0:
+				rel.Insert(e.t)
+				d.Insert(h, e.t)
+				changes++
+			case old > 0 && now == 0:
+				cnt.drop(e.t) // keep maintained counts bounded by the live fixpoint
+				rel.Delete(e.t)
+				d.Delete(h, e.t)
+				changes++
+			}
+		}
+	}
+	return changes
+}
+
+// deltaJoin enumerates the body bindings of r in which position di is the
+// changed tuple dt, with positions before di reading the post-batch state
+// and positions after di reading the pre-batch view, and accumulates the
+// signed head contributions. Summed over every position of every changed
+// tuple, this counts each gained or lost derivation exactly once.
+func (inc *Incremental) deltaJoin(r Rule, di int, dt Tuple, sign int, oldOf func(string) relView, acc map[string]*tupleCounts) {
+	lit := r.Body[di]
+	if len(lit.Args) != len(dt) {
+		return
+	}
+	b := binding{}
+	for j, a := range lit.Args {
+		if !a.IsVar() {
+			if a.Const != dt[j] {
+				return
+			}
+			continue
+		}
+		if v, ok := b[a.Var]; ok {
+			if v != dt[j] {
+				return
+			}
+			continue
+		}
+		b[a.Var] = dt[j]
+	}
+	var walk func(j int, b binding)
+	walk = func(j int, b binding) {
+		if j == len(r.Body) {
+			for _, f := range r.Filters {
+				if !evalFilter(f, b) {
+					return
+				}
+			}
+			head := make(Tuple, len(r.Head.Args))
+			for k, t := range r.Head.Args {
+				v, ok := b.resolve(t)
+				if !ok {
+					return
+				}
+				head[k] = v
+			}
+			a := acc[r.Head.Pred]
+			if a == nil {
+				a = newTupleCounts()
+				acc[r.Head.Pred] = a
+			}
+			a.add(head, sign)
+			return
+		}
+		if j == di {
+			walk(j+1, b)
+			return
+		}
+		l := r.Body[j]
+		var view relView
+		if j < di {
+			view = relView{rel: inc.db.Get(l.Pred)}
+		} else {
+			view = oldOf(l.Pred)
+		}
+		var pos []int
+		var vals []any
+		for k, a := range l.Args {
+			if v, ok := b.resolve(a); ok {
+				pos = append(pos, k)
+				vals = append(vals, v)
+			}
+		}
+		for _, t := range view.lookup(pos, vals) {
+			nb := b
+			cloned := false
+			ok := true
+			for k, a := range l.Args {
+				if !a.IsVar() {
+					if t[k] != a.Const {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, bound := nb[a.Var]; bound {
+					if v != t[k] {
+						ok = false
+						break
+					}
+					continue
+				}
+				if !cloned {
+					nb = b.clone()
+					cloned = true
+				}
+				nb[a.Var] = t[k]
+			}
+			if ok {
+				walk(j+1, nb)
+			}
+		}
+	}
+	walk(0, b)
+}
+
+// propagateInserts folds an insert-only delta into a recursive monotone
+// component with the compiled semi-naive plans: the incoming additions seed
+// the delta relations, and newly realized head tuples keep driving the
+// delta-first join orders until quiescence.
+func (inc *Incremental) propagateInserts(c *incComponent, d *Delta) int {
+	ensureHeadsPlanned(inc.db, c.plans)
+	delta := map[string]*Relation{}
+	for _, in := range c.inputs {
+		list := d.added[in]
+		if len(list) == 0 {
+			continue
+		}
+		dr := NewRelation(in, len(list[0]))
+		for _, t := range list {
+			dr.appendRaw(t)
+		}
+		delta[in] = dr
+	}
+	changes := 0
+	var out []Tuple
+	collect := func(t Tuple) { out = append(out, t) }
+	for {
+		next := map[string]*Relation{}
+		any := false
+		for _, pl := range c.plans {
+			rel := inc.db.Get(pl.r.Head.Pred)
+			for i, l := range pl.r.Body {
+				if l.Negated {
+					continue
+				}
+				dr, ok := delta[l.Pred]
+				if !ok || dr.Len() == 0 {
+					continue
+				}
+				out = out[:0]
+				pl.run(inc.db, i, dr, nil, collect)
+				for _, t := range out {
+					if rel.Insert(t) {
+						nd := next[pl.r.Head.Pred]
+						if nd == nil {
+							nd = NewRelation(pl.r.Head.Pred, rel.Arity)
+							next[pl.r.Head.Pred] = nd
+						}
+						nd.appendRaw(t)
+						d.Insert(pl.r.Head.Pred, t)
+						changes++
+						any = true
+					}
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		delta = next
+	}
+	return changes
+}
+
+// recompute is the fallback for components with negation or aggregates
+// (any input change) and for recursive components facing deletions: clear
+// the component's derived relations, re-run its fixpoint from the current
+// inputs, and diff old against new so downstream components still receive
+// a precise delta.
+func (inc *Incremental) recompute(c *incComponent, d *Delta) (int, error) {
+	ensureHeadsPlanned(inc.db, c.plans)
+	old := map[string][]Tuple{}
+	for _, h := range c.heads {
+		rel := inc.db.Get(h)
+		old[h] = rel.Tuples()
+		inc.db.reset(h, rel.Arity)
+	}
+	if _, err := evalStratumSemiNaive(inc.db, c.plans); err != nil {
+		return 0, err
+	}
+	changes := 0
+	for _, h := range c.heads {
+		newT := inc.db.Get(h).Tuples() // sorted, as is old[h]
+		oldT := old[h]
+		i, j := 0, 0
+		for i < len(oldT) || j < len(newT) {
+			switch {
+			case i >= len(oldT):
+				d.Insert(h, newT[j])
+				changes++
+				j++
+			case j >= len(newT):
+				d.Delete(h, oldT[i])
+				changes++
+				i++
+			case oldT[i].Equal(newT[j]):
+				i++
+				j++
+			case tupleLess(oldT[i], newT[j]):
+				d.Delete(h, oldT[i])
+				changes++
+				i++
+			default:
+				d.Insert(h, newT[j])
+				changes++
+				j++
+			}
+		}
+	}
+	return changes, nil
+}

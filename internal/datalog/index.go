@@ -242,6 +242,106 @@ func (s *valueSet) add(v any) {
 
 func (s *valueSet) len() int { return s.n }
 
+// tupleSet is a hash set of tuples with collision buckets — the incremental
+// evaluator's membership filter for batch views.
+type tupleSet struct {
+	m map[uint64][]Tuple
+}
+
+func newTupleSet() *tupleSet { return &tupleSet{m: map[uint64][]Tuple{}} }
+
+func (s *tupleSet) add(t Tuple) {
+	h := hashTuple(t)
+	for _, x := range s.m[h] {
+		if x.Equal(t) {
+			return
+		}
+	}
+	s.m[h] = append(s.m[h], t)
+}
+
+func (s *tupleSet) has(t Tuple) bool {
+	for _, x := range s.m[hashTuple(t)] {
+		if x.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// tupleCounts maps tuples to signed counts (derivation multiplicities and
+// batch-delta accumulation), preserving first-seen order for deterministic
+// realization. Dropped entries leave tombstones (nil tuple) compacted once
+// they dominate, so long-lived maintained counts track the live fixpoint
+// rather than every tuple ever derived.
+type tupleCounts struct {
+	m    map[uint64][]int
+	ents []tcEntry
+	dead int
+}
+
+type tcEntry struct {
+	t Tuple
+	n int
+}
+
+func newTupleCounts() *tupleCounts { return &tupleCounts{m: map[uint64][]int{}} }
+
+// add adjusts t's count by d, creating the entry at zero first, and returns
+// the count before and after.
+func (c *tupleCounts) add(t Tuple, d int) (old, now int) {
+	h := hashTuple(t)
+	for _, i := range c.m[h] {
+		if c.ents[i].t.Equal(t) {
+			old = c.ents[i].n
+			c.ents[i].n = old + d
+			return old, old + d
+		}
+	}
+	c.m[h] = append(c.m[h], len(c.ents))
+	c.ents = append(c.ents, tcEntry{t: t, n: d})
+	return 0, d
+}
+
+// drop removes t's entry entirely (callers drop maintained counts that
+// returned to zero).
+func (c *tupleCounts) drop(t Tuple) {
+	h := hashTuple(t)
+	bucket := c.m[h]
+	for i, idx := range bucket {
+		if c.ents[idx].t.Equal(t) {
+			c.ents[idx] = tcEntry{}
+			c.m[h] = append(bucket[:i], bucket[i+1:]...)
+			if len(c.m[h]) == 0 {
+				delete(c.m, h)
+			}
+			c.dead++
+			c.maybeCompact()
+			return
+		}
+	}
+}
+
+// maybeCompact squeezes out tombstones (preserving first-seen order) once
+// they dominate, rebuilding the index.
+func (c *tupleCounts) maybeCompact() {
+	if c.dead <= 32 || c.dead*2 <= len(c.ents) {
+		return
+	}
+	live := make([]tcEntry, 0, len(c.ents)-c.dead)
+	for _, e := range c.ents {
+		if e.t != nil {
+			live = append(live, e)
+		}
+	}
+	c.ents = live
+	c.dead = 0
+	c.m = make(map[uint64][]int, nextPow2(len(live)))
+	for i, e := range live {
+		c.m[hashTuple(e.t)] = append(c.m[hashTuple(e.t)], i)
+	}
+}
+
 // nextPow2 rounds up to a power of two (initial sizing hints).
 func nextPow2(n int) int {
 	if n <= 1 {

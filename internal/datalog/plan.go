@@ -441,14 +441,114 @@ func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any
 
 // prepared is the cached compilation of a whole program.
 type prepared struct {
-	// strata[i] holds the plans of stratum i, preserving rule order.
+	// strata[i] holds the plans of evaluation component i, preserving rule
+	// order. Components refine the classic strata: each stratum is split
+	// into the strongly-connected components of its head-dependency graph,
+	// topologically ordered, so independent rule groups evaluate (and are
+	// incrementally maintained) separately.
 	strata [][]*rulePlan
 }
 
-// Prepare compiles the program once: stratification, slot numbering, join
-// orders, filter placement. It is idempotent and safe for concurrent use;
-// Eval and EvalNaive call it implicitly. Mutating Rules after the first
-// Prepare (or after NewProgram) is not supported.
+// refineComponents splits one stratum's rules into the strongly-connected
+// components of the head-dependency graph restricted to this stratum's
+// heads, in topological (dependencies-first) order. Rule order inside a
+// component follows the original rule order, and the whole refinement is
+// deterministic, keeping evaluation reproducible.
+func refineComponents(rules []Rule) [][]Rule {
+	heads := map[string]bool{}
+	var preds []string
+	for _, r := range rules {
+		if !heads[r.Head.Pred] {
+			heads[r.Head.Pred] = true
+			preds = append(preds, r.Head.Pred)
+		}
+	}
+	// deps[H] lists the same-stratum preds H's rules read (H depends on
+	// them), in first-appearance order for determinism.
+	deps := map[string][]string{}
+	for _, r := range rules {
+		h := r.Head.Pred
+		for _, l := range r.Body {
+			if !heads[l.Pred] {
+				continue
+			}
+			dup := false
+			for _, d := range deps[h] {
+				if d == l.Pred {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				deps[h] = append(deps[h], l.Pred)
+			}
+		}
+	}
+	// Tarjan over the dependency edges H→B pops each SCC only after every
+	// SCC it depends on has been popped: emission order is topological.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var order [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range deps[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			order = append(order, comp)
+		}
+	}
+	for _, v := range preds {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	var out [][]Rule
+	for _, comp := range order {
+		inComp := map[string]bool{}
+		for _, pred := range comp {
+			inComp[pred] = true
+		}
+		var group []Rule
+		for _, r := range rules {
+			if inComp[r.Head.Pred] {
+				group = append(group, r)
+			}
+		}
+		out = append(out, group)
+	}
+	return out
+}
+
+// Prepare compiles the program once: stratification, component refinement,
+// slot numbering, join orders, filter placement. It is idempotent and safe
+// for concurrent use; Eval and EvalNaive call it implicitly. Mutating Rules
+// after the first Prepare (or after NewProgram) is not supported.
 func (p *Program) Prepare() error {
 	p.prepOnce.Do(func() {
 		strata, err := p.Stratify()
@@ -457,17 +557,19 @@ func (p *Program) Prepare() error {
 			return
 		}
 		pr := &prepared{}
-		for _, rules := range strata {
-			var plans []*rulePlan
-			for _, r := range rules {
-				pl, err := compileRule(r, nil)
-				if err != nil {
-					p.prepErr = err
-					return
+		for _, stratum := range strata {
+			for _, rules := range refineComponents(stratum) {
+				var plans []*rulePlan
+				for _, r := range rules {
+					pl, err := compileRule(r, nil)
+					if err != nil {
+						p.prepErr = err
+						return
+					}
+					plans = append(plans, pl)
 				}
-				plans = append(plans, pl)
+				pr.strata = append(pr.strata, plans)
 			}
-			pr.strata = append(pr.strata, plans)
 		}
 		p.prep = pr
 	})

@@ -763,3 +763,64 @@ func RunE5Mechanisms() Table {
 	}
 	return t
 }
+
+// --- E13: cross-tick incremental fixpoint maintenance ---
+
+// RunE13 measures the amortized tick cost of the compiled COVID app on a
+// small-delta/large-DB workload — a large prebuilt contact graph, then one
+// contact merge plus one trace per tick — under full per-tick
+// re-evaluation versus cross-tick incremental maintenance
+// (InstantiateIncremental). The speedup column is this PR's headline
+// O(delta)-vs-O(database) number at the application level.
+func RunE13(chains, ops int) Table {
+	c, err := hydrolysis.Compile(hlang.CovidSource, hydrolysis.Options{UDFs: covidUDFs()})
+	if err != nil {
+		panic(err)
+	}
+	t := Table{
+		ID:     "E13",
+		Title:  "Cross-tick incremental fixpoint maintenance vs per-tick re-evaluation",
+		Header: []string{"mode", "contacts", "ops", "µs/tick", "speedup"},
+		Notes:  "each op = 1 contact merge + 1 trace against a prebuilt contact graph; equivalence is asserted by TestCovidIncrementalMatchesFull and the three-way differential test",
+	}
+	perTick := map[bool]float64{}
+	for _, incremental := range []bool{false, true} {
+		var rt *transducer.Runtime
+		if incremental {
+			rt, err = c.InstantiateIncremental("n1", 1)
+		} else {
+			rt, err = c.Instantiate("n1", 1)
+		}
+		if err != nil {
+			panic(err)
+		}
+		rt.SetDelay(fixedDelay)
+		// Prebuild: disjoint 48-person contact chains.
+		for ch := 0; ch < chains; ch++ {
+			base := int64(ch * 1000)
+			for i := int64(0); i < 48; i++ {
+				rt.Inject("add_contact", datalog.Tuple{base + i, base + i + 1})
+			}
+		}
+		rt.RunUntilIdle(50)
+		contacts := rt.Table("contacts").Len()
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			u := int64(1_000_000 + 2*i)
+			rt.Inject("add_contact", datalog.Tuple{u, u + 1})
+			rt.Inject("trace", datalog.Tuple{u})
+			rt.Tick()
+		}
+		el := time.Since(start)
+		perTick[incremental] = float64(el.Microseconds()) / float64(ops)
+		mode := "full"
+		speedup := "1.0×"
+		if incremental {
+			mode = "incremental"
+			speedup = fmt.Sprintf("%.1f×", perTick[false]/perTick[true])
+		}
+		t.Rows = append(t.Rows, []string{mode, fmt.Sprint(contacts), fmt.Sprint(ops),
+			fmt.Sprintf("%.1f", perTick[incremental]), speedup})
+	}
+	return t
+}

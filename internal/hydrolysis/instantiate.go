@@ -15,6 +15,18 @@ import (
 // declaration. The returned runtime is the "single node" of §3.1;
 // distributed deployments host several of these via the cluster package.
 func (c *Compiled) Instantiate(name string, seed int64) (*transducer.Runtime, error) {
+	return c.instantiate(name, seed, false)
+}
+
+// InstantiateIncremental builds the same runtime with the query program in
+// cross-tick incremental mode: the fixpoint is maintained inside the
+// runtime database from each tick's applied effects instead of being
+// re-derived from a snapshot (transducer.RegisterQueriesIncremental).
+func (c *Compiled) InstantiateIncremental(name string, seed int64) (*transducer.Runtime, error) {
+	return c.instantiate(name, seed, true)
+}
+
+func (c *Compiled) instantiate(name string, seed int64, incremental bool) (*transducer.Runtime, error) {
 	rt := transducer.New(name, seed)
 	for _, t := range c.Program.Tables {
 		schema, err := tableSchema(t)
@@ -36,7 +48,13 @@ func (c *Compiled) Instantiate(name string, seed int64) (*transducer.Runtime, er
 		}
 		rt.RegisterVar(v.Name, init)
 	}
-	rt.RegisterQueries(c.Queries)
+	if incremental {
+		if err := rt.RegisterQueriesIncremental(c.Queries); err != nil {
+			return nil, err
+		}
+	} else {
+		rt.RegisterQueries(c.Queries)
+	}
 	for _, h := range c.Program.Handlers {
 		handler, err := c.compileHandler(h)
 		if err != nil {

@@ -271,6 +271,216 @@ func TestIdleAndRunUntilIdle(t *testing.T) {
 	}
 }
 
+// TestPeekReturnsCopy is the regression test for the mailbox aliasing bug:
+// Peek used to return the live slice backing the mailbox, so callers could
+// mutate queued messages (or have their view shifted by later deliveries).
+func TestPeekReturnsCopy(t *testing.T) {
+	rt := newTestRuntime()
+	rt.Inject("box", datalog.Tuple{int64(1)})
+	rt.Inject("box", datalog.Tuple{int64(2)})
+	peeked := rt.Peek("box")
+	if len(peeked) != 2 {
+		t.Fatalf("peeked %d messages, want 2", len(peeked))
+	}
+	peeked[0].Payload[0] = int64(99) // element-level write through the copy
+	peeked[1].Mailbox = "elsewhere"
+	drained := rt.Drain("box")
+	if drained[0].Payload[0] != int64(1) || drained[1].Mailbox != "box" {
+		t.Fatalf("mutating the peeked slice reached the mailbox: %v", drained)
+	}
+	if rt.Peek("missing") != nil {
+		t.Fatal("peek of a missing mailbox must be nil")
+	}
+}
+
+func tcQueries(t testing.TB) *datalog.Program {
+	prog, err := datalog.NewProgram(
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestIncrementalTickMatchesFullEval runs the same randomized op stream —
+// edge merges, edge deletes, keyed upserts, and query probes — through a
+// full-eval runtime and an incremental runtime, and requires every probe
+// result and final table to agree. This is the transducer-level leg of the
+// three-way differential property.
+func TestIncrementalTickMatchesFullEval(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		mk := func(incremental bool) (*Runtime, *[][]datalog.Tuple) {
+			rt := New("n1", seed)
+			rt.SetDelay(fixedDelay)
+			rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+			rt.RegisterTable(TableSchema{
+				Name: "people", Arity: 3, Key: []int{0},
+				LatticeMerge: map[int]func(a, b any) any{1: orMerge, 2: orMerge},
+				Zero:         func(key []any) datalog.Tuple { return datalog.Tuple{key[0], false, false} },
+			})
+			if incremental {
+				if err := rt.RegisterQueriesIncremental(tcQueries(t)); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				rt.RegisterQueries(tcQueries(t))
+			}
+			probes := &[][]datalog.Tuple{}
+			rt.RegisterHandler("add_edge", func(tx *Tx, msg Message) { tx.MergeTuple("edge", msg.Payload) })
+			rt.RegisterHandler("del_edge", func(tx *Tx, msg Message) { tx.Delete("edge", msg.Payload) })
+			rt.RegisterHandler("diagnose", func(tx *Tx, msg Message) {
+				tx.MergeField("people", []any{msg.Payload[0]}, 1, true)
+			})
+			rt.RegisterHandler("probe", func(tx *Tx, msg Message) {
+				*probes = append(*probes, tx.Query("path"))
+			})
+			return rt, probes
+		}
+		full, fullProbes := mk(false)
+		incr, incrProbes := mk(true)
+		r := rand.New(rand.NewSource(seed))
+		for op := 0; op < 60; op++ {
+			var box string
+			var payload datalog.Tuple
+			switch r.Intn(4) {
+			case 0, 1:
+				box, payload = "add_edge", datalog.Tuple{int64(r.Intn(8)), int64(r.Intn(8))}
+			case 2:
+				box, payload = "del_edge", datalog.Tuple{int64(r.Intn(8)), int64(r.Intn(8))}
+			default:
+				box, payload = "diagnose", datalog.Tuple{int64(r.Intn(8))}
+			}
+			full.Inject(box, payload)
+			incr.Inject(box, payload)
+			if r.Intn(3) == 0 {
+				full.Inject("probe", datalog.Tuple{})
+				incr.Inject("probe", datalog.Tuple{})
+			}
+			full.Tick()
+			incr.Tick()
+		}
+		full.Inject("probe", datalog.Tuple{})
+		incr.Inject("probe", datalog.Tuple{})
+		full.Tick()
+		incr.Tick()
+		if len(*fullProbes) != len(*incrProbes) {
+			t.Fatalf("seed %d: probe counts diverge: %d vs %d", seed, len(*fullProbes), len(*incrProbes))
+		}
+		for i := range *fullProbes {
+			f, n := (*fullProbes)[i], (*incrProbes)[i]
+			if len(f) != len(n) {
+				t.Fatalf("seed %d probe %d: path has %d vs %d rows\nfull: %v\nincr: %v", seed, i, len(f), len(n), f, n)
+			}
+			for j := range f {
+				if !f[j].Equal(n[j]) {
+					t.Fatalf("seed %d probe %d row %d: %v vs %v", seed, i, j, f[j], n[j])
+				}
+			}
+		}
+		for _, table := range []string{"edge", "people"} {
+			f, n := full.Table(table).Tuples(), incr.Table(table).Tuples()
+			if len(f) != len(n) {
+				t.Fatalf("seed %d: table %s: %d vs %d rows", seed, table, len(f), len(n))
+			}
+			for j := range f {
+				if !f[j].Equal(n[j]) {
+					t.Fatalf("seed %d: table %s row %d: %v vs %v", seed, table, j, f[j], n[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRegisterQueriesLeavesIncrementalMode: re-registering queries with
+// the plain API must drop the old incremental evaluator, not keep serving
+// the previous program's maintained fixpoint.
+func TestRegisterQueriesLeavesIncrementalMode(t *testing.T) {
+	rt := New("n1", 1)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+	if err := rt.RegisterQueriesIncremental(tcQueries(t)); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := datalog.NewProgram(datalog.Rule{
+		Head: datalog.Atom{Pred: "rev", Args: []datalog.Term{datalog.V("y"), datalog.V("x")}},
+		Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.RegisterQueries(p2)
+	var rev, path []datalog.Tuple
+	rt.RegisterHandler("add_probe", func(tx *Tx, msg Message) {
+		tx.MergeTuple("edge", msg.Payload)
+		rev = tx.Query("rev")
+		path = tx.Query("path")
+	})
+	rt.Inject("add_probe", datalog.Tuple{"a", "b"})
+	rt.Tick()
+	rt.Inject("add_probe", datalog.Tuple{"b", "c"})
+	rt.Tick()
+	if len(rev) != 1 || !rev[0].Equal(datalog.Tuple{"b", "a"}) {
+		t.Fatalf("new program not evaluated after re-registration: rev = %v", rev)
+	}
+	if len(path) != 0 {
+		t.Fatalf("old incremental fixpoint still served: path = %v", path)
+	}
+}
+
+// TestIncrementalDeleteOfDerivedIsNoOp: tx.Delete on a derived relation is
+// a silent no-op in full-eval mode (the base database never holds derived
+// tuples); incremental mode must match instead of corrupting the
+// maintained fixpoint or crashing.
+func TestIncrementalDeleteOfDerivedIsNoOp(t *testing.T) {
+	rt := New("n1", 1)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+	if err := rt.RegisterQueriesIncremental(tcQueries(t)); err != nil {
+		t.Fatal(err)
+	}
+	rt.RegisterHandler("add_edge", func(tx *Tx, msg Message) { tx.MergeTuple("edge", msg.Payload) })
+	rt.RegisterHandler("del_path", func(tx *Tx, msg Message) { tx.Delete("path", msg.Payload) })
+	rt.Inject("add_edge", datalog.Tuple{"a", "b"})
+	rt.Tick()
+	rt.Inject("del_path", datalog.Tuple{"a", "b"})
+	rt.Tick()
+	if got := rt.Table("path").Tuples(); len(got) != 1 {
+		t.Fatalf("derived delete must be a no-op, path = %v", got)
+	}
+}
+
+// TestIncrementalRejectsTableCollision: a registered table that a query
+// derives must be rejected in incremental mode, in either registration
+// order.
+func TestIncrementalRejectsTableCollision(t *testing.T) {
+	rt := New("n1", 1)
+	rt.RegisterTable(TableSchema{Name: "path", Arity: 2})
+	if err := rt.RegisterQueriesIncremental(tcQueries(t)); err == nil {
+		t.Fatal("table registered before queries must collide")
+	}
+	rt2 := New("n2", 1)
+	if err := rt2.RegisterQueriesIncremental(tcQueries(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("table registered after incremental queries must panic on collision")
+		}
+	}()
+	rt2.RegisterTable(TableSchema{Name: "path", Arity: 2})
+}
+
 func TestUnhandledMailboxAccumulates(t *testing.T) {
 	rt := newTestRuntime()
 	rt.RegisterHandler("fan", func(tx *Tx, msg Message) {
