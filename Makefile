@@ -2,7 +2,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test vet ci bench benchdiff tables
+.PHONY: build test vet ci bench benchdiff tables fuzz
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,11 @@ benchdiff:
 
 tables:
 	$(GO) run ./cmd/benchtab -quick
+
+# fuzz is the generative smoke run CI executes on every PR: beyond the
+# committed seed corpus (which plain `go test` already replays), it spends
+# FUZZTIME mutating tick sequences of interleaved inserts/deletes against
+# the three-way incremental equivalence oracle.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzIncrementalEquivalence -fuzztime $(FUZZTIME) ./internal/datalog

@@ -205,6 +205,94 @@ func BenchmarkIncrementalSmallDeltaTC(b *testing.B) {
 	}
 }
 
+// tickDeleteHeavy is the delete-heavy tick workload on a large graph: each
+// tick retracts one mid-chain edge of the prebuilt closure and the next
+// re-inserts it — steady state, all cost in deletion maintenance. force
+// selects the PR 2 recompute-and-diff fallback; the DRed/Recompute pair is
+// the acceptance ratio for delete-and-rederive (≥10×).
+func tickDeleteHeavy(b *testing.B, force bool) {
+	p := tcProgram(b)
+	inc, err := NewIncremental(p, multiChainDB(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc.forceRecompute = force
+	edge := inc.DB().Get("edge")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain, k := int64((i*7)%16), int64(11+(i*13)%40)
+		tup := Tuple{chain*1000 + k, chain*1000 + k + 1}
+		edge.Delete(tup)
+		d := NewDelta()
+		d.Delete("edge", tup)
+		if _, err := inc.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+		edge.Insert(tup)
+		d = NewDelta()
+		d.Insert("edge", tup)
+		if _, err := inc.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTickDeleteHeavyDRed(b *testing.B)      { tickDeleteHeavy(b, false) }
+func BenchmarkTickDeleteHeavyRecompute(b *testing.B) { tickDeleteHeavy(b, true) }
+
+// evalParallel evaluates a program of 8 independent transitive closures
+// (disjoint edge relations) — a component DAG with a wide level — under
+// the given scheduler parallelism. Serial vs Auto is the component
+// scheduler's speedup on embarrassingly parallel programs.
+func evalParallel(b *testing.B, workers int) {
+	const comps = 8
+	var rules []Rule
+	for c := 0; c < comps; c++ {
+		e, pth := fmt.Sprintf("edge%d", c), fmt.Sprintf("path%d", c)
+		rules = append(rules,
+			Rule{
+				Head: Atom{Pred: pth, Args: []Term{V("x"), V("y")}},
+				Body: []Literal{{Atom: Atom{Pred: e, Args: []Term{V("x"), V("y")}}}},
+			},
+			Rule{
+				Head: Atom{Pred: pth, Args: []Term{V("x"), V("z")}},
+				Body: []Literal{
+					{Atom: Atom{Pred: pth, Args: []Term{V("x"), V("y")}}},
+					{Atom: Atom{Pred: e, Args: []Term{V("y"), V("z")}}},
+				},
+			},
+		)
+	}
+	p, err := NewProgram(rules...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.SetParallelism(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := NewDatabase()
+		for c := 0; c < comps; c++ {
+			e := db.Ensure(fmt.Sprintf("edge%d", c), 2)
+			for j := int64(0); j < 64; j++ {
+				e.Insert(Tuple{j, j + 1})
+			}
+		}
+		if _, err := p.Eval(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalParallelSerial(b *testing.B) { evalParallel(b, 1) }
+
+// Auto follows GOMAXPROCS (on a single-CPU host it degrades to the serial
+// path); Workers8 forces the scheduled path so its overhead stays visible
+// in BENCH_1.json even where no parallel speedup is available.
+func BenchmarkEvalParallelAuto(b *testing.B)     { evalParallel(b, 0) }
+func BenchmarkEvalParallelWorkers8(b *testing.B) { evalParallel(b, 8) }
+
 // BenchmarkDeriveAdHoc vs BenchmarkDerivePrepared: the cost of per-call
 // rule compilation against the pre-compiled path handlers use.
 func BenchmarkDeriveAdHoc(b *testing.B) {

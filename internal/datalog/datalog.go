@@ -163,6 +163,19 @@ func (r *Relation) maybeCompact() {
 	}
 }
 
+// Clear removes every tuple in place, keeping the relation's identity (the
+// same *Relation stays registered in its database — callers holding the
+// pointer observe the emptied state). Indexes are dropped and rebuilt on
+// demand. The incremental evaluator's recompute path and the transducer's
+// query re-registration both clear derived relations this way so that no
+// concurrent reader of the database map is ever invalidated.
+func (r *Relation) Clear() {
+	r.slots = nil
+	r.dead = 0
+	r.byHash = map[uint64][]int32{}
+	r.idx = nil
+}
+
 // Contains reports membership of t.
 func (r *Relation) Contains(t Tuple) bool {
 	r.ensureByHash()
@@ -281,16 +294,15 @@ func (db *Database) Ensure(name string, arity int) *Relation {
 // Get returns the named relation, or nil.
 func (db *Database) Get(name string) *Relation { return db.rels[name] }
 
-// reset replaces a relation with a fresh empty one of the given arity —
-// the incremental evaluator's recompute path clears derived relations this
-// way instead of deleting tuple by tuple.
-func (db *Database) reset(name string, arity int) *Relation {
-	r := NewRelation(name, arity)
-	if _, existed := db.rels[name]; !existed {
+// remove deregisters a relation entirely — the incremental evaluator's
+// construction rollback uses it for relations it created itself, so a
+// failed NewIncremental leaves no phantom (possibly wrong-arity) entries
+// behind.
+func (db *Database) remove(name string) {
+	if _, ok := db.rels[name]; ok {
+		delete(db.rels, name)
 		db.names = nil
 	}
-	db.rels[name] = r
-	return r
 }
 
 // Names returns relation names sorted.

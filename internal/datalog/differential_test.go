@@ -420,6 +420,64 @@ func TestIncrementalRejectsDerivedMutation(t *testing.T) {
 	}
 }
 
+// TestIncrementalSeedFailureRollsBack: when a later component's seeding
+// fails (here: a sum aggregate over a non-numeric column), the components
+// seeded before it must not stay materialized in the caller's database —
+// leftovers would be served as phantom base facts by whatever evaluator is
+// installed next, and would make a retried NewIncremental reject the
+// relation as "derived but already holds base tuples".
+func TestIncrementalSeedFailureRollsBack(t *testing.T) {
+	p, err := NewProgram(
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("y")}},
+			Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+		},
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "path", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("y"), V("z")}}},
+			},
+		},
+		Rule{
+			Head:   Atom{Pred: "total", Args: []Term{V("x"), V("v")}},
+			Body:   []Literal{{Atom: Atom{Pred: "attr", Args: []Term{V("x"), V("v")}}}},
+			Agg:    AggSum,
+			AggVar: "v",
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	e := db.Ensure("edge", 2)
+	e.Insert(Tuple{"a", "b"})
+	e.Insert(Tuple{"b", "c"})
+	db.Ensure("attr", 2).Insert(Tuple{"a", "oops"}) // sum over a string fails
+	if _, err := NewIncremental(p, db); err == nil {
+		t.Fatal("seeding must fail on sum over non-numeric value")
+	}
+	for _, pred := range []string{"path", "total"} {
+		// Seeding registered these relations itself, so rollback must
+		// deregister them entirely — a lingering empty entry would pin the
+		// arity for any retried program.
+		if rel := db.Get(pred); rel != nil {
+			t.Fatalf("seed failure left phantom relation %s (%d tuples)", pred, rel.Len())
+		}
+	}
+	// The database is back to base-only state: fixing the data and retrying
+	// must succeed.
+	db.Get("attr").Delete(Tuple{"a", "oops"})
+	db.Get("attr").Insert(Tuple{"a", int64(1)})
+	inc, err := NewIncremental(p, db)
+	if err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if got := inc.DB().Get("path").Len(); got != 3 {
+		t.Fatalf("retried fixpoint wrong: path = %v", inc.DB().Get("path").Tuples())
+	}
+}
+
 // TestIncrementalCountsStayBounded: an upsert-churn workload (every tick
 // deletes and re-inserts rows) through a counting component must not
 // accumulate dead count entries — the maintained multiplicity map tracks

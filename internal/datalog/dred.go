@@ -1,0 +1,189 @@
+package datalog
+
+// This file is the DRed (delete-and-rederive) maintenance path for
+// recursive monotone components: the classic three-phase algorithm that
+// makes deletions as cheap as inserts where the counting algebra is
+// unsound (cyclic self-support under recursion).
+//
+//  1. Over-delete: propagate the batch's deletions through the compiled
+//     delta-first plans to a fixpoint, tentatively deleting every head
+//     tuple with at least one derivation that used a deleted tuple. The
+//     non-delta body positions must read the PRE-batch view — a derivation
+//     both of whose body tuples were deleted is only found if the other
+//     one is still visible — so the plans run with an augmentation map
+//     (runAug) holding the batch's removed inputs plus the tuples
+//     over-deleted so far: tuples only ever move from the relation into
+//     the augmentation, keeping the joined view constant without mutating
+//     relations shared with concurrently evaluating components.
+//  2. Re-derive: a tentatively deleted tuple survives if it has any
+//     derivation from tuples still alive. Each rule's support plan (the
+//     body compiled with the head variables pre-bound, see plan.go) makes
+//     that a selective existence query; reinstated tuples can support
+//     other candidates, so passes repeat until none is reinstated.
+//  3. Insert: the batch's additions propagate with the ordinary semi-naive
+//     insert path against the post-deletion state.
+//
+// The emitted delta is exact and net: a tuple over-deleted but re-derived
+// (or re-inserted by phase 3) produces no record, so downstream counting
+// components keep their one-signed-change-per-tuple precondition.
+
+// applyDRed folds a batch with deletions into a recursive monotone
+// component, reading input changes from in and recording net realized head
+// changes into out. It returns the number of realized set-level changes.
+func (inc *Incremental) applyDRed(c *incComponent, in, out *Delta) int {
+	ensureHeadsPlanned(inc.db, c.plans)
+
+	// Phase 1: over-delete to fixpoint. aug is the "still visible" overlay:
+	// removed base inputs plus over-deleted heads, growing as the phase
+	// discovers more.
+	aug := map[string][]Tuple{}
+	for _, input := range c.inputs {
+		if rm := in.removed[input]; len(rm) > 0 {
+			aug[input] = append([]Tuple(nil), rm...)
+		}
+	}
+	overDel := map[string]*tupleSet{}
+	deleted := map[string][]Tuple{} // discovery order per head, for determinism
+	for _, h := range c.heads {
+		overDel[h] = newTupleSet()
+	}
+	driveRounds(inc.db, c.plans,
+		deltaRelations(c.inputs, func(pred string) []Tuple { return in.removed[pred] }),
+		func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)) {
+			pl.runAug(inc.db, i, dr, aug, nil, collect)
+		},
+		func(h string, rel *Relation, t Tuple) bool {
+			if overDel[h].has(t) || !rel.Contains(t) {
+				return false // already tentative, or never part of the fixpoint
+			}
+			rel.Delete(t)
+			overDel[h].add(t)
+			deleted[h] = append(deleted[h], t)
+			aug[h] = append(aug[h], t)
+			return true
+		})
+
+	// Phase 2: re-derive survivors from live support. One support query per
+	// candidate establishes the directly re-derivable set; after that, a
+	// candidate can only become derivable through a tuple reinstated later,
+	// so reinstatements propagate semi-naively — each one drives the
+	// delta-first plans once, and emitted heads that are still-dead
+	// candidates are themselves reinstated. Near-linear in the cascade,
+	// with no full-candidate rescans.
+	reinstated := map[string]*tupleSet{}
+	frontier := map[string]*Relation{}
+	for _, h := range c.heads {
+		reinstated[h] = newTupleSet()
+		rel := inc.db.Get(h)
+		for _, t := range deleted[h] {
+			if inc.rederivable(c, h, t) {
+				rel.Insert(t)
+				reinstated[h].add(t)
+				fr := frontier[h]
+				if fr == nil {
+					fr = NewRelation(h, rel.Arity)
+					frontier[h] = fr
+				}
+				fr.appendRaw(t)
+			}
+		}
+	}
+	driveRounds(inc.db, c.plans, frontier,
+		func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)) {
+			pl.run(inc.db, i, dr, nil, collect)
+		},
+		func(h string, rel *Relation, t Tuple) bool {
+			if !overDel[h].has(t) || reinstated[h].has(t) {
+				return false // live already, or not a dead candidate
+			}
+			rel.Insert(t)
+			reinstated[h].add(t)
+			return true
+		})
+
+	// Phase 3: propagate the batch's inserts, recording locally so the
+	// final emission can net them against the deletions.
+	inserted := map[string][]Tuple{}
+	insertedSet := map[string]*tupleSet{}
+	inc.propagateInserts(c, in, func(pred string, t Tuple) {
+		s := insertedSet[pred]
+		if s == nil {
+			s = newTupleSet()
+			insertedSet[pred] = s
+		}
+		s.add(t)
+		inserted[pred] = append(inserted[pred], t)
+	})
+
+	// Net emission: a tuple deleted and not re-derived nor re-inserted is a
+	// realized deletion; an inserted tuple that does not merely undo a
+	// tentative deletion is a realized insertion.
+	changes := 0
+	for _, h := range c.heads {
+		ins := insertedSet[h]
+		for _, t := range deleted[h] {
+			if reinstated[h].has(t) || (ins != nil && ins.has(t)) {
+				continue
+			}
+			out.Delete(h, t)
+			changes++
+		}
+		for _, t := range inserted[h] {
+			if overDel[h].has(t) && !reinstated[h].has(t) {
+				continue // present before the batch and present after: net zero
+			}
+			out.Insert(h, t)
+			changes++
+		}
+	}
+	return changes
+}
+
+// rederivable reports whether some rule for head pred h still derives t
+// from the current database (over-deleted tuples absent, reinstated ones
+// present): it binds t onto each rule's support plan and asks for any
+// surviving body instantiation.
+func (inc *Incremental) rederivable(c *incComponent, h string, t Tuple) bool {
+	for _, pl := range c.plans {
+		r := pl.r
+		if r.Head.Pred != h || pl.support == nil || len(r.Head.Args) != len(t) {
+			continue
+		}
+		// Bind the head: constants must match, repeated variables must agree.
+		preset := make([]any, len(pl.supportVars))
+		bound := map[string]any{}
+		ok := true
+		for j, a := range r.Head.Args {
+			if !a.IsVar() {
+				if a.Const != t[j] {
+					ok = false
+					break
+				}
+				continue
+			}
+			if v, seen := bound[a.Var]; seen {
+				if v != t[j] {
+					ok = false
+					break
+				}
+				continue
+			}
+			bound[a.Var] = t[j]
+		}
+		if !ok {
+			continue
+		}
+		for k, v := range pl.supportVars {
+			preset[k] = bound[v]
+		}
+		found := false
+		pl.support.runAugUntil(inc.db, -1, nil, nil, preset, func(Tuple) bool {
+			found = true
+			return false // existence established: abandon the walk
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

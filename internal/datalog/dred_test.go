@@ -1,0 +1,243 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tcRules() []Rule {
+	return []Rule{
+		{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("y")}},
+			Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+		},
+		{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "path", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("y"), V("z")}}},
+			},
+		},
+	}
+}
+
+// applyBase mutates both the reference EDB and the incremental database and
+// feeds the realized changes through Apply.
+func applyBase(t *testing.T, inc *Incremental, edb *Database, ins, del []Tuple) {
+	t.Helper()
+	d := NewDelta()
+	for _, tup := range del {
+		edb.Get("edge").Delete(tup)
+		inc.DB().Get("edge").Delete(tup)
+		d.Delete("edge", tup)
+	}
+	for _, tup := range ins {
+		edb.Get("edge").Insert(tup)
+		inc.DB().Get("edge").Insert(tup)
+		d.Insert("edge", tup)
+	}
+	if _, err := inc.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	ref := edb.Clone()
+	p, err := NewProgram(tcRules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Eval(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffDatabases("dred vs eval", inc.DB(), ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDRedCycleDeletion is the classic DRed trap: in a cycle every path
+// tuple transitively supports itself, so a counting-style decrement would
+// leave the closure intact after the cycle is cut. Over-delete must take
+// the whole cyclic closure down and re-derivation must reinstate exactly
+// what the remaining chain still supports.
+func TestDRedCycleDeletion(t *testing.T) {
+	p, err := NewProgram(tcRules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := NewDatabase()
+	e := edb.Ensure("edge", 2)
+	for i := int64(0); i < 5; i++ {
+		e.Insert(Tuple{i, (i + 1) % 5}) // 0→1→2→3→4→0
+	}
+	inc, err := NewIncremental(p, edb.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inc.DB().Get("path").Len(); got != 25 {
+		t.Fatalf("cyclic closure = %d tuples, want 25", got)
+	}
+	// Cut the cycle: the closure collapses to the 0→1→2→3→4 chain.
+	applyBase(t, inc, edb, nil, []Tuple{{int64(4), int64(0)}})
+	if got := inc.DB().Get("path").Len(); got != 10 {
+		t.Fatalf("chain closure = %d tuples, want 10", got)
+	}
+	// Close it again, then delete a middle edge: two disjoint chains.
+	applyBase(t, inc, edb, []Tuple{{int64(4), int64(0)}}, nil)
+	applyBase(t, inc, edb, nil, []Tuple{{int64(2), int64(3)}})
+}
+
+// TestDRedRederivesFromAlternativeSupport: a tuple whose derivation through
+// the deleted edge dies must survive when a parallel edge still supports it.
+func TestDRedRederivesFromAlternativeSupport(t *testing.T) {
+	p, err := NewProgram(tcRules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := NewDatabase()
+	e := edb.Ensure("edge", 2)
+	// Diamond: a→b→d and a→c→d, then d→e. Deleting b→d must keep path(a,d)
+	// and path(a,e) alive through c.
+	for _, tup := range []Tuple{{"a", "b"}, {"b", "d"}, {"a", "c"}, {"c", "d"}, {"d", "e"}} {
+		e.Insert(tup)
+	}
+	inc, err := NewIncremental(p, edb.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyBase(t, inc, edb, nil, []Tuple{{"b", "d"}})
+	for _, want := range []Tuple{{"a", "d"}, {"a", "e"}, {"c", "e"}} {
+		if !inc.DB().Get("path").Contains(want) {
+			t.Fatalf("path%v lost despite alternative support; path = %v", want, inc.DB().Get("path").Tuples())
+		}
+	}
+	if inc.DB().Get("path").Contains(Tuple{"b", "d"}) {
+		t.Fatalf("path(b,d) survived with no support")
+	}
+}
+
+// TestDRedDeltaExactness: the delta a DRed component emits must be exact —
+// a downstream counting component consuming it stays correct even when the
+// same batch deletes and re-inserts support (net-zero churn).
+func TestDRedDeltaExactness(t *testing.T) {
+	rules := append(tcRules(), Rule{
+		Head: Atom{Pred: "reach2", Args: []Term{V("x"), V("v")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: "path", Args: []Term{V("x"), V("y")}}},
+			{Atom: Atom{Pred: "attr", Args: []Term{V("y"), V("v")}}},
+		},
+	})
+	p, err := NewProgram(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := NewDatabase()
+	e := edb.Ensure("edge", 2)
+	for i := int64(0); i < 6; i++ {
+		e.Insert(Tuple{i, i + 1})
+	}
+	a := edb.Ensure("attr", 2)
+	a.Insert(Tuple{int64(3), int64(30)})
+	a.Insert(Tuple{int64(6), int64(60)})
+	inc, err := NewIncremental(p, edb.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One batch: delete edge 2→3 and add a bypass 2→3 via a fresh node
+	// (delete 2→3, add 2→9 and 9→3): reach2 results must track exactly.
+	d := NewDelta()
+	for _, tup := range []Tuple{{int64(2), int64(3)}} {
+		edb.Get("edge").Delete(tup)
+		inc.DB().Get("edge").Delete(tup)
+		d.Delete("edge", tup)
+	}
+	for _, tup := range []Tuple{{int64(2), int64(9)}, {int64(9), int64(3)}} {
+		edb.Get("edge").Insert(tup)
+		inc.DB().Get("edge").Insert(tup)
+		d.Insert("edge", tup)
+	}
+	if _, err := inc.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	ref := edb.Clone()
+	if _, err := p.Eval(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffDatabases("dred+counting vs eval", inc.DB(), ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDRedMatchesRecomputeFallback runs randomized delete-heavy tick
+// sequences through both the DRed path and the forced recompute-and-diff
+// fallback and requires identical fixpoints at every tick — the same
+// property the two paths' shared acceptance benchmark depends on.
+func TestDRedMatchesRecomputeFallback(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rules := randRules(r)
+		pd, err := NewProgram(rules...)
+		if err != nil {
+			return false
+		}
+		pr, err := NewProgram(rules...)
+		if err != nil {
+			return false
+		}
+		edb := randEDB(r)
+		dred, err := NewIncremental(pd, edb.Clone())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		reco, err := NewIncremental(pr, edb.Clone())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		reco.forceRecompute = true
+		for tick := 0; tick < 5; tick++ {
+			d1, d2 := NewDelta(), NewDelta()
+			// Delete-heavy: two deletes per insert on average.
+			for op := 0; op < 2+r.Intn(4); op++ {
+				pred := edbPreds[r.Intn(len(edbPreds))]
+				if r.Intn(3) == 0 {
+					tup := randEDBTuple(r, pred)
+					if edb.Get(pred).Insert(tup) {
+						dred.DB().Get(pred).Insert(tup)
+						reco.DB().Get(pred).Insert(tup)
+						d1.Insert(pred, tup)
+						d2.Insert(pred, tup)
+					}
+				} else if existing := edb.Get(pred).Tuples(); len(existing) > 0 {
+					tup := existing[r.Intn(len(existing))]
+					edb.Get(pred).Delete(tup)
+					dred.DB().Get(pred).Delete(tup)
+					reco.DB().Get(pred).Delete(tup)
+					d1.Delete(pred, tup)
+					d2.Delete(pred, tup)
+				}
+			}
+			n1, err := dred.Apply(d1)
+			if err != nil {
+				t.Logf("seed %d: dred: %v", seed, err)
+				return false
+			}
+			n2, err := reco.Apply(d2)
+			if err != nil {
+				t.Logf("seed %d: recompute: %v", seed, err)
+				return false
+			}
+			if n1 != n2 {
+				t.Logf("seed %d tick %d: realized changes diverge: dred=%d recompute=%d", seed, tick, n1, n2)
+				return false
+			}
+			if err := diffDatabases("dred vs recompute", dred.DB(), reco.DB()); err != nil {
+				t.Logf("seed %d tick %d: %v", seed, tick, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

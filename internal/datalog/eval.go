@@ -15,6 +15,10 @@ type Program struct {
 	prepOnce sync.Once
 	prep     *prepared
 	prepErr  error
+
+	// parallel is the component-scheduler worker count: 0 = GOMAXPROCS
+	// default, 1 = serial, n > 1 = cap (SetParallelism).
+	parallel int
 }
 
 // NewProgram validates, bundles and compiles rules.
@@ -99,20 +103,70 @@ func (p *Program) Stratify() ([][]Rule, error) {
 // Eval runs the program to fixpoint over db using semi-naive (differential)
 // evaluation per stratum, executing compiled plans. It mutates db in place,
 // creating IDB relations as needed, and returns the number of derived
-// tuples.
+// tuples. Evaluation components on the same topological level of the
+// component DAG are independent and run concurrently when the program's
+// parallelism allows it (SetParallelism); serial and parallel runs produce
+// byte-identical relations.
 func (p *Program) Eval(db *Database) (int, error) {
 	if err := p.Prepare(); err != nil {
 		return 0, err
 	}
-	derived := 0
-	for _, plans := range p.prep.strata {
-		n, err := evalStratumSemiNaive(db, plans)
-		if err != nil {
-			return derived, err
+	workers := p.workers()
+	if workers <= 1 || p.prep.maxWidth <= 1 {
+		derived := 0
+		for _, plans := range p.prep.strata {
+			n, err := evalStratumSemiNaive(db, plans)
+			if err != nil {
+				return derived, err
+			}
+			derived += n
 		}
-		derived += n
+		return derived, nil
 	}
-	return derived, nil
+	// Parallel path: pre-create every head relation (no database-map writes
+	// inside goroutines), then fan each level out with a barrier between
+	// levels. Per-component derived counts and errors land in
+	// index-addressed slots, so the summary is independent of completion
+	// order; errors surface in component order.
+	for _, plans := range p.prep.strata {
+		ensureHeadsPlanned(db, plans)
+	}
+	derived := make([]int, len(p.prep.strata))
+	errs := make([]error, len(p.prep.strata))
+	sum := func() int {
+		total := 0
+		for _, n := range derived {
+			total += n
+		}
+		return total
+	}
+	for _, level := range p.prep.levels {
+		if len(level) == 1 || levelInputSize(db, p.prep.strata, level) < parallelMinInputTuples {
+			// Singleton level, or too little data to amortize the fan-out:
+			// run inline, in component order.
+			for _, ci := range level {
+				n, err := evalStratumSemiNaive(db, p.prep.strata[ci])
+				derived[ci] = n
+				if err != nil {
+					return sum(), err
+				}
+			}
+			continue
+		}
+		for _, ci := range level {
+			warmForPlans(db, p.prep.strata[ci], false)
+		}
+		runWorkers(len(level), workers, func(k int) {
+			ci := level[k]
+			derived[ci], errs[ci] = evalStratumSemiNaive(db, p.prep.strata[ci])
+		})
+		for _, ci := range level {
+			if errs[ci] != nil {
+				return sum(), errs[ci]
+			}
+		}
+	}
+	return sum(), nil
 }
 
 // EvalNaive runs the program with naive (all-at-once) iteration: every rule

@@ -65,6 +65,20 @@ func (d *Delta) Delete(rel string, t Tuple) {
 	d.removed[rel] = append(d.removed[rel], t)
 }
 
+// merge folds another batch's records into d, preserving o's deterministic
+// first-touch order — the level barrier merges per-component output deltas
+// this way in component order.
+func (d *Delta) merge(o *Delta) {
+	for _, pred := range o.preds {
+		for _, t := range o.added[pred] {
+			d.Insert(pred, t)
+		}
+		for _, t := range o.removed[pred] {
+			d.Delete(pred, t)
+		}
+	}
+}
+
 // Empty reports whether the batch contains no changes.
 func (d *Delta) Empty() bool {
 	for _, ts := range d.added {
@@ -121,9 +135,20 @@ type relView struct {
 func (v relView) lookup(pos []int, vals []any) []Tuple {
 	var out []Tuple
 	if v.rel != nil {
-		for _, t := range v.rel.Lookup(pos, vals) {
-			if v.hide == nil || !v.hide.has(t) {
-				out = append(out, t)
+		if len(pos) == 0 {
+			// Unconstrained enumeration: scan insertion order directly
+			// (Lookup(nil) would copy and sort the whole relation).
+			v.rel.scan(func(t Tuple) bool {
+				if v.hide == nil || !v.hide.has(t) {
+					out = append(out, t)
+				}
+				return true
+			})
+		} else {
+			for _, t := range v.rel.Lookup(pos, vals) {
+				if v.hide == nil || !v.hide.has(t) {
+					out = append(out, t)
+				}
 			}
 		}
 	}
@@ -157,6 +182,10 @@ type Incremental struct {
 	counts map[string]*tupleCounts // derivation counts for counting comps
 	idb    map[string]bool
 	broken bool
+	// forceRecompute disables the DRed path, restoring the historical
+	// recompute-and-diff fallback for recursive deletions — kept as the
+	// baseline the delete-heavy benchmarks and tests compare against.
+	forceRecompute bool
 }
 
 // NewIncremental compiles p, classifies its evaluation components, and
@@ -202,8 +231,28 @@ func NewIncremental(p *Program, db *Database) (*Incremental, error) {
 		}
 		inc.comps = append(inc.comps, c)
 	}
+	preExisting := map[string]bool{}
+	for pred := range inc.idb {
+		if db.Get(pred) != nil {
+			preExisting[pred] = true
+		}
+	}
 	for i := range inc.comps {
 		if err := inc.seed(&inc.comps[i]); err != nil {
+			// Roll the partial materialization back: earlier components
+			// already seeded their fixpoints into db, and leaving them
+			// behind would serve the caller stale derived tuples as base
+			// facts. Relations seeding itself registered are deregistered
+			// (a retry may use a different arity); pre-existing ones were
+			// verified empty above, so clearing restores the pre-call
+			// state exactly.
+			for pred := range inc.idb {
+				if !preExisting[pred] {
+					db.remove(pred)
+				} else if rel := db.Get(pred); rel != nil {
+					rel.Clear()
+				}
+			}
 			return nil, err
 		}
 	}
@@ -248,6 +297,14 @@ func (inc *Incremental) seed(c *incComponent) error {
 // database by the caller — into the maintained fixpoint. It returns the
 // number of derived-relation set changes realized. On error the evaluator
 // is marked broken (its state may be inconsistent) and refuses further use.
+//
+// Components are processed level by level along the component DAG
+// (prepared.levels). Within a level, the touched components are independent
+// and run concurrently when the program's parallelism allows it: each
+// component reads the shared input delta and writes its realized changes to
+// a private output delta, merged into the batch in component order at the
+// level barrier — so parallel and serial application realize identical
+// deltas and identical relation contents.
 func (inc *Incremental) Apply(d *Delta) (int, error) {
 	if inc.broken {
 		return 0, fmt.Errorf("datalog: incremental evaluator unusable after earlier error")
@@ -259,50 +316,135 @@ func (inc *Incremental) Apply(d *Delta) (int, error) {
 			return 0, fmt.Errorf("datalog: incremental: derived relation %s was mutated as a base relation", pred)
 		}
 	}
+	workers := inc.prog.workers()
 	changes := 0
-	for i := range inc.comps {
-		c := &inc.comps[i]
-		hasAdd, hasDel := false, false
-		for _, in := range c.inputs {
-			if len(d.added[in]) > 0 {
-				hasAdd = true
-			}
-			if len(d.removed[in]) > 0 {
-				hasDel = true
+	for _, level := range inc.prog.prep.levels {
+		var active []int
+		for _, ci := range level {
+			c := &inc.comps[ci]
+			if add, del := c.touchedBy(d); add || del {
+				active = append(active, ci)
 			}
 		}
-		if !hasAdd && !hasDel {
+		if len(active) == 0 {
 			continue
 		}
-		switch {
-		case !c.recursive && !c.nonMono:
-			changes += inc.applyCounting(c, d)
-		case c.nonMono || hasDel:
-			n, err := inc.recompute(c, d)
-			if err != nil {
-				inc.broken = true
-				return changes, err
+		// Tiny batches run inline: a typical transducer tick realizes a
+		// handful of changes, and goroutine + warming overhead would dwarf
+		// the O(delta) maintenance work.
+		deltaSize := 0
+		for _, ci := range active {
+			for _, in := range inc.comps[ci].inputs {
+				deltaSize += len(d.added[in]) + len(d.removed[in])
 			}
-			changes += n
-		default:
-			changes += inc.propagateInserts(c, d)
+		}
+		if workers <= 1 || len(active) == 1 || deltaSize < parallelMinDeltaTuples {
+			for _, ci := range active {
+				n, err := inc.applyComponent(&inc.comps[ci], d, d)
+				if err != nil {
+					inc.broken = true
+					return changes, err
+				}
+				changes += n
+			}
+			continue
+		}
+		for _, ci := range active {
+			inc.warmComponent(&inc.comps[ci], d)
+		}
+		outs := make([]*Delta, len(active))
+		ns := make([]int, len(active))
+		errs := make([]error, len(active))
+		runWorkers(len(active), workers, func(k int) {
+			outs[k] = NewDelta()
+			ns[k], errs[k] = inc.applyComponent(&inc.comps[active[k]], d, outs[k])
+		})
+		for k := range active {
+			if errs[k] != nil {
+				inc.broken = true
+				return changes, errs[k]
+			}
+			d.merge(outs[k])
+			changes += ns[k]
 		}
 	}
 	return changes, nil
+}
+
+// touchedBy reports whether the batch changes any of the component's inputs.
+func (c *incComponent) touchedBy(d *Delta) (hasAdd, hasDel bool) {
+	for _, in := range c.inputs {
+		if len(d.added[in]) > 0 {
+			hasAdd = true
+		}
+		if len(d.removed[in]) > 0 {
+			hasDel = true
+		}
+	}
+	return hasAdd, hasDel
+}
+
+// dredReady reports whether every rule in the component carries a compiled
+// support plan (always true for recursive monotone components; defensive).
+func (c *incComponent) dredReady() bool {
+	for _, pl := range c.plans {
+		if pl.support == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// applyComponent folds the batch into one component with the maintenance
+// strategy its class calls for, reading input changes from in and recording
+// realized head changes into out (serial callers pass the same Delta for
+// both).
+func (inc *Incremental) applyComponent(c *incComponent, in, out *Delta) (int, error) {
+	_, hasDel := c.touchedBy(in)
+	switch {
+	case c.nonMono:
+		return inc.recompute(c, out)
+	case !c.recursive:
+		return inc.applyCounting(c, in, out), nil
+	case hasDel:
+		if inc.forceRecompute || !c.dredReady() {
+			return inc.recompute(c, out)
+		}
+		return inc.applyDRed(c, in, out), nil
+	default:
+		return inc.propagateInserts(c, in, func(pred string, t Tuple) {
+			out.Insert(pred, t)
+		}), nil
+	}
+}
+
+// warmComponent pre-builds, before a parallel fan-out, every shared access
+// path the maintenance strategy this component will take for batch d can
+// lazily construct. Support plans are warmed only when the DRed path will
+// actually run — their indexes, once built, are maintained by every future
+// mutation of the probed relations.
+func (inc *Incremental) warmComponent(c *incComponent, d *Delta) {
+	if !c.recursive && !c.nonMono {
+		warmForCounting(inc.db, c.plans)
+		return
+	}
+	_, hasDel := c.touchedBy(d)
+	dred := !c.nonMono && hasDel && !inc.forceRecompute && c.dredReady()
+	warmForPlans(inc.db, c.plans, dred)
 }
 
 // applyCounting maintains a non-recursive monotone component exactly: the
 // batch's input changes enumerate the derivations gained and lost, signed
 // counts accumulate per head tuple, and zero crossings realize set-level
 // changes (which extend the delta for downstream components).
-func (inc *Incremental) applyCounting(c *incComponent, d *Delta) int {
+func (inc *Incremental) applyCounting(c *incComponent, in, out *Delta) int {
 	acc := map[string]*tupleCounts{}
 	oldViews := map[string]relView{}
 	oldOf := func(pred string) relView {
 		v, ok := oldViews[pred]
 		if !ok {
-			v = relView{rel: inc.db.Get(pred), extra: d.removed[pred]}
-			if add := d.added[pred]; len(add) > 0 {
+			v = relView{rel: inc.db.Get(pred), extra: in.removed[pred]}
+			if add := in.added[pred]; len(add) > 0 {
 				v.hide = newTupleSet()
 				for _, t := range add {
 					v.hide.add(t)
@@ -316,10 +458,10 @@ func (inc *Incremental) applyCounting(c *incComponent, d *Delta) int {
 		r := pl.r
 		for i := range r.Body {
 			pred := r.Body[i].Pred
-			for _, t := range d.added[pred] {
+			for _, t := range in.added[pred] {
 				inc.deltaJoin(r, i, t, 1, oldOf, acc)
 			}
-			for _, t := range d.removed[pred] {
+			for _, t := range in.removed[pred] {
 				inc.deltaJoin(r, i, t, -1, oldOf, acc)
 			}
 		}
@@ -343,12 +485,12 @@ func (inc *Incremental) applyCounting(c *incComponent, d *Delta) int {
 			switch {
 			case old == 0 && now > 0:
 				rel.Insert(e.t)
-				d.Insert(h, e.t)
+				out.Insert(h, e.t)
 				changes++
 			case old > 0 && now == 0:
 				cnt.drop(e.t) // keep maintained counts bounded by the live fixpoint
 				rel.Delete(e.t)
-				d.Delete(h, e.t)
+				out.Delete(h, e.t)
 				changes++
 			}
 		}
@@ -458,32 +600,23 @@ func (inc *Incremental) deltaJoin(r Rule, di int, dt Tuple, sign int, oldOf func
 	walk(0, b)
 }
 
-// propagateInserts folds an insert-only delta into a recursive monotone
-// component with the compiled semi-naive plans: the incoming additions seed
-// the delta relations, and newly realized head tuples keep driving the
-// delta-first join orders until quiescence.
-func (inc *Incremental) propagateInserts(c *incComponent, d *Delta) int {
-	ensureHeadsPlanned(inc.db, c.plans)
-	delta := map[string]*Relation{}
-	for _, in := range c.inputs {
-		list := d.added[in]
-		if len(list) == 0 {
-			continue
-		}
-		dr := NewRelation(in, len(list[0]))
-		for _, t := range list {
-			dr.appendRaw(t)
-		}
-		delta[in] = dr
-	}
-	changes := 0
-	var out []Tuple
-	collect := func(t Tuple) { out = append(out, t) }
-	for {
+// driveRounds is the shared semi-naive round skeleton behind insert
+// propagation and both DRed phases: each round drives every plan's
+// positive body literals from the per-predicate delta relations (runPlan
+// chooses the execution variant — plain delta-first, or augmented with the
+// pre-batch overlay) and accept decides, per emitted head tuple, whether
+// the tuple's consequence was realized and should drive the next round.
+// Rounds repeat until no tuple is accepted.
+func driveRounds(db *Database, plans []*rulePlan, delta map[string]*Relation,
+	runPlan func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)),
+	accept func(h string, rel *Relation, t Tuple) bool) {
+	var buf []Tuple
+	collect := func(t Tuple) { buf = append(buf, t) }
+	for len(delta) > 0 {
 		next := map[string]*Relation{}
-		any := false
-		for _, pl := range c.plans {
-			rel := inc.db.Get(pl.r.Head.Pred)
+		for _, pl := range plans {
+			h := pl.r.Head.Pred
+			rel := db.Get(h)
 			for i, l := range pl.r.Body {
 				if l.Negated {
 					continue
@@ -492,43 +625,81 @@ func (inc *Incremental) propagateInserts(c *incComponent, d *Delta) int {
 				if !ok || dr.Len() == 0 {
 					continue
 				}
-				out = out[:0]
-				pl.run(inc.db, i, dr, nil, collect)
-				for _, t := range out {
-					if rel.Insert(t) {
-						nd := next[pl.r.Head.Pred]
+				buf = buf[:0]
+				runPlan(pl, i, dr, collect)
+				for _, t := range buf {
+					if accept(h, rel, t) {
+						nd := next[h]
 						if nd == nil {
-							nd = NewRelation(pl.r.Head.Pred, rel.Arity)
-							next[pl.r.Head.Pred] = nd
+							nd = NewRelation(h, rel.Arity)
+							next[h] = nd
 						}
 						nd.appendRaw(t)
-						d.Insert(pl.r.Head.Pred, t)
-						changes++
-						any = true
 					}
 				}
 			}
 		}
-		if !any {
-			break
-		}
 		delta = next
 	}
+}
+
+// deltaRelations materializes a Delta's per-predicate tuple lists (added
+// or removed, selected by pick) for the given predicates as scan-only
+// relations seeding a driveRounds loop.
+func deltaRelations(preds []string, pick func(pred string) []Tuple) map[string]*Relation {
+	delta := map[string]*Relation{}
+	for _, pred := range preds {
+		list := pick(pred)
+		if len(list) == 0 {
+			continue
+		}
+		dr := NewRelation(pred, len(list[0]))
+		for _, t := range list {
+			dr.appendRaw(t)
+		}
+		delta[pred] = dr
+	}
+	return delta
+}
+
+// propagateInserts folds an insert-only delta into a recursive monotone
+// component with the compiled semi-naive plans: the incoming additions seed
+// the delta relations, and newly realized head tuples keep driving the
+// delta-first join orders until quiescence. Every realized insert is handed
+// to record (the pure-insert path records straight into the output delta;
+// DRed defers recording to net insertions against its over-deletions).
+func (inc *Incremental) propagateInserts(c *incComponent, in *Delta, record func(pred string, t Tuple)) int {
+	ensureHeadsPlanned(inc.db, c.plans)
+	changes := 0
+	driveRounds(inc.db, c.plans,
+		deltaRelations(c.inputs, func(pred string) []Tuple { return in.added[pred] }),
+		func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)) {
+			pl.run(inc.db, i, dr, nil, collect)
+		},
+		func(h string, rel *Relation, t Tuple) bool {
+			if !rel.Insert(t) {
+				return false
+			}
+			record(h, t)
+			changes++
+			return true
+		})
 	return changes
 }
 
 // recompute is the fallback for components with negation or aggregates
-// (any input change) and for recursive components facing deletions: clear
-// the component's derived relations, re-run its fixpoint from the current
-// inputs, and diff old against new so downstream components still receive
-// a precise delta.
-func (inc *Incremental) recompute(c *incComponent, d *Delta) (int, error) {
+// (any input change): clear the component's derived relations in place,
+// re-run its fixpoint from the current inputs, and diff old against new so
+// downstream components still receive a precise delta. (It was also the
+// pre-DRed fallback for recursive deletions, retained behind
+// forceRecompute as the benchmark baseline.)
+func (inc *Incremental) recompute(c *incComponent, out *Delta) (int, error) {
 	ensureHeadsPlanned(inc.db, c.plans)
 	old := map[string][]Tuple{}
 	for _, h := range c.heads {
 		rel := inc.db.Get(h)
 		old[h] = rel.Tuples()
-		inc.db.reset(h, rel.Arity)
+		rel.Clear() // in place: the *Relation stays valid for concurrent readers of the db map
 	}
 	if _, err := evalStratumSemiNaive(inc.db, c.plans); err != nil {
 		return 0, err
@@ -541,22 +712,22 @@ func (inc *Incremental) recompute(c *incComponent, d *Delta) (int, error) {
 		for i < len(oldT) || j < len(newT) {
 			switch {
 			case i >= len(oldT):
-				d.Insert(h, newT[j])
+				out.Insert(h, newT[j])
 				changes++
 				j++
 			case j >= len(newT):
-				d.Delete(h, oldT[i])
+				out.Delete(h, oldT[i])
 				changes++
 				i++
 			case oldT[i].Equal(newT[j]):
 				i++
 				j++
 			case tupleLess(oldT[i], newT[j]):
-				d.Delete(h, oldT[i])
+				out.Delete(h, oldT[i])
 				changes++
 				i++
 			default:
-				d.Insert(h, newT[j])
+				out.Insert(h, newT[j])
 				changes++
 				j++
 			}

@@ -1,0 +1,188 @@
+package datalog
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel component scheduler: evaluation components that
+// share a topological level of the component DAG (prepared.levels) neither
+// read nor write each other's heads, so they can evaluate concurrently —
+// both full Eval runs and Incremental.Apply batches fan a level out over a
+// bounded worker pool and barrier before the next level.
+//
+// Safety rests on two disciplines:
+//
+//   - Ownership: a head predicate belongs to exactly one component
+//     (stratification assigns all rules for a head the same stratum, and
+//     SCC refinement groups by head), so every relation mutated during a
+//     level has a single writing goroutine. Shared input relations are
+//     read-only for the level's duration.
+//   - Warming: reads are not entirely side-effect free — relations build
+//     membership hashes and column indexes lazily on first use. Before a
+//     level fans out, every access path its plans can touch is built
+//     serially (warmForPlans / warmForCounting), leaving the shared
+//     relations genuinely read-only inside the goroutines.
+
+// SetParallelism fixes the number of worker goroutines used when
+// independent evaluation components are scheduled: 1 forces fully serial
+// evaluation (the deterministic-debugging mode), n > 1 caps the pool, and 0
+// restores the GOMAXPROCS-aware default. Call it before the program is
+// shared across goroutines; parallel and serial runs produce byte-identical
+// relation contents (components own disjoint relations and their internal
+// evaluation order never changes), so the setting trades only wall-clock
+// for goroutine overhead.
+func (p *Program) SetParallelism(n int) {
+	if n < 0 {
+		n = 1
+	}
+	p.parallel = n
+}
+
+// workers resolves the effective worker count.
+func (p *Program) workers() int {
+	if p.parallel != 0 {
+		return p.parallel
+	}
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// parallelMinInputTuples is the fan-out cutoff: a level whose components
+// read fewer base/input tuples than this in total runs inline — goroutine
+// and barrier overhead would dominate the evaluation of tiny relations.
+// (Input size is a proxy; recursive components can derive much more than
+// they read, but under this bound even their fixpoints are small.)
+// Variables, not constants, so the determinism tests can force the
+// parallel path on small randomized workloads.
+var parallelMinInputTuples = 256
+
+// parallelMinDeltaTuples is Incremental.Apply's fan-out cutoff: levels
+// whose active components receive fewer input changes than this run
+// inline. Maintenance work is O(delta)-ish, and a typical transducer tick
+// carries single-digit changes.
+var parallelMinDeltaTuples = 64
+
+// levelInputSize sums the live sizes of the relations the level's plans
+// read, as the fan-out heuristic's workload estimate.
+func levelInputSize(db *Database, strata [][]*rulePlan, level []int) int {
+	total := 0
+	seen := map[string]bool{}
+	for _, ci := range level {
+		for _, pl := range strata[ci] {
+			for _, l := range pl.r.Body {
+				if seen[l.Pred] {
+					continue
+				}
+				seen[l.Pred] = true
+				if rel := db.Get(l.Pred); rel != nil {
+					total += rel.Len()
+				}
+			}
+		}
+	}
+	return total
+}
+
+// runWorkers executes fn(0..n-1) on at most `workers` concurrent
+// goroutines. fn must confine its writes to per-index state; result
+// ordering is the caller's concern (index-addressed slices keep merges
+// deterministic).
+func runWorkers(n, workers int, fn func(int)) {
+	if n == 1 {
+		fn(0)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// warmForPlans pre-builds every access path the given plans can exercise:
+// membership hashes for negation and existence probes, column indexes for
+// every compiled probe set. withSupport additionally warms the DRed
+// support plans (standard order only — rederivable never runs their delta
+// variants); pass it only for components that can actually take the DRed
+// path, since a column index once built is maintained by every future
+// Insert/Delete on that relation.
+func warmForPlans(db *Database, plans []*rulePlan, withSupport bool) {
+	for _, pl := range plans {
+		for _, order := range pl.orders {
+			warmOrder(db, order)
+		}
+		if withSupport && pl.support != nil {
+			warmOrder(db, pl.support.orders[0])
+		}
+	}
+}
+
+func warmOrder(db *Database, order []litPlan) {
+	for i := range order {
+		lp := &order[i]
+		rel := db.Get(lp.pred)
+		if rel == nil {
+			continue // stays absent for the level: heads are pre-ensured
+		}
+		rel.ensureByHash()
+		if !lp.negated && !lp.allBound && len(lp.probePos) > 0 {
+			rel.index(lp.probePos)
+		}
+	}
+}
+
+// warmForCounting pre-builds the access paths a counting component's
+// deltaJoin walks can touch. The walk binds variables in original body
+// order with the delta literal's variables pre-bound, so the probe column
+// set of every (rule, delta position, literal) combination is structural
+// and enumerable without running the join.
+func warmForCounting(db *Database, plans []*rulePlan) {
+	for _, pl := range plans {
+		r := pl.r
+		for di := range r.Body {
+			bound := map[string]bool{}
+			for _, a := range r.Body[di].Args {
+				if a.IsVar() {
+					bound[a.Var] = true
+				}
+			}
+			for j := range r.Body {
+				if j == di {
+					continue
+				}
+				l := r.Body[j]
+				var pos []int
+				for k, a := range l.Args {
+					if !a.IsVar() || bound[a.Var] {
+						pos = append(pos, k)
+					}
+				}
+				if rel := db.Get(l.Pred); rel != nil {
+					rel.ensureByHash()
+					if len(pos) > 0 {
+						// Lookup indexes any non-empty probe set, including
+						// the all-columns one — warm exactly what it builds.
+						rel.index(pos)
+					}
+				}
+				for _, a := range l.Args {
+					if a.IsVar() {
+						bound[a.Var] = true
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fingerprint renders a database byte-for-byte: every relation in name
+// order, every live tuple in insertion (slot) order. Two databases with the
+// same fingerprint are indistinguishable to any observer, including ones
+// sensitive to enumeration order.
+func fingerprint(db *Database) string {
+	var b strings.Builder
+	for _, name := range db.Names() {
+		fmt.Fprintf(&b, "%s:", name)
+		db.Get(name).scan(func(t Tuple) bool {
+			fmt.Fprintf(&b, "%v;", t)
+			return true
+		})
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestComponentLevels pins the level partition: independent components
+// share a level, dependent ones are strictly deeper.
+func TestComponentLevels(t *testing.T) {
+	p, err := NewProgram(
+		// Two independent closures...
+		Rule{Head: Atom{Pred: "p", Args: []Term{V("x"), V("y")}}, Body: []Literal{{Atom: Atom{Pred: "e1", Args: []Term{V("x"), V("y")}}}}},
+		Rule{Head: Atom{Pred: "q", Args: []Term{V("x"), V("y")}}, Body: []Literal{{Atom: Atom{Pred: "e2", Args: []Term{V("x"), V("y")}}}}},
+		// ...and a join over both, which must wait for both.
+		Rule{Head: Atom{Pred: "r", Args: []Term{V("x"), V("z")}}, Body: []Literal{
+			{Atom: Atom{Pred: "p", Args: []Term{V("x"), V("y")}}},
+			{Atom: Atom{Pred: "q", Args: []Term{V("y"), V("z")}}},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.prep.levels); got != 2 {
+		t.Fatalf("levels = %d, want 2 (%v)", got, p.prep.levels)
+	}
+	if got := len(p.prep.levels[0]); got != 2 {
+		t.Fatalf("level 0 width = %d, want 2 (independent components)", got)
+	}
+	if got := len(p.prep.levels[1]); got != 1 {
+		t.Fatalf("level 1 width = %d, want 1 (the join)", got)
+	}
+	if p.prep.maxWidth != 2 {
+		t.Fatalf("maxWidth = %d, want 2", p.prep.maxWidth)
+	}
+}
+
+// TestParallelEvalDeterminism is the regression gate for the parallel
+// component scheduler: across 50 random programs and databases, parallel
+// evaluation must produce byte-identical relation contents (including
+// insertion order) to the serial mode. CI runs this under -race, so it
+// doubles as the scheduler's data-race probe.
+// forceParallel drops the fan-out size cutoffs for the duration of a test
+// so the randomized small workloads genuinely take the concurrent path.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldIn, oldDelta := parallelMinInputTuples, parallelMinDeltaTuples
+	parallelMinInputTuples, parallelMinDeltaTuples = 0, 0
+	t.Cleanup(func() { parallelMinInputTuples, parallelMinDeltaTuples = oldIn, oldDelta })
+}
+
+func TestParallelEvalDeterminism(t *testing.T) {
+	forceParallel(t)
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		rules := randRules(r)
+		db := randEDB(r)
+
+		serial, err := NewProgram(rules...)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serial.SetParallelism(1)
+		par, err := NewProgram(rules...)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		par.SetParallelism(8)
+
+		dbS, dbP := db.Clone(), db.Clone()
+		nS, errS := serial.Eval(dbS)
+		nP, errP := par.Eval(dbP)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("seed %d: error divergence: serial=%v parallel=%v", seed, errS, errP)
+		}
+		if nS != nP {
+			t.Fatalf("seed %d: derived counts diverge: serial=%d parallel=%d", seed, nS, nP)
+		}
+		if fS, fP := fingerprint(dbS), fingerprint(dbP); fS != fP {
+			t.Fatalf("seed %d: parallel fixpoint differs from serial\nserial:\n%s\nparallel:\n%s", seed, fS, fP)
+		}
+	}
+}
+
+// TestParallelIncrementalDeterminism: the same 50-seed gate for parallel
+// Incremental.Apply — identical tick sequences of interleaved inserts and
+// deletes through a serial and a parallel evaluator must realize identical
+// change counts and byte-identical databases after every tick.
+func TestParallelIncrementalDeterminism(t *testing.T) {
+	forceParallel(t)
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		rules := randRules(r)
+		edb := randEDB(r)
+
+		serialP, err := NewProgram(rules...)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serialP.SetParallelism(1)
+		parP, err := NewProgram(rules...)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		parP.SetParallelism(8)
+
+		serial, err := NewIncremental(serialP, edb.Clone())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		par, err := NewIncremental(parP, edb.Clone())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for tick := 0; tick < 6; tick++ {
+			dS, dP := NewDelta(), NewDelta()
+			for op := 0; op < 1+r.Intn(5); op++ {
+				pred := edbPreds[r.Intn(len(edbPreds))]
+				if r.Intn(2) == 0 {
+					tup := randEDBTuple(r, pred)
+					if edb.Get(pred).Insert(tup) {
+						serial.DB().Get(pred).Insert(tup)
+						par.DB().Get(pred).Insert(tup)
+						dS.Insert(pred, tup)
+						dP.Insert(pred, tup)
+					}
+				} else if existing := edb.Get(pred).Tuples(); len(existing) > 0 {
+					tup := existing[r.Intn(len(existing))]
+					edb.Get(pred).Delete(tup)
+					serial.DB().Get(pred).Delete(tup)
+					par.DB().Get(pred).Delete(tup)
+					dS.Delete(pred, tup)
+					dP.Delete(pred, tup)
+				}
+			}
+			nS, errS := serial.Apply(dS)
+			nP, errP := par.Apply(dP)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("seed %d tick %d: error divergence: serial=%v parallel=%v", seed, tick, errS, errP)
+			}
+			if errS != nil {
+				break
+			}
+			if nS != nP {
+				t.Fatalf("seed %d tick %d: realized changes diverge: serial=%d parallel=%d", seed, tick, nS, nP)
+			}
+			// The extended deltas must agree too: downstream consumers (the
+			// transducer, chained components) see them.
+			if fS, fP := fmt.Sprint(dS.preds, dS.added, dS.removed), fmt.Sprint(dP.preds, dP.added, dP.removed); fS != fP {
+				t.Fatalf("seed %d tick %d: extended deltas diverge\nserial:   %s\nparallel: %s", seed, tick, fS, fP)
+			}
+			if fS, fP := fingerprint(serial.DB()), fingerprint(par.DB()); fS != fP {
+				t.Fatalf("seed %d tick %d: parallel fixpoint differs from serial\nserial:\n%s\nparallel:\n%s", seed, tick, fS, fP)
+			}
+		}
+	}
+}

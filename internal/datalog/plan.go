@@ -82,6 +82,14 @@ type rulePlan struct {
 	// head builds the emitted tuple. For aggregate rules the last entry is
 	// the aggregation variable's slot and grouping happens in the caller.
 	head []slotTerm
+
+	// support is the rule's body compiled with the distinct head variables
+	// pre-bound (supportVars, in first-appearance order): binding a concrete
+	// head tuple and running it answers "does any derivation of this tuple
+	// survive in the current database?" — the DRed re-derivation check.
+	// Compiled in Prepare for every non-aggregate rule; nil otherwise.
+	support     *rulePlan
+	supportVars []string
 }
 
 // validateWith is Rule.Validate extended with caller-provided pre-bound
@@ -334,6 +342,28 @@ func compileRule(r Rule, preBound []string) (*rulePlan, error) {
 // body literal deltaIdx reads from delta instead of its full relation and
 // the delta-first order is used. emit receives each derived head row.
 func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any, emit func(Tuple)) {
+	p.runAug(db, deltaIdx, delta, nil, preset, emit)
+}
+
+// runAug is run with an optional per-predicate augmentation: every positive
+// non-delta literal on predicate P also matches the tuples in aug[P], as if
+// they were still present in the relation. The DRed over-deletion phase
+// reads the pre-batch view this way — the database plus the batch's removed
+// tuples — without mutating relations shared with concurrently evaluating
+// components. Augmentation is defined for positive literals only (DRed runs
+// on monotone components); negated probes ignore it.
+func (p *rulePlan) runAug(db *Database, deltaIdx int, delta *Relation, aug map[string][]Tuple, preset []any, emit func(Tuple)) {
+	p.runAugUntil(db, deltaIdx, delta, aug, preset, func(t Tuple) bool {
+		emit(t)
+		return true
+	})
+}
+
+// runAugUntil is runAug with early termination: emit returning false
+// abandons the walk immediately. Existence queries (the DRed re-derivation
+// check) stop at the first surviving derivation instead of enumerating
+// them all.
+func (p *rulePlan) runAugUntil(db *Database, deltaIdx int, delta *Relation, aug map[string][]Tuple, preset []any, emit func(Tuple) bool) {
 	env := make([]any, p.nslots)
 	copy(env, preset)
 	for _, f := range p.preFilters {
@@ -359,22 +389,33 @@ func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any
 		}
 	}
 
+	stopped := false
 	var rec func(i int)
 	rec = func(i int) {
+		if stopped {
+			return
+		}
 		if i == len(order) {
 			head := make(Tuple, len(p.head))
 			for j, st := range p.head {
 				head[j] = st.value(env)
 			}
-			emit(head)
+			if !emit(head) {
+				stopped = true
+			}
 			return
 		}
 		lp := &order[i]
 		rel := db.Get(lp.pred)
+		var augRows []Tuple
+		if aug != nil && !lp.negated {
+			augRows = aug[lp.pred]
+		}
 		if deltaIdx >= 0 && lp.origIdx == deltaIdx {
 			rel = delta
+			augRows = nil // the delta position reads the delta verbatim
 		}
-		if rel == nil {
+		if rel == nil && augRows == nil {
 			if lp.negated {
 				rec(i + 1) // absent relation: negation trivially holds
 			}
@@ -405,10 +446,17 @@ func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any
 				}
 			}
 			rec(i + 1)
-			return true
+			return !stopped
 		}
 		if len(lp.probePos) == 0 {
-			rel.scan(step)
+			if rel != nil {
+				rel.scan(step)
+			}
+			for _, t := range augRows {
+				if stopped || !step(t) {
+					return
+				}
+			}
 			return
 		}
 		vals := scratch[i]
@@ -418,7 +466,16 @@ func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any
 		if lp.allBound {
 			// Existence check: probePos covers every column in order, so
 			// vals is the full tuple; the membership hash answers directly.
-			if rel.Contains(Tuple(vals)) {
+			present := rel != nil && rel.Contains(Tuple(vals))
+			if !present {
+				for _, t := range augRows {
+					if t.Equal(Tuple(vals)) {
+						present = true
+						break
+					}
+				}
+			}
+			if present {
 				for _, f := range lp.filters {
 					if !f.eval(env) {
 						return
@@ -428,12 +485,26 @@ func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any
 			}
 			return
 		}
-		for _, s := range rel.lookupSlots(lp.probePos, vals) {
-			t := rel.slots[s]
-			if !projEqual(t, lp.probePos, vals) {
-				continue // projection-hash collision
+		if rel != nil {
+			for _, s := range rel.lookupSlots(lp.probePos, vals) {
+				t := rel.slots[s]
+				if !projEqual(t, lp.probePos, vals) {
+					continue // projection-hash collision
+				}
+				if !step(t) {
+					return
+				}
 			}
-			step(t)
+		}
+		for _, t := range augRows {
+			if stopped {
+				return
+			}
+			if projEqual(t, lp.probePos, vals) {
+				if !step(t) {
+					return
+				}
+			}
 		}
 	}
 	rec(0)
@@ -447,6 +518,70 @@ type prepared struct {
 	// topologically ordered, so independent rule groups evaluate (and are
 	// incrementally maintained) separately.
 	strata [][]*rulePlan
+	// levels groups component indexes by topological depth in the component
+	// DAG: a component's level is one past the deepest component whose head
+	// it reads (positively, negatively, or under aggregation). Components
+	// sharing a level are pairwise independent — they neither read nor write
+	// each other's heads — which is what licenses evaluating them
+	// concurrently with a barrier between levels. Indexes within a level
+	// stay in component (topological) order for deterministic serial runs.
+	levels [][]int
+	// maxWidth is the widest level: 1 means the DAG is a chain and parallel
+	// scheduling can never help.
+	maxWidth int
+}
+
+// componentLevels builds the level partition of the component DAG. Component
+// i depends on component j < i when any rule body in i mentions a head of j;
+// strata and Tarjan ordering guarantee dependencies only point backwards.
+func componentLevels(strata [][]*rulePlan) ([][]int, int) {
+	heads := make([]map[string]bool, len(strata))
+	for i, plans := range strata {
+		heads[i] = map[string]bool{}
+		for _, pl := range plans {
+			heads[i][pl.r.Head.Pred] = true
+		}
+	}
+	level := make([]int, len(strata))
+	maxLevel := 0
+	for i, plans := range strata {
+		lv := 0
+		for j := 0; j < i; j++ {
+			if level[j] < lv {
+				continue // cannot raise i's level even if it depends on j
+			}
+			depends := false
+			for _, pl := range plans {
+				for _, l := range pl.r.Body {
+					if heads[j][l.Pred] {
+						depends = true
+						break
+					}
+				}
+				if depends {
+					break
+				}
+			}
+			if depends {
+				lv = level[j] + 1
+			}
+		}
+		level[i] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	levels := make([][]int, maxLevel+1)
+	for i, lv := range level {
+		levels[lv] = append(levels[lv], i)
+	}
+	maxWidth := 1
+	for _, l := range levels {
+		if len(l) > maxWidth {
+			maxWidth = len(l)
+		}
+	}
+	return levels, maxWidth
 }
 
 // refineComponents splits one stratum's rules into the strongly-connected
@@ -566,11 +701,29 @@ func (p *Program) Prepare() error {
 						p.prepErr = err
 						return
 					}
+					if r.Agg == "" {
+						// Support plan for DRed re-derivation: the body with
+						// the distinct head variables pre-bound. Head
+						// constants are matched at bind time.
+						var headVars []string
+						seen := map[string]bool{}
+						for _, t := range r.Head.Args {
+							if t.IsVar() && !seen[t.Var] {
+								seen[t.Var] = true
+								headVars = append(headVars, t.Var)
+							}
+						}
+						if sp, serr := compileRule(r, headVars); serr == nil {
+							pl.support = sp
+							pl.supportVars = headVars
+						}
+					}
 					plans = append(plans, pl)
 				}
 				pr.strata = append(pr.strata, plans)
 			}
 		}
+		pr.levels, pr.maxWidth = componentLevels(pr.strata)
 		p.prep = pr
 	})
 	return p.prepErr

@@ -789,7 +789,7 @@ func RunE13(chains, ops int) Table {
 		if incremental {
 			rt, err = c.InstantiateIncremental("n1", 1)
 		} else {
-			rt, err = c.Instantiate("n1", 1)
+			rt, err = c.InstantiateFullEval("n1", 1)
 		}
 		if err != nil {
 			panic(err)

@@ -308,7 +308,7 @@ func (s *seqCovid) vaccinate(pid int64) bool {
 func TestCovidIncrementalMatchesFull(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		c := compileCovid(t)
-		full, err := c.Instantiate("n1", seed)
+		full, err := c.InstantiateFullEval("n1", seed)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,24 +9,58 @@ import (
 	"hydro/internal/transducer"
 )
 
+// evalMode selects how the compiled query program is registered with the
+// runtime.
+type evalMode int
+
+const (
+	// modeAuto prefers cross-tick incremental maintenance, falling back to
+	// per-tick full evaluation when the program does not qualify.
+	modeAuto evalMode = iota
+	// modeIncremental requires incremental maintenance (error otherwise).
+	modeIncremental
+	// modeFullEval forces per-tick snapshot re-evaluation.
+	modeFullEval
+)
+
 // Instantiate builds a runnable transducer for the compiled program: it
 // registers table schemas (with lattice merges for lattice-typed columns),
 // scalar variables, the query program, and one handler closure per `on`
 // declaration. The returned runtime is the "single node" of §3.1;
 // distributed deployments host several of these via the cluster package.
+//
+// The query program defaults to cross-tick incremental maintenance — the
+// fixpoint is kept inside the runtime database and folded forward from each
+// tick's realized effects (inserts through counted derivations or
+// semi-naive propagation, deletions through DRed or per-component
+// recompute) instead of being re-derived from a snapshot every tick. A
+// program that does not qualify (a registered table collides with a derived
+// predicate) falls back to per-tick full evaluation; InstantiateFullEval
+// forces that mode explicitly.
+//
+// Trade-off: incremental mode maintains every derived relation eagerly,
+// whereas full-eval mode computes the fixpoint lazily only on ticks whose
+// handlers actually read a query. A program that declares queries its
+// handlers rarely or never consult is better served by InstantiateFullEval.
 func (c *Compiled) Instantiate(name string, seed int64) (*transducer.Runtime, error) {
-	return c.instantiate(name, seed, false)
+	return c.instantiate(name, seed, modeAuto)
 }
 
-// InstantiateIncremental builds the same runtime with the query program in
-// cross-tick incremental mode: the fixpoint is maintained inside the
-// runtime database from each tick's applied effects instead of being
-// re-derived from a snapshot (transducer.RegisterQueriesIncremental).
+// InstantiateIncremental builds the runtime with the query program in
+// cross-tick incremental mode, and errors if the program does not qualify
+// (transducer.RegisterQueriesIncremental).
 func (c *Compiled) InstantiateIncremental(name string, seed int64) (*transducer.Runtime, error) {
-	return c.instantiate(name, seed, true)
+	return c.instantiate(name, seed, modeIncremental)
 }
 
-func (c *Compiled) instantiate(name string, seed int64, incremental bool) (*transducer.Runtime, error) {
+// InstantiateFullEval builds the runtime with per-tick snapshot
+// re-evaluation — the pre-incremental execution model, kept for
+// differential testing and as the fallback semantics reference.
+func (c *Compiled) InstantiateFullEval(name string, seed int64) (*transducer.Runtime, error) {
+	return c.instantiate(name, seed, modeFullEval)
+}
+
+func (c *Compiled) instantiate(name string, seed int64, mode evalMode) (*transducer.Runtime, error) {
 	rt := transducer.New(name, seed)
 	for _, t := range c.Program.Tables {
 		schema, err := tableSchema(t)
@@ -48,11 +82,16 @@ func (c *Compiled) instantiate(name string, seed int64, incremental bool) (*tran
 		}
 		rt.RegisterVar(v.Name, init)
 	}
-	if incremental {
+	switch mode {
+	case modeIncremental:
 		if err := rt.RegisterQueriesIncremental(c.Queries); err != nil {
 			return nil, err
 		}
-	} else {
+	case modeAuto:
+		if err := rt.RegisterQueriesIncremental(c.Queries); err != nil {
+			rt.RegisterQueries(c.Queries) // program doesn't qualify: full eval
+		}
+	default:
 		rt.RegisterQueries(c.Queries)
 	}
 	for _, h := range c.Program.Handlers {

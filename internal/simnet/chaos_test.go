@@ -1,0 +1,270 @@
+// Chaos tests: the soak properties must survive infrastructure failure,
+// not just delivery-order scrambling. Replicas run the applications in
+// cross-tick incremental mode under seed-random latencies while whole
+// failure domains go down mid-run and recover; after clients re-deliver
+// (the ops are idempotent), every replica — including the one that lost
+// in-flight traffic — must reconverge to the reference fixpoint.
+package simnet_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hydro/internal/cluster"
+	"hydro/internal/datalog"
+	"hydro/internal/hlang"
+	"hydro/internal/hydrolysis"
+	"hydro/internal/simnet"
+	"hydro/internal/transducer"
+)
+
+// covidReplicaState renders one replica's observable quiesced state:
+// tables plus post-quiescence trace probes (the way applications observe
+// the derived transitive closure).
+func covidReplicaState(rt *transducer.Runtime) string {
+	for pid := int64(0); pid < 10; pid += 3 {
+		rt.Inject("trace", datalog.Tuple{pid})
+	}
+	rt.RunUntilIdle(50)
+	var traces []string
+	for _, m := range rt.Drain("trace_response") {
+		traces = append(traces, fmt.Sprint(m.Payload))
+	}
+	sort.Strings(traces)
+	return fmt.Sprint(
+		rt.Table("people").Tuples(),
+		rt.Table("contacts").Tuples(),
+		traces,
+	)
+}
+
+// TestCovidChaosFailRecoverReconverges: three COVID replicas (incremental
+// mode, one per AZ) receive the soak op set over a lossy-ordered network;
+// mid-delivery an entire AZ fails, taking its undelivered traffic with it.
+// After recovery the client re-broadcasts the full idempotent op set, and
+// every replica — the failed one included — must reach exactly the
+// reference fixpoint computed on an undisturbed runtime.
+func TestCovidChaosFailRecoverReconverges(t *testing.T) {
+	compile := func() *hydrolysis.Compiled {
+		c, err := hydrolysis.Compile(hlang.CovidSource, hydrolysis.Options{
+			UDFs: map[string]hydrolysis.UDF{
+				"covid_predict": func(args []any) any { return 0.5 },
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// Reference: one undisturbed replica fed directly.
+	ref, err := compile().Instantiate("ref", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range covidOpSet() {
+		ref.Inject(op.box, op.payload)
+	}
+	ref.RunUntilIdle(200)
+	baseline := covidReplicaState(ref)
+
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		topo := cluster.NewTopology(3, 1, 1, cluster.ClassSmall)
+		cl := cluster.New(topo, simnet.Config{Seed: seed, MinLatency: 50, MaxLatency: 8000})
+		var machines []string
+		for _, m := range topo.Machines {
+			rt, err := compile().Instantiate(m.ID, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.Host(m.ID, rt)
+			machines = append(machines, m.ID)
+		}
+		cl.Net.AddNode("client", func(now simnet.Time, msg simnet.Message) {})
+		broadcast := func() {
+			for _, op := range covidOpSet() {
+				for _, m := range machines {
+					cl.Net.Send("client", m, transducer.Message{Mailbox: op.box, Payload: op.payload, From: "external"})
+				}
+			}
+		}
+
+		broadcast()
+		cl.RunRounds(3, 500) // some traffic lands, most is still in flight
+		failed := cl.FailDomain(cluster.AZ, "az2")
+		if len(failed) != 1 {
+			t.Fatalf("seed %d: failed machines = %v, want exactly az2's", seed, failed)
+		}
+		cl.RunRounds(20, 500) // the survivors drain while az2 drops traffic
+		if cl.Net.Stats().Blocked == 0 {
+			t.Fatalf("seed %d: failure window dropped no traffic — the chaos test isn't chaotic", seed)
+		}
+		for _, m := range failed {
+			cl.Recover(m)
+		}
+		broadcast() // idempotent redelivery covers everything az2 lost
+		for i := 0; i < 100; i++ {
+			cl.Round(500)
+		}
+		for _, m := range machines {
+			rt := cl.Runtime(m)
+			rt.RunUntilIdle(200)
+			if got := covidReplicaState(rt); got != baseline {
+				t.Fatalf("seed %d: replica %s did not reconverge after fail/recover\nbaseline: %s\ngot:      %s",
+					seed, m, baseline, got)
+			}
+		}
+	}
+}
+
+// chaosGraphRuntime builds an incremental transducer maintaining the
+// transitive closure of an edge table, with idempotent add/del handlers —
+// the delete path exercises DRed maintenance under chaos.
+func chaosGraphRuntime(t *testing.T, name string, seed int64) *transducer.Runtime {
+	t.Helper()
+	rt := transducer.New(name, seed)
+	rt.RegisterTable(transducer.TableSchema{Name: "edge", Arity: 2})
+	prog, err := datalog.NewProgram(
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterQueriesIncremental(prog); err != nil {
+		t.Fatal(err)
+	}
+	rt.RegisterHandler("add_edge", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.MergeTuple("edge", msg.Payload)
+	})
+	rt.RegisterHandler("del_edge", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.Delete("edge", msg.Payload)
+	})
+	return rt
+}
+
+// TestIncrementalDeleteChaosReconverges: replicated incremental closures
+// under retraction traffic with a mid-run failure. Phase one builds chained
+// and cyclic edges on every replica and quiesces; phase two retracts a
+// cross-section of them (cycle cuts included) while one replica fails,
+// recovers, and has the retractions re-delivered. Every replica's
+// maintained fixpoint must equal a from-scratch evaluation of the final
+// edge set — deletions under chaos may not leave phantom paths behind.
+func TestIncrementalDeleteChaosReconverges(t *testing.T) {
+	var adds, dels []datalog.Tuple
+	for i := int64(0); i < 12; i++ { // chain 0..12
+		adds = append(adds, datalog.Tuple{i, i + 1})
+	}
+	for i := int64(20); i < 26; i++ { // cycle 20..25→20
+		adds = append(adds, datalog.Tuple{i, i + 1})
+	}
+	adds = append(adds, datalog.Tuple{int64(26), int64(20)},
+		datalog.Tuple{int64(3), int64(21)}) // bridge into the cycle
+	// Retract a mid-chain edge, the bridge, and cut the cycle.
+	dels = append(dels,
+		datalog.Tuple{int64(5), int64(6)},
+		datalog.Tuple{int64(3), int64(21)},
+		datalog.Tuple{int64(23), int64(24)},
+	)
+
+	// Reference fixpoint over the final edge set.
+	refDB := datalog.NewDatabase()
+	edge := refDB.Ensure("edge", 2)
+	for _, tup := range adds {
+		edge.Insert(tup)
+	}
+	for _, tup := range dels {
+		edge.Delete(tup)
+	}
+	refProg, err := datalog.NewProgram(
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refProg.Eval(refDB); err != nil {
+		t.Fatal(err)
+	}
+	wantPath := fmt.Sprint(refDB.Get("path").Tuples())
+	wantEdge := fmt.Sprint(refDB.Get("edge").Tuples())
+
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		topo := cluster.NewTopology(2, 1, 1, cluster.ClassSmall)
+		cl := cluster.New(topo, simnet.Config{Seed: seed, MinLatency: 50, MaxLatency: 4000})
+		var machines []string
+		for _, m := range topo.Machines {
+			cl.Host(m.ID, chaosGraphRuntime(t, m.ID, seed))
+			machines = append(machines, m.ID)
+		}
+		cl.Net.AddNode("client", func(now simnet.Time, msg simnet.Message) {})
+		send := func(box string, tuples []datalog.Tuple) {
+			for _, tup := range tuples {
+				for _, m := range machines {
+					cl.Net.Send("client", m, transducer.Message{Mailbox: box, Payload: tup, From: "external"})
+				}
+			}
+		}
+
+		// Phase one: build the graph everywhere and quiesce (adds and
+		// deletes must not race — retraction order against insertion is not
+		// confluent).
+		send("add_edge", adds)
+		for i := 0; i < 60; i++ {
+			cl.Round(500)
+		}
+		for _, m := range machines {
+			cl.Runtime(m).RunUntilIdle(100)
+		}
+
+		// Phase two: retraction traffic with a mid-run failure.
+		send("del_edge", dels)
+		cl.RunRounds(2, 500)
+		failed := cl.FailDomain(cluster.AZ, "az2")
+		cl.RunRounds(15, 500)
+		for _, m := range failed {
+			cl.Recover(m)
+		}
+		send("del_edge", dels) // idempotent redelivery
+		for i := 0; i < 60; i++ {
+			cl.Round(500)
+		}
+		for _, m := range machines {
+			rt := cl.Runtime(m)
+			rt.RunUntilIdle(100)
+			if got := fmt.Sprint(rt.Table("edge").Tuples()); got != wantEdge {
+				t.Fatalf("seed %d: replica %s edge set diverged\nwant: %s\ngot:  %s", seed, m, wantEdge, got)
+			}
+			if got := fmt.Sprint(rt.Table("path").Tuples()); got != wantPath {
+				t.Fatalf("seed %d: replica %s maintained closure diverged from reference\nwant: %s\ngot:  %s", seed, m, wantPath, got)
+			}
+		}
+	}
+}

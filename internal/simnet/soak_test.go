@@ -63,7 +63,7 @@ func covidFinalState(t *testing.T, seed int64, incremental bool) string {
 	if incremental {
 		rt, err = c.InstantiateIncremental("n1", seed)
 	} else {
-		rt, err = c.Instantiate("n1", seed)
+		rt, err = c.InstantiateFullEval("n1", seed)
 	}
 	if err != nil {
 		t.Fatal(err)

@@ -150,11 +150,30 @@ func (rt *Runtime) RegisterHandler(mailbox string, h Handler) { rt.handlers[mail
 // plans here, once, so no tick ever pays stratification or rule-planning
 // costs (any compile error resurfaces from Eval inside Tick).
 func (rt *Runtime) RegisterQueries(p *datalog.Program) {
+	rt.leaveIncremental()
 	if p != nil {
 		_ = p.Prepare()
 	}
 	rt.queries = p
-	rt.inc = nil // re-registration always leaves incremental mode
+}
+
+// leaveIncremental tears incremental mode down completely: the maintained
+// fixpoint materialized the old program's derived relations directly into
+// the runtime database, and leaving them behind would feed stale derived
+// tuples to whatever program is registered next (they would re-enter every
+// future snapshot as if they were base facts — the stale-fixpoint bug) or
+// make a subsequent RegisterQueriesIncremental reject the relation as
+// "derived but already holds base tuples". Relations are cleared in place
+// so handles returned by Table stay valid.
+func (rt *Runtime) leaveIncremental() {
+	if rt.inc != nil {
+		for pred := range rt.derived {
+			if rel := rt.db.Get(pred); rel != nil {
+				rel.Clear()
+			}
+		}
+	}
+	rt.inc = nil
 	rt.derived = nil
 }
 
@@ -168,9 +187,8 @@ func (rt *Runtime) RegisterQueries(p *datalog.Program) {
 // workloads. Registered tables must not collide with derived predicates,
 // and handler effects must never write a derived relation.
 func (rt *Runtime) RegisterQueriesIncremental(p *datalog.Program) error {
+	rt.leaveIncremental() // clear any previous program's materialized fixpoint first
 	rt.queries = nil
-	rt.inc = nil
-	rt.derived = nil
 	if p == nil {
 		return nil
 	}
@@ -412,10 +430,11 @@ func (rt *Runtime) applyEffects(eff *effects) {
 		}
 		rt.stats.Mutations++
 	}
-	if rt.inc != nil {
-		// Fold the realized changes into the maintained fixpoint. Derived
-		// counts the realized fixpoint changes here (the full-eval path
-		// counts per-tick re-derivations instead).
+	if rt.inc != nil && !delta.Empty() {
+		// Fold the realized changes into the maintained fixpoint (ticks
+		// that realized no table changes skip it entirely). Derived counts
+		// the realized fixpoint changes here (the full-eval path counts
+		// per-tick re-derivations instead).
 		n, err := rt.inc.Apply(delta)
 		if err != nil {
 			// Effects writing derived relations are a compiler bug.

@@ -438,6 +438,72 @@ func TestRegisterQueriesLeavesIncrementalMode(t *testing.T) {
 	}
 }
 
+// TestRegisterQueriesReplacementPurgesStaleFixpoint is the regression test
+// for the stale-fixpoint case: an incremental program materializes its
+// derived relations directly into the runtime database, so replacing it
+// mid-stream — after ticks have populated the fixpoint — must purge those
+// tuples. Before the purge, a successor full-eval program reusing the same
+// head predicate would fold the old fixpoint into every snapshot as if it
+// were base data, and a successor incremental program would be rejected
+// outright ("derived ... already holds base tuples").
+func TestRegisterQueriesReplacementPurgesStaleFixpoint(t *testing.T) {
+	mk := func() *Runtime {
+		rt := New("n1", 1)
+		rt.SetDelay(fixedDelay)
+		rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+		if err := rt.RegisterQueriesIncremental(tcQueries(t)); err != nil {
+			t.Fatal(err)
+		}
+		rt.RegisterHandler("add_edge", func(tx *Tx, msg Message) { tx.MergeTuple("edge", msg.Payload) })
+		rt.Inject("add_edge", datalog.Tuple{"a", "b"})
+		rt.Inject("add_edge", datalog.Tuple{"b", "c"})
+		rt.Tick()
+		if rt.Table("path").Len() != 3 {
+			t.Fatalf("incremental fixpoint not materialized: path = %v", rt.Table("path").Tuples())
+		}
+		return rt
+	}
+	// Reverse-only program reusing the same head predicate: under the new
+	// semantics path(a,c) etc. must be gone everywhere.
+	revRules := func() *datalog.Program {
+		p, err := datalog.NewProgram(datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("y"), datalog.V("x")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Case 1: replacement with a full-eval program.
+	rt := mk()
+	rt.RegisterQueries(revRules())
+	if got := rt.Table("path").Len(); got != 0 {
+		t.Fatalf("stale fixpoint left in live database after RegisterQueries: path = %v", rt.Table("path").Tuples())
+	}
+	var seen []datalog.Tuple
+	rt.RegisterHandler("probe", func(tx *Tx, msg Message) { seen = tx.Query("path") })
+	rt.Inject("probe", datalog.Tuple{int64(0)})
+	rt.Tick()
+	want := map[string]bool{`(b, a)`: true, `(c, b)`: true}
+	if len(seen) != 2 || !want[seen[0].String()] || !want[seen[1].String()] {
+		t.Fatalf("stale tuples polluted the successor program's fixpoint: path = %v", seen)
+	}
+
+	// Case 2: replacement with another incremental program must not be
+	// rejected for the predecessor's materialized tuples, and must rebuild
+	// the correct fixpoint.
+	rt = mk()
+	if err := rt.RegisterQueriesIncremental(revRules()); err != nil {
+		t.Fatalf("incremental re-registration failed on predecessor's fixpoint: %v", err)
+	}
+	got := rt.Table("path").Tuples()
+	if len(got) != 2 || !want[got[0].String()] || !want[got[1].String()] {
+		t.Fatalf("successor incremental fixpoint wrong: path = %v", got)
+	}
+}
+
 // TestIncrementalDeleteOfDerivedIsNoOp: tx.Delete on a derived relation is
 // a silent no-op in full-eval mode (the base database never holds derived
 // tuples); incremental mode must match instead of corrupting the
