@@ -110,7 +110,10 @@ func writeBenchJSON(path string) error {
 
 // diffBench compares a fresh bench run (stdin) against the committed
 // baseline JSON and fails when any shared benchmark slowed down by more
-// than the threshold factor. Benchmarks present on only one side are
+// than the threshold factor. Allocation deltas (allocs/op) are reported
+// alongside the timings for visibility — allocation-rate changes predict
+// GC-bound regressions before wall-clock shows them on noisy runners —
+// but only ns/op gates the run. Benchmarks present on only one side are
 // reported but never fail the run (they are new or retired, not
 // regressed).
 func diffBench(baselinePath string, threshold float64) error {
@@ -155,7 +158,12 @@ func diffBench(baselinePath string, threshold float64) error {
 			regressions = append(regressions, fmt.Sprintf("%s: %.0f → %.0f ns/op (%.2f× > %.2f×)",
 				key, b.NsPerOp, r.NsPerOp, ratio, threshold))
 		}
-		fmt.Printf("%-5s %-50s %12.0f → %12.0f ns/op  (%.2f×)\n", status, key, b.NsPerOp, r.NsPerOp, ratio)
+		allocs := ""
+		if b.AllocsPerOp > 0 && r.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf("  %.0f → %.0f allocs/op (%.2f×)",
+				b.AllocsPerOp, r.AllocsPerOp, r.AllocsPerOp/b.AllocsPerOp)
+		}
+		fmt.Printf("%-5s %-50s %12.0f → %12.0f ns/op  (%.2f×)%s\n", status, key, b.NsPerOp, r.NsPerOp, ratio, allocs)
 	}
 	for key := range base {
 		if !seen[key] {

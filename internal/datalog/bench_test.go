@@ -241,6 +241,47 @@ func tickDeleteHeavy(b *testing.B, force bool) {
 func BenchmarkTickDeleteHeavyDRed(b *testing.B)      { tickDeleteHeavy(b, false) }
 func BenchmarkTickDeleteHeavyRecompute(b *testing.B) { tickDeleteHeavy(b, true) }
 
+// tickDeleteCascade is the large-cascade DRed workload: one chain of n
+// nodes, whose closure holds n(n+1)/2 path tuples. Each tick retracts the
+// mid-chain edge, over-deleting the ~n²/4 paths that cross it (none
+// re-derivable), and the next tick restores it, re-deriving them — one
+// deletion cascade and one insertion cascade of D ≈ n²/4 tuples per
+// iteration. Cost should be near-linear in D. The pre-PR path was
+// superlinear through two terms this sizing makes visible (Large is 36×
+// Small's cascade but was far more than 36× its time): join probes
+// scanned the augmentation overlay linearly, and — dominant on long
+// chains — every phase-2 support query enumerated the churning head
+// relation (O(n) live path(x,·) tuples per candidate, ~n³/16 total)
+// instead of probing the stable input literal in O(1).
+func tickDeleteCascade(b *testing.B, n int) {
+	p := tcProgram(b)
+	inc, err := NewIncremental(p, chainDB(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	edge := inc.DB().Get("edge")
+	mid := Tuple{int64(n / 2), int64(n/2 + 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edge.Delete(mid)
+		d := NewDelta()
+		d.Delete("edge", mid)
+		if _, err := inc.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+		edge.Insert(mid)
+		d = NewDelta()
+		d.Insert("edge", mid)
+		if _, err := inc.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTickDeleteCascadeSmall(b *testing.B) { tickDeleteCascade(b, 64) }
+func BenchmarkTickDeleteCascadeLarge(b *testing.B) { tickDeleteCascade(b, 384) }
+
 // evalParallel evaluates a program of 8 independent transitive closures
 // (disjoint edge relations) — a component DAG with a wide level — under
 // the given scheduler parallelism. Serial vs Auto is the component

@@ -44,22 +44,26 @@ func (t Tuple) String() string {
 
 // Relation is a named set of tuples of fixed arity. Rows are stored in an
 // insertion-ordered slot array (deleted rows leave tombstones that are
-// compacted once they dominate); membership is a typed-hash set with
-// collision buckets; column indexes over any column subset are built on
-// first use and maintained incrementally afterwards.
+// compacted once they dominate); membership is a typed-hash table whose
+// collision chains thread through a parallel next-slot array (one map
+// entry per hash, no per-bucket slice allocations — chain order is
+// unobservable because a tuple's slot is unique); column indexes over any
+// column subset are built on first use and maintained incrementally
+// afterwards.
 type Relation struct {
 	Name  string
 	Arity int
 
 	slots  []Tuple // insertion order; nil = tombstone
 	dead   int
-	byHash map[uint64][]int32 // full-tuple hash → slots; nil after Clone (lazily rebuilt)
+	byHash map[uint64]int32 // full-tuple hash → head of live-slot chain; nil after Clone (lazily rebuilt)
+	next   []int32          // collision chain links, parallel to slots; -1 terminates
 	idx    []*colIndex
 }
 
 // NewRelation returns an empty relation.
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{Name: name, Arity: arity, byHash: map[uint64][]int32{}}
+	return &Relation{Name: name, Arity: arity, byHash: map[uint64]int32{}}
 }
 
 // Len returns the number of live tuples.
@@ -70,22 +74,32 @@ func (r *Relation) ensureByHash() {
 	if r.byHash != nil {
 		return
 	}
-	r.byHash = make(map[uint64][]int32, nextPow2(len(r.slots)))
+	r.byHash = make(map[uint64]int32, nextPow2(len(r.slots)))
+	r.next = make([]int32, len(r.slots))
 	for i, t := range r.slots {
+		r.next[i] = -1
 		if t == nil {
 			continue
 		}
 		h := hashTuple(t)
-		r.byHash[h] = append(r.byHash[h], int32(i))
+		if head, ok := r.byHash[h]; ok {
+			r.next[i] = head
+		}
+		r.byHash[h] = int32(i)
 	}
 }
 
-// findSlot returns the slot of t, or -1.
+// findSlot returns the slot of t, or -1. Chains hold live slots only.
 func (r *Relation) findSlot(h uint64, t Tuple) int32 {
-	for _, s := range r.byHash[h] {
+	s, ok := r.byHash[h]
+	if !ok {
+		return -1
+	}
+	for s >= 0 {
 		if r.slots[s].Equal(t) {
 			return s
 		}
+		s = r.next[s]
 	}
 	return -1
 }
@@ -103,7 +117,12 @@ func (r *Relation) Insert(t Tuple) bool {
 	}
 	slot := int32(len(r.slots))
 	r.slots = append(r.slots, t)
-	r.byHash[h] = append(r.byHash[h], slot)
+	link := int32(-1)
+	if head, ok := r.byHash[h]; ok {
+		link = head
+	}
+	r.next = append(r.next, link)
+	r.byHash[h] = slot
 	for _, ci := range r.idx {
 		ci.add(t, slot)
 	}
@@ -120,16 +139,21 @@ func (r *Relation) Delete(t Tuple) bool {
 	if slot < 0 {
 		return false
 	}
-	bucket := r.byHash[h]
-	for i, s := range bucket {
-		if s == slot {
-			r.byHash[h] = append(bucket[:i], bucket[i+1:]...)
-			if len(r.byHash[h]) == 0 {
-				delete(r.byHash, h)
-			}
-			break
+	// Unlink from the collision chain.
+	if head := r.byHash[h]; head == slot {
+		if r.next[slot] >= 0 {
+			r.byHash[h] = r.next[slot]
+		} else {
+			delete(r.byHash, h)
 		}
+	} else {
+		p := head
+		for r.next[p] != slot {
+			p = r.next[p]
+		}
+		r.next[p] = r.next[slot]
 	}
+	r.next[slot] = -1
 	for _, ci := range r.idx {
 		ci.remove(r.slots[slot], slot)
 	}
@@ -172,7 +196,8 @@ func (r *Relation) maybeCompact() {
 func (r *Relation) Clear() {
 	r.slots = nil
 	r.dead = 0
-	r.byHash = map[uint64][]int32{}
+	r.byHash = map[uint64]int32{}
+	r.next = nil
 	r.idx = nil
 }
 
@@ -201,6 +226,7 @@ func (r *Relation) Tuples() []Tuple {
 // ever scanned.
 func (r *Relation) appendRaw(t Tuple) {
 	r.byHash = nil
+	r.next = nil
 	r.idx = nil
 	r.slots = append(r.slots, t)
 }

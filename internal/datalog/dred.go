@@ -10,94 +10,115 @@ package datalog
 //     tuple with at least one derivation that used a deleted tuple. The
 //     non-delta body positions must read the PRE-batch view — a derivation
 //     both of whose body tuples were deleted is only found if the other
-//     one is still visible — so the plans run with an augmentation map
-//     (runAug) holding the batch's removed inputs plus the tuples
-//     over-deleted so far: tuples only ever move from the relation into
-//     the augmentation, keeping the joined view constant without mutating
-//     relations shared with concurrently evaluating components.
+//     one is still visible — so the plans run against an augmentation
+//     overlay (augOverlay) holding the batch's removed inputs plus the
+//     tuples over-deleted so far: tuples only ever move from the relation
+//     into the overlay, keeping the joined view constant without mutating
+//     relations shared with concurrently evaluating components. The
+//     overlay is indexed per probe-column set (the same colIndex machinery
+//     relations use), so probing it is O(1) per join step — the previous
+//     linear scan made the phase quadratic in the cascade size.
 //  2. Re-derive: a tentatively deleted tuple survives if it has any
-//     derivation from tuples still alive. Each rule's support plan (the
-//     body compiled with the head variables pre-bound, see plan.go) makes
-//     that a selective existence query; reinstated tuples can support
-//     other candidates, so passes repeat until none is reinstated.
+//     derivation from tuples still alive. Candidates queue in discovery
+//     order, which is support-dependency order — a tuple over-deleted in
+//     round r can only be supported by tuples from rounds < r — so one
+//     ordered pass reinstates every directly-supported candidate with its
+//     reinstated predecessors already visible, and each rule's support
+//     plan (the body compiled with the head variables pre-bound, see
+//     plan.go) makes the check a selective existence query. Cross-rule
+//     stragglers (support arriving only through a tuple reinstated later
+//     in the queue) then propagate semi-naively — each reinstatement
+//     drives the delta-first plans once — so no pass ever restarts:
+//     both phases stay near-linear in the cascade.
 //  3. Insert: the batch's additions propagate with the ordinary semi-naive
 //     insert path against the post-deletion state.
+//
+// Phase 1 and the two propagation fixpoints of phase 2/3 shard their large
+// per-round deltas across the partition budget (driveDelta), with
+// emissions stitched back into serial order before the serial accept steps
+// mutate relations and the overlay.
 //
 // The emitted delta is exact and net: a tuple over-deleted but re-derived
 // (or re-inserted by phase 3) produces no record, so downstream counting
 // components keep their one-signed-change-per-tuple precondition.
 
+// headTuple is one over-deleted candidate in discovery order.
+type headTuple struct {
+	h string
+	t Tuple
+}
+
 // applyDRed folds a batch with deletions into a recursive monotone
 // component, reading input changes from in and recording net realized head
-// changes into out. It returns the number of realized set-level changes.
-func (inc *Incremental) applyDRed(c *incComponent, in, out *Delta) int {
+// changes into out. parts is the intra-component partition budget for the
+// phase fixpoints. It returns the number of realized set-level changes.
+func (inc *Incremental) applyDRed(c *incComponent, in, out *Delta, parts int) int {
 	ensureHeadsPlanned(inc.db, c.plans)
 
 	// Phase 1: over-delete to fixpoint. aug is the "still visible" overlay:
 	// removed base inputs plus over-deleted heads, growing as the phase
-	// discovers more.
-	aug := map[string][]Tuple{}
+	// discovers more, indexed up front for every probe set the plans use.
+	aug := newAugOverlay(c.plans)
 	for _, input := range c.inputs {
-		if rm := in.removed[input]; len(rm) > 0 {
-			aug[input] = append([]Tuple(nil), rm...)
+		for _, t := range in.removed[input] {
+			aug.add(input, t)
 		}
 	}
 	overDel := map[string]*tupleSet{}
-	deleted := map[string][]Tuple{} // discovery order per head, for determinism
+	var deletedSeq []headTuple // global discovery order = support-dependency order
 	for _, h := range c.heads {
 		overDel[h] = newTupleSet()
 	}
 	driveRounds(inc.db, c.plans,
 		deltaRelations(c.inputs, func(pred string) []Tuple { return in.removed[pred] }),
-		func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)) {
-			pl.runAug(inc.db, i, dr, aug, nil, collect)
-		},
+		aug, parts,
 		func(h string, rel *Relation, t Tuple) bool {
-			if overDel[h].has(t) || !rel.Contains(t) {
-				return false // already tentative, or never part of the fixpoint
+			// Delete doubles as the dedup check: a tuple already tentative
+			// (or never part of the fixpoint) is absent from the relation,
+			// since nothing re-inserts heads during this phase.
+			if !rel.Delete(t) {
+				return false
 			}
-			rel.Delete(t)
 			overDel[h].add(t)
-			deleted[h] = append(deleted[h], t)
-			aug[h] = append(aug[h], t)
+			deletedSeq = append(deletedSeq, headTuple{h: h, t: t})
+			aug.add(h, t)
 			return true
 		})
 
-	// Phase 2: re-derive survivors from live support. One support query per
-	// candidate establishes the directly re-derivable set; after that, a
-	// candidate can only become derivable through a tuple reinstated later,
-	// so reinstatements propagate semi-naively — each one drives the
-	// delta-first plans once, and emitted heads that are still-dead
-	// candidates are themselves reinstated. Near-linear in the cascade,
-	// with no full-candidate rescans.
+	// Phase 2: re-derive survivors from live support, in dependency order.
+	// Walking deletedSeq means every candidate's support check already sees
+	// the candidates reinstated before it — including other heads of the
+	// same component — so direct support resolves in one ordered pass.
+	// After that, a candidate can only become derivable through a tuple
+	// reinstated later in the queue, so reinstatements propagate
+	// semi-naively: each one drives the delta-first plans once, and emitted
+	// heads that are still-dead candidates are themselves reinstated.
+	// Near-linear in the cascade, with no full-candidate rescans.
 	reinstated := map[string]*tupleSet{}
 	frontier := map[string]*Relation{}
 	for _, h := range c.heads {
 		reinstated[h] = newTupleSet()
-		rel := inc.db.Get(h)
-		for _, t := range deleted[h] {
-			if inc.rederivable(c, h, t) {
-				rel.Insert(t)
-				reinstated[h].add(t)
-				fr := frontier[h]
-				if fr == nil {
-					fr = NewRelation(h, rel.Arity)
-					frontier[h] = fr
-				}
-				fr.appendRaw(t)
+	}
+	checker := newSupportChecker(inc.db, c)
+	for _, ht := range deletedSeq {
+		if checker.rederivable(ht.h, ht.t) {
+			rel := inc.db.Get(ht.h)
+			rel.Insert(ht.t)
+			reinstated[ht.h].add(ht.t)
+			fr := frontier[ht.h]
+			if fr == nil {
+				fr = NewRelation(ht.h, rel.Arity)
+				frontier[ht.h] = fr
 			}
+			fr.appendRaw(ht.t)
 		}
 	}
-	driveRounds(inc.db, c.plans, frontier,
-		func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)) {
-			pl.run(inc.db, i, dr, nil, collect)
-		},
+	driveRounds(inc.db, c.plans, frontier, nil, parts,
 		func(h string, rel *Relation, t Tuple) bool {
-			if !overDel[h].has(t) || reinstated[h].has(t) {
+			if !overDel[h].has(t) || !reinstated[h].addNew(t) {
 				return false // live already, or not a dead candidate
 			}
 			rel.Insert(t)
-			reinstated[h].add(t)
 			return true
 		})
 
@@ -105,7 +126,7 @@ func (inc *Incremental) applyDRed(c *incComponent, in, out *Delta) int {
 	// final emission can net them against the deletions.
 	inserted := map[string][]Tuple{}
 	insertedSet := map[string]*tupleSet{}
-	inc.propagateInserts(c, in, func(pred string, t Tuple) {
+	inc.propagateInserts(c, in, parts, func(pred string, t Tuple) {
 		s := insertedSet[pred]
 		if s == nil {
 			s = newTupleSet()
@@ -117,17 +138,19 @@ func (inc *Incremental) applyDRed(c *incComponent, in, out *Delta) int {
 
 	// Net emission: a tuple deleted and not re-derived nor re-inserted is a
 	// realized deletion; an inserted tuple that does not merely undo a
-	// tentative deletion is a realized insertion.
+	// tentative deletion is a realized insertion. Deletions replay the
+	// discovery queue (per-predicate order inside the output delta is the
+	// per-head discovery order, as before).
 	changes := 0
-	for _, h := range c.heads {
-		ins := insertedSet[h]
-		for _, t := range deleted[h] {
-			if reinstated[h].has(t) || (ins != nil && ins.has(t)) {
-				continue
-			}
-			out.Delete(h, t)
-			changes++
+	for _, ht := range deletedSeq {
+		ins := insertedSet[ht.h]
+		if reinstated[ht.h].has(ht.t) || (ins != nil && ins.has(ht.t)) {
+			continue
 		}
+		out.Delete(ht.h, ht.t)
+		changes++
+	}
+	for _, h := range c.heads {
 		for _, t := range inserted[h] {
 			if overDel[h].has(t) && !reinstated[h].has(t) {
 				continue // present before the batch and present after: net zero
@@ -139,49 +162,75 @@ func (inc *Incremental) applyDRed(c *incComponent, in, out *Delta) int {
 	return changes
 }
 
-// rederivable reports whether some rule for head pred h still derives t
-// from the current database (over-deleted tuples absent, reinstated ones
-// present): it binds t onto each rule's support plan and asks for any
-// surviving body instantiation.
-func (inc *Incremental) rederivable(c *incComponent, h string, t Tuple) bool {
-	for _, pl := range c.plans {
+// supportChecker answers "does any derivation of this over-deleted tuple
+// survive in the current database?" for the candidates of one phase-2
+// pass. Each support plan gets one reusable executor (rearmed per
+// candidate), and candidate binding runs off the metadata Prepare
+// precomputed — no per-candidate maps, closures or scratch allocation,
+// which matters when a cascade queues tens of thousands of candidates.
+type supportChecker struct {
+	plans   []*rulePlan
+	execs   []*planExec
+	presets [][]any
+	found   bool
+}
+
+func newSupportChecker(db *Database, c *incComponent) *supportChecker {
+	sc := &supportChecker{plans: c.plans}
+	sc.execs = make([]*planExec, len(c.plans))
+	sc.presets = make([][]any, len(c.plans))
+	stop := func(Tuple) bool {
+		sc.found = true
+		return false // existence established: abandon the walk
+	}
+	for i, pl := range c.plans {
+		if pl.support == nil {
+			continue
+		}
+		sc.execs[i] = pl.support.newExec(db, pl.support.orders[0], -1, nil, nil, nil, stop)
+		sc.presets[i] = make([]any, len(pl.supportVars))
+	}
+	return sc
+}
+
+// rederivable binds t onto each of h's support plans and asks for any
+// surviving body instantiation (over-deleted tuples absent, reinstated
+// ones present).
+func (sc *supportChecker) rederivable(h string, t Tuple) bool {
+	for i, pl := range sc.plans {
 		r := pl.r
-		if r.Head.Pred != h || pl.support == nil || len(r.Head.Args) != len(t) {
+		if r.Head.Pred != h || sc.execs[i] == nil || len(r.Head.Args) != len(t) {
 			continue
 		}
 		// Bind the head: constants must match, repeated variables must agree.
-		preset := make([]any, len(pl.supportVars))
-		bound := map[string]any{}
 		ok := true
-		for j, a := range r.Head.Args {
-			if !a.IsVar() {
-				if a.Const != t[j] {
-					ok = false
-					break
-				}
-				continue
+		for _, j := range pl.supportConsts {
+			if r.Head.Args[j].Const != t[j] {
+				ok = false
+				break
 			}
-			if v, seen := bound[a.Var]; seen {
-				if v != t[j] {
-					ok = false
-					break
-				}
-				continue
+		}
+		for _, ch := range pl.supportChecks {
+			if !ok || t[ch[0]] != t[ch[1]] {
+				ok = false
+				break
 			}
-			bound[a.Var] = t[j]
 		}
 		if !ok {
 			continue
 		}
-		for k, v := range pl.supportVars {
-			preset[k] = bound[v]
+		preset := sc.presets[i]
+		for k, j := range pl.supportBindPos {
+			preset[k] = t[j]
 		}
-		found := false
-		pl.support.runAugUntil(inc.db, -1, nil, nil, preset, func(Tuple) bool {
-			found = true
-			return false // existence established: abandon the walk
-		})
-		if found {
+		e := sc.execs[i]
+		e.rerun(preset)
+		sc.found = false
+		if !e.preFiltersPass() {
+			continue
+		}
+		e.walk(0)
+		if sc.found {
 			return true
 		}
 	}

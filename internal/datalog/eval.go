@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Program is a set of rules over a database. Evaluation computes the least
@@ -16,9 +17,11 @@ type Program struct {
 	prep     *prepared
 	prepErr  error
 
-	// parallel is the component-scheduler worker count: 0 = GOMAXPROCS
-	// default, 1 = serial, n > 1 = cap (SetParallelism).
-	parallel int
+	// parallel is the evaluation parallelism knob: 0 = GOMAXPROCS default,
+	// 1 = serial, n > 1 = cap (SetParallelism). Atomic so the knob may be
+	// set while another goroutine evaluates; each Eval/Apply snapshots it
+	// exactly once at entry, so one fixpoint never spans two settings.
+	parallel atomic.Int32
 }
 
 // NewProgram validates, bundles and compiles rules.
@@ -111,11 +114,19 @@ func (p *Program) Eval(db *Database) (int, error) {
 	if err := p.Prepare(); err != nil {
 		return 0, err
 	}
+	// One snapshot of the parallelism knob governs this whole evaluation —
+	// the component fan-out width and the intra-component partition count
+	// both derive from it, so a concurrent SetParallelism cannot split one
+	// fixpoint across two settings.
 	workers := p.workers()
 	if workers <= 1 || p.prep.maxWidth <= 1 {
+		// Component-serial path. A chain-shaped DAG with workers > 1 is
+		// exactly the giant-single-component case the intra-component
+		// partitioning exists for, so the parallelism budget goes to
+		// sharding the semi-naive rounds instead.
 		derived := 0
 		for _, plans := range p.prep.strata {
-			n, err := evalStratumSemiNaive(db, plans)
+			n, err := evalStratumSemiNaive(db, plans, workers)
 			if err != nil {
 				return derived, err
 			}
@@ -143,9 +154,10 @@ func (p *Program) Eval(db *Database) (int, error) {
 	for _, level := range p.prep.levels {
 		if len(level) == 1 || levelInputSize(db, p.prep.strata, level) < parallelMinInputTuples {
 			// Singleton level, or too little data to amortize the fan-out:
-			// run inline, in component order.
+			// run inline, in component order, with the worker budget spent
+			// on intra-component partitioning instead.
 			for _, ci := range level {
-				n, err := evalStratumSemiNaive(db, p.prep.strata[ci])
+				n, err := evalStratumSemiNaive(db, p.prep.strata[ci], workers)
 				derived[ci] = n
 				if err != nil {
 					return sum(), err
@@ -156,9 +168,12 @@ func (p *Program) Eval(db *Database) (int, error) {
 		for _, ci := range level {
 			warmForPlans(db, p.prep.strata[ci], false)
 		}
+		// Components fanned out in parallel evaluate unpartitioned (parts
+		// 1): the level already saturates the worker budget, and nesting
+		// the two axes would oversubscribe it quadratically.
 		runWorkers(len(level), workers, func(k int) {
 			ci := level[k]
-			derived[ci], errs[ci] = evalStratumSemiNaive(db, p.prep.strata[ci])
+			derived[ci], errs[ci] = evalStratumSemiNaive(db, p.prep.strata[ci], 1)
 		})
 		for _, ci := range level {
 			if errs[ci] != nil {
@@ -228,8 +243,12 @@ func ensureHeadsPlanned(db *Database, plans []*rulePlan) {
 
 // evalStratumSemiNaive computes the fixpoint of one stratum off compiled
 // plans. Aggregate rules run once after the non-aggregate fixpoint (they
-// depend only on lower strata plus this stratum's final relations).
-func evalStratumSemiNaive(db *Database, plans []*rulePlan) (int, error) {
+// depend only on lower strata plus this stratum's final relations). parts
+// is the intra-component partition budget: rounds whose deltas are large
+// enough shard each drive across that many workers (driveDelta), with
+// emissions stitched back into serial order — parts 1 is the fully serial
+// mode and produces byte-identical results by construction.
+func evalStratumSemiNaive(db *Database, plans []*rulePlan, parts int) (int, error) {
 	ensureHeadsPlanned(db, plans)
 	derived := 0
 
@@ -282,7 +301,7 @@ func evalStratumSemiNaive(db *Database, plans []*rulePlan) (int, error) {
 					continue
 				}
 				out = out[:0]
-				pl.run(db, i, d, nil, collect)
+				driveDelta(db, pl, i, d, nil, parts, collect)
 				for _, t := range out {
 					if rel.Insert(t) {
 						nd := next[pl.r.Head.Pred]
@@ -316,7 +335,7 @@ func Derive(db *Database, r Rule) ([]Tuple, error) {
 	if r.Agg != "" {
 		return nil, fmt.Errorf("datalog: Derive does not support aggregates")
 	}
-	pl, err := compileRule(r, nil)
+	pl, err := compileRule(r, nil, false)
 	if err != nil {
 		return nil, err
 	}

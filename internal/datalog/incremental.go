@@ -237,8 +237,9 @@ func NewIncremental(p *Program, db *Database) (*Incremental, error) {
 			preExisting[pred] = true
 		}
 	}
+	parts := p.workers() // one snapshot governs the whole seeding pass
 	for i := range inc.comps {
-		if err := inc.seed(&inc.comps[i]); err != nil {
+		if err := inc.seed(&inc.comps[i], parts); err != nil {
 			// Roll the partial materialization back: earlier components
 			// already seeded their fixpoints into db, and leaving them
 			// behind would serve the caller stale derived tuples as base
@@ -275,10 +276,10 @@ func (inc *Incremental) countsFor(pred string) *tupleCounts {
 // seed computes a component's initial fixpoint. Counting components
 // enumerate every derivation exactly once (the full join order emits one
 // head per body binding); the rest run the normal component fixpoint.
-func (inc *Incremental) seed(c *incComponent) error {
+func (inc *Incremental) seed(c *incComponent, parts int) error {
 	ensureHeadsPlanned(inc.db, c.plans)
 	if c.recursive || c.nonMono {
-		_, err := evalStratumSemiNaive(inc.db, c.plans)
+		_, err := evalStratumSemiNaive(inc.db, c.plans, parts)
 		return err
 	}
 	for _, pl := range c.plans {
@@ -316,6 +317,9 @@ func (inc *Incremental) Apply(d *Delta) (int, error) {
 			return 0, fmt.Errorf("datalog: incremental: derived relation %s was mutated as a base relation", pred)
 		}
 	}
+	// One snapshot of the parallelism knob governs the whole batch: both
+	// the per-level component fan-out and the partition count of
+	// intra-component drives (semi-naive rounds, DRed phases).
 	workers := inc.prog.workers()
 	changes := 0
 	for _, level := range inc.prog.prep.levels {
@@ -339,8 +343,12 @@ func (inc *Incremental) Apply(d *Delta) (int, error) {
 			}
 		}
 		if workers <= 1 || len(active) == 1 || deltaSize < parallelMinDeltaTuples {
+			// Inline component order: the worker budget goes to partitioning
+			// inside each component instead — a tiny input delta can still
+			// cascade into huge per-round deltas (one retracted edge of a
+			// large closure), which is exactly when sharding pays.
 			for _, ci := range active {
-				n, err := inc.applyComponent(&inc.comps[ci], d, d)
+				n, err := inc.applyComponent(&inc.comps[ci], d, d, workers)
 				if err != nil {
 					inc.broken = true
 					return changes, err
@@ -355,9 +363,11 @@ func (inc *Incremental) Apply(d *Delta) (int, error) {
 		outs := make([]*Delta, len(active))
 		ns := make([]int, len(active))
 		errs := make([]error, len(active))
+		// Fanned-out components run unpartitioned (parts 1): the level
+		// already saturates the worker budget.
 		runWorkers(len(active), workers, func(k int) {
 			outs[k] = NewDelta()
-			ns[k], errs[k] = inc.applyComponent(&inc.comps[active[k]], d, outs[k])
+			ns[k], errs[k] = inc.applyComponent(&inc.comps[active[k]], d, outs[k], 1)
 		})
 		for k := range active {
 			if errs[k] != nil {
@@ -398,21 +408,22 @@ func (c *incComponent) dredReady() bool {
 // applyComponent folds the batch into one component with the maintenance
 // strategy its class calls for, reading input changes from in and recording
 // realized head changes into out (serial callers pass the same Delta for
-// both).
-func (inc *Incremental) applyComponent(c *incComponent, in, out *Delta) (int, error) {
+// both). parts is the intra-component partition budget for the strategies
+// built on semi-naive drives (insert propagation, DRed, recompute).
+func (inc *Incremental) applyComponent(c *incComponent, in, out *Delta, parts int) (int, error) {
 	_, hasDel := c.touchedBy(in)
 	switch {
 	case c.nonMono:
-		return inc.recompute(c, out)
+		return inc.recompute(c, out, parts)
 	case !c.recursive:
 		return inc.applyCounting(c, in, out), nil
 	case hasDel:
 		if inc.forceRecompute || !c.dredReady() {
-			return inc.recompute(c, out)
+			return inc.recompute(c, out, parts)
 		}
-		return inc.applyDRed(c, in, out), nil
+		return inc.applyDRed(c, in, out, parts), nil
 	default:
-		return inc.propagateInserts(c, in, func(pred string, t Tuple) {
+		return inc.propagateInserts(c, in, parts, func(pred string, t Tuple) {
 			out.Insert(pred, t)
 		}), nil
 	}
@@ -602,13 +613,15 @@ func (inc *Incremental) deltaJoin(r Rule, di int, dt Tuple, sign int, oldOf func
 
 // driveRounds is the shared semi-naive round skeleton behind insert
 // propagation and both DRed phases: each round drives every plan's
-// positive body literals from the per-predicate delta relations (runPlan
-// chooses the execution variant — plain delta-first, or augmented with the
-// pre-batch overlay) and accept decides, per emitted head tuple, whether
-// the tuple's consequence was realized and should drive the next round.
-// Rounds repeat until no tuple is accepted.
+// positive body literals from the per-predicate delta relations (augmented
+// with the pre-batch overlay when aug is non-nil, and sharded across parts
+// workers when a delta is large enough) and accept decides, per emitted
+// head tuple, whether the tuple's consequence was realized and should
+// drive the next round. Emissions reach accept serially in deterministic
+// (serial-execution) order, so accept may freely mutate relations and the
+// overlay between drives. Rounds repeat until no tuple is accepted.
 func driveRounds(db *Database, plans []*rulePlan, delta map[string]*Relation,
-	runPlan func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)),
+	aug *augOverlay, parts int,
 	accept func(h string, rel *Relation, t Tuple) bool) {
 	var buf []Tuple
 	collect := func(t Tuple) { buf = append(buf, t) }
@@ -626,7 +639,7 @@ func driveRounds(db *Database, plans []*rulePlan, delta map[string]*Relation,
 					continue
 				}
 				buf = buf[:0]
-				runPlan(pl, i, dr, collect)
+				driveDelta(db, pl, i, dr, aug, parts, collect)
 				for _, t := range buf {
 					if accept(h, rel, t) {
 						nd := next[h]
@@ -665,17 +678,16 @@ func deltaRelations(preds []string, pick func(pred string) []Tuple) map[string]*
 // propagateInserts folds an insert-only delta into a recursive monotone
 // component with the compiled semi-naive plans: the incoming additions seed
 // the delta relations, and newly realized head tuples keep driving the
-// delta-first join orders until quiescence. Every realized insert is handed
-// to record (the pure-insert path records straight into the output delta;
-// DRed defers recording to net insertions against its over-deletions).
-func (inc *Incremental) propagateInserts(c *incComponent, in *Delta, record func(pred string, t Tuple)) int {
+// delta-first join orders until quiescence, sharded across parts workers
+// when rounds grow large. Every realized insert is handed to record (the
+// pure-insert path records straight into the output delta; DRed defers
+// recording to net insertions against its over-deletions).
+func (inc *Incremental) propagateInserts(c *incComponent, in *Delta, parts int, record func(pred string, t Tuple)) int {
 	ensureHeadsPlanned(inc.db, c.plans)
 	changes := 0
 	driveRounds(inc.db, c.plans,
 		deltaRelations(c.inputs, func(pred string) []Tuple { return in.added[pred] }),
-		func(pl *rulePlan, i int, dr *Relation, collect func(Tuple)) {
-			pl.run(inc.db, i, dr, nil, collect)
-		},
+		nil, parts,
 		func(h string, rel *Relation, t Tuple) bool {
 			if !rel.Insert(t) {
 				return false
@@ -693,7 +705,7 @@ func (inc *Incremental) propagateInserts(c *incComponent, in *Delta, record func
 // downstream components still receive a precise delta. (It was also the
 // pre-DRed fallback for recursive deletions, retained behind
 // forceRecompute as the benchmark baseline.)
-func (inc *Incremental) recompute(c *incComponent, out *Delta) (int, error) {
+func (inc *Incremental) recompute(c *incComponent, out *Delta, parts int) (int, error) {
 	ensureHeadsPlanned(inc.db, c.plans)
 	old := map[string][]Tuple{}
 	for _, h := range c.heads {
@@ -701,7 +713,7 @@ func (inc *Incremental) recompute(c *incComponent, out *Delta) (int, error) {
 		old[h] = rel.Tuples()
 		rel.Clear() // in place: the *Relation stays valid for concurrent readers of the db map
 	}
-	if _, err := evalStratumSemiNaive(inc.db, c.plans); err != nil {
+	if _, err := evalStratumSemiNaive(inc.db, c.plans, parts); err != nil {
 		return 0, err
 	}
 	changes := 0

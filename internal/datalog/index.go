@@ -242,6 +242,156 @@ func (s *valueSet) add(v any) {
 
 func (s *valueSet) len() int { return s.n }
 
+// augOverlay is the DRed over-deletion phase's pre-batch augmentation
+// view: per predicate, the tuples the batch removed plus the tuples
+// over-deleted so far, visible to the delta plans as if still present.
+// Every probe-column set the component's compiled plans can use is
+// registered up front and indexed with the same colIndex machinery the
+// relations use, so join probes against the overlay are hash lookups —
+// the previous per-probe linear scan made large deletion cascades
+// quadratic in the cascade size. Appends maintain every registered index
+// and reads never build anything, which is what lets partitioned drives
+// share the overlay read-only across worker goroutines.
+type augOverlay struct {
+	rels map[string]*augRel
+}
+
+// augRel is one predicate's overlay: rows in append (discovery) order plus
+// one maintained index per registered probe-column set.
+type augRel struct {
+	rows []Tuple
+	idx  []*colIndex
+}
+
+// newAugOverlay builds an empty overlay with the probe-column sets of
+// every positive literal in the given plans' join orders pre-registered
+// (all-bound existence probes register the full column set).
+func newAugOverlay(plans []*rulePlan) *augOverlay {
+	o := &augOverlay{rels: map[string]*augRel{}}
+	for _, pl := range plans {
+		for _, order := range pl.orders {
+			for i := range order {
+				lp := &order[i]
+				if lp.negated || len(lp.probePos) == 0 {
+					continue // negation ignores the overlay; full scans read rows directly
+				}
+				o.register(lp.pred, lp.probePos)
+			}
+		}
+	}
+	return o
+}
+
+func (o *augOverlay) register(pred string, pos []int) {
+	r := o.rels[pred]
+	if r == nil {
+		r = &augRel{}
+		o.rels[pred] = r
+	}
+	for _, ci := range r.idx {
+		if sameCols(ci.pos, pos) {
+			return
+		}
+	}
+	// m stays nil until the probe set is actually used: many registered
+	// sets are never probed while their overlay is non-empty (a head's
+	// overlay is only ever probed by round-1 input-delta drives), and
+	// maintaining dead indexes across a large cascade is pure overhead.
+	r.idx = append(r.idx, &colIndex{pos: append([]int(nil), pos...)})
+}
+
+// add appends t to pred's overlay and maintains every built index (unbuilt
+// ones index all rows if and when a probe builds them). Appends happen
+// only between drives (the serial accept step), never while worker
+// goroutines read the overlay.
+func (o *augOverlay) add(pred string, t Tuple) {
+	r := o.rels[pred]
+	if r == nil {
+		r = &augRel{}
+		o.rels[pred] = r
+	}
+	slot := int32(len(r.rows))
+	r.rows = append(r.rows, t)
+	for _, ci := range r.idx {
+		if ci.m != nil {
+			ci.add(t, slot)
+		}
+	}
+}
+
+// warmOrder builds the registered-but-unbuilt indexes for exactly the
+// probe sets one join order can use. Partitioned drives call it before
+// fanning out so concurrent matches never build lazily — and only the
+// driven order's sets get built, so indexes no drive probes stay
+// unmaintained across the cascade.
+func (o *augOverlay) warmOrder(order []litPlan) {
+	for i := range order {
+		lp := &order[i]
+		if lp.negated || len(lp.probePos) == 0 {
+			continue
+		}
+		r := o.rels[lp.pred]
+		if r == nil {
+			continue
+		}
+		for _, ci := range r.idx {
+			if sameCols(ci.pos, lp.probePos) {
+				if ci.m == nil {
+					r.build(ci)
+				}
+				break
+			}
+		}
+	}
+}
+
+func (r *augRel) build(ci *colIndex) {
+	ci.m = make(map[uint64][]int32, nextPow2(len(r.rows)))
+	for i, t := range r.rows {
+		ci.add(t, int32(i))
+	}
+}
+
+// matches enumerates, in append order, the overlay tuples whose columns at
+// pos equal vals, calling each for every match until it returns false. It
+// reports whether any match existed. The first probe of a registered set
+// builds its index (serial drives only — partitioned drives pre-warm); an
+// unregistered probe set falls back to the linear scan (defensive —
+// newAugOverlay registers every set the plans can produce), preserving
+// semantics either way.
+func (r *augRel) matches(pos []int, vals []any, each func(Tuple) bool) bool {
+	for _, ci := range r.idx {
+		if !sameCols(ci.pos, pos) {
+			continue
+		}
+		if ci.m == nil {
+			r.build(ci)
+		}
+		found := false
+		for _, s := range ci.m[hashVals(vals)] {
+			t := r.rows[s]
+			if !projEqual(t, pos, vals) {
+				continue // projection-hash collision
+			}
+			found = true
+			if !each(t) {
+				return true
+			}
+		}
+		return found
+	}
+	found := false
+	for _, t := range r.rows {
+		if projEqual(t, pos, vals) {
+			found = true
+			if !each(t) {
+				return true
+			}
+		}
+	}
+	return found
+}
+
 // tupleSet is a hash set of tuples with collision buckets — the incremental
 // evaluator's membership filter for batch views.
 type tupleSet struct {
@@ -250,17 +400,25 @@ type tupleSet struct {
 
 func newTupleSet() *tupleSet { return &tupleSet{m: map[uint64][]Tuple{}} }
 
-func (s *tupleSet) add(t Tuple) {
+func (s *tupleSet) add(t Tuple) { s.addNew(t) }
+
+// addNew inserts t and reports whether it was absent — membership check
+// and insertion in one hash, for accept paths that do both.
+func (s *tupleSet) addNew(t Tuple) bool {
 	h := hashTuple(t)
 	for _, x := range s.m[h] {
 		if x.Equal(t) {
-			return
+			return false
 		}
 	}
 	s.m[h] = append(s.m[h], t)
+	return true
 }
 
 func (s *tupleSet) has(t Tuple) bool {
+	if len(s.m) == 0 {
+		return false // skip the tuple hash entirely on empty sets
+	}
 	for _, x := range s.m[hashTuple(t)] {
 		if x.Equal(t) {
 			return true

@@ -24,25 +24,33 @@ import (
 //     serially (warmForPlans / warmForCounting), leaving the shared
 //     relations genuinely read-only inside the goroutines.
 
-// SetParallelism fixes the number of worker goroutines used when
-// independent evaluation components are scheduled: 1 forces fully serial
-// evaluation (the deterministic-debugging mode), n > 1 caps the pool, and 0
-// restores the GOMAXPROCS-aware default. Call it before the program is
-// shared across goroutines; parallel and serial runs produce byte-identical
-// relation contents (components own disjoint relations and their internal
-// evaluation order never changes), so the setting trades only wall-clock
-// for goroutine overhead.
+// SetParallelism fixes the program's evaluation parallelism: 1 forces
+// fully serial evaluation (the deterministic-debugging mode), n > 1 caps
+// the worker pool, and 0 restores the GOMAXPROCS-aware default. The one
+// knob governs both axes of parallelism — how many independent evaluation
+// components run concurrently per topological level, and how many shards a
+// single recursive component's semi-naive rounds (and DRed phases) are
+// partitioned into when a level has no width to exploit. The setting is
+// stored atomically and snapshotted exactly once at the start of every
+// Eval and Incremental.Apply, so it may be changed at any time without a
+// data race and without ever splitting one fixpoint across two settings
+// (the new value takes effect at the next evaluation). Parallel,
+// partitioned and serial runs all produce byte-identical relation contents
+// — components own disjoint relations, and partitioned drives stitch
+// per-shard emissions back into serial order — so the knob trades only
+// wall-clock against goroutine overhead.
 func (p *Program) SetParallelism(n int) {
 	if n < 0 {
 		n = 1
 	}
-	p.parallel = n
+	p.parallel.Store(int32(n))
 }
 
-// workers resolves the effective worker count.
+// workers resolves the effective worker count from one atomic read of the
+// knob — callers snapshot it once per evaluation and plumb the value down.
 func (p *Program) workers() int {
-	if p.parallel != 0 {
-		return p.parallel
+	if n := p.parallel.Load(); n != 0 {
+		return int(n)
 	}
 	if w := runtime.GOMAXPROCS(0); w > 1 {
 		return w

@@ -1,0 +1,126 @@
+package datalog
+
+import "sync/atomic"
+
+// This file is the intra-component partitioned evaluator: PR 3
+// parallelized across evaluation components, but a single recursive
+// component (the transitive-closure shape) still ran its whole fixpoint on
+// one goroutine. Here each semi-naive drive — one (rule, delta position)
+// step of a round — shards the delta relation across a worker set by the
+// rule's partition key (rulePlan.partCol: the first bound join column,
+// falling back to the whole-tuple hash) and joins every shard against the
+// shared read-only relations concurrently.
+//
+// Determinism: a serial drive emits, for each delta tuple in insertion
+// order, that tuple's derivations in plan-walk order. runSegmented
+// preserves those per-tuple segments inside each shard, and the stitch
+// step below replays segments in global delta order — so the merged
+// emission stream is byte-identical to the serial one, and everything
+// downstream (head-relation insertion order, delta contents, fingerprints)
+// is too.
+//
+// Safety: shards only read. The driving plan's access paths (membership
+// hashes, column indexes) are warmed serially before the fan-out, the DRed
+// augmentation overlay registers its probe indexes up front, and all
+// writes — head inserts, over-deletions, overlay appends — happen in the
+// caller's serial accept step after the merged emissions return.
+
+// partitionMinDeltaTuples gates sharding per drive: a delta smaller than
+// this runs the serial path, where goroutine and merge overhead would
+// dominate the join work. A variable, not a constant, so the determinism
+// tests can force the partitioned path on small randomized workloads.
+var partitionMinDeltaTuples = 128
+
+// partitionedDrives counts sharded drives across the process — a testing
+// hook proving the partitioned path actually engaged.
+var partitionedDrives atomic.Int64
+
+// driveDelta executes one semi-naive drive: plan pl with body literal i
+// reading delta d (optionally against the DRed augmentation overlay),
+// sharded across parts workers when the delta is large enough. collect
+// receives the emissions in exactly serial order either way.
+func driveDelta(db *Database, pl *rulePlan, i int, d *Relation, aug *augOverlay, parts int, collect func(Tuple)) {
+	if parts <= 1 || d.Len() < partitionMinDeltaTuples || pl.orders[1+i] == nil {
+		pl.runAug(db, i, d, aug, nil, collect)
+		return
+	}
+	tuples := make([]Tuple, 0, d.Len())
+	d.scan(func(t Tuple) bool { tuples = append(tuples, t); return true })
+	runPartitioned(db, pl, i, tuples, aug, parts, collect)
+}
+
+// runPartitioned shards the delta tuples by partition key, fans the shards
+// out over parts workers, and stitches the per-shard outputs back into
+// serial emission order.
+func runPartitioned(db *Database, pl *rulePlan, i int, tuples []Tuple, aug *augOverlay, parts int, collect func(Tuple)) {
+	partitionedDrives.Add(1)
+	// Access paths the walk can touch must exist before goroutines share
+	// the relations (and the overlay) read-only — a no-op when already
+	// warm; relations mutated between drives maintain their indexes
+	// incrementally.
+	warmOrder(db, pl.orders[1+i])
+	if aug != nil {
+		aug.warmOrder(pl.orders[1+i])
+	}
+
+	col := pl.partCol[i]
+	shardOf := make([]int32, len(tuples))
+	counts := make([]int, parts)
+	for j, t := range tuples {
+		var h uint64
+		if col >= 0 && col < len(t) {
+			h = hashValue(fnvOffset, t[col])
+		} else {
+			h = hashTuple(t)
+		}
+		s := int32(h % uint64(parts))
+		shardOf[j] = s
+		counts[s]++
+	}
+	shards := make([][]Tuple, parts)
+	for s := range shards {
+		shards[s] = make([]Tuple, 0, counts[s])
+	}
+	for j, t := range tuples {
+		shards[shardOf[j]] = append(shards[shardOf[j]], t)
+	}
+
+	// Per-shard output: a flat emission buffer plus segment boundaries —
+	// segStarts[s][k] is where the k-th local delta tuple's emissions
+	// begin, so segment k is out[segStarts[k]:segStarts[k+1]].
+	outs := make([][]Tuple, parts)
+	segStarts := make([][]int32, parts)
+	runWorkers(parts, parts, func(s int) {
+		local := shards[s]
+		if len(local) == 0 {
+			return
+		}
+		out := make([]Tuple, 0, len(local))
+		starts := make([]int32, len(local)+1)
+		cur := 0
+		pl.runSegmented(db, i, local, aug, func(seg int, t Tuple) {
+			for cur < seg {
+				cur++
+				starts[cur] = int32(len(out))
+			}
+			out = append(out, t)
+		})
+		for cur < len(local) {
+			cur++
+			starts[cur] = int32(len(out))
+		}
+		outs[s], segStarts[s] = out, starts
+	})
+
+	// Stitch: within a shard, segments appear in ascending global order,
+	// so one cursor per shard replays segments in exactly delta order.
+	cursors := make([]int32, parts)
+	for j := range tuples {
+		s := shardOf[j]
+		k := cursors[s]
+		cursors[s]++
+		for _, t := range outs[s][segStarts[s][k]:segStarts[s][k+1]] {
+			collect(t)
+		}
+	}
+}

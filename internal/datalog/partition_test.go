@@ -1,0 +1,199 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// forcePartition drops the sharding size cutoff for the duration of a test
+// so the randomized small workloads genuinely take the partitioned path
+// (and the component fan-out cutoffs too, so both axes are exercised).
+func forcePartition(t *testing.T) {
+	t.Helper()
+	oldPart, oldIn, oldDelta := partitionMinDeltaTuples, parallelMinInputTuples, parallelMinDeltaTuples
+	partitionMinDeltaTuples, parallelMinInputTuples, parallelMinDeltaTuples = 0, 0, 0
+	t.Cleanup(func() {
+		partitionMinDeltaTuples, parallelMinInputTuples, parallelMinDeltaTuples = oldPart, oldIn, oldDelta
+	})
+}
+
+// TestPartitionKeySelection pins the partition-key choice on the
+// transitive-closure shape: the delta literal's first column that a later
+// literal in the delta-first order probes on, -1 when no join column
+// exists (whole-tuple hash fallback).
+func TestPartitionKeySelection(t *testing.T) {
+	p, err := NewProgram(
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("y")}},
+			Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+		},
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "path", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("y"), V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, rec *rulePlan
+	for _, plans := range p.prep.strata {
+		for _, pl := range plans {
+			if len(pl.r.Body) == 1 {
+				base = pl
+			} else {
+				rec = pl
+			}
+		}
+	}
+	// Base rule edge(x,y): single literal, nothing downstream joins on the
+	// delta — whole-tuple fallback.
+	if got := base.partCol[0]; got != -1 {
+		t.Fatalf("base rule partCol = %d, want -1 (no join column)", got)
+	}
+	// Recursive rule, delta at path(x,y): edge is probed on y = column 1.
+	if got := rec.partCol[0]; got != 1 {
+		t.Fatalf("delta-at-path partCol = %d, want 1 (join on y)", got)
+	}
+	// Delta at edge(y,z): path is probed on y = column 0 of the edge literal.
+	if got := rec.partCol[1]; got != 0 {
+		t.Fatalf("delta-at-edge partCol = %d, want 0 (join on y)", got)
+	}
+}
+
+// TestPartitionedEvalDeterminism is the regression gate for intra-component
+// partitioned evaluation: across 50 random programs and databases, every
+// partition count must produce byte-identical relation contents (including
+// insertion order) to the fully serial mode. CI runs this under -race, so
+// it doubles as the sharded drive's data-race probe.
+func TestPartitionedEvalDeterminism(t *testing.T) {
+	forcePartition(t)
+	before := partitionedDrives.Load()
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		rules := randRules(r)
+		db := randEDB(r)
+
+		serial, err := NewProgram(rules...)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serial.SetParallelism(1)
+		dbS := db.Clone()
+		nS, errS := serial.Eval(dbS)
+		fS := fingerprint(dbS)
+
+		for _, parts := range []int{1, 2, 8} {
+			par, err := NewProgram(rules...)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			par.SetParallelism(parts)
+			dbP := db.Clone()
+			nP, errP := par.Eval(dbP)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("seed %d parts %d: error divergence: serial=%v partitioned=%v", seed, parts, errS, errP)
+			}
+			if nS != nP {
+				t.Fatalf("seed %d parts %d: derived counts diverge: serial=%d partitioned=%d", seed, parts, nS, nP)
+			}
+			if fP := fingerprint(dbP); fS != fP {
+				t.Fatalf("seed %d parts %d: partitioned fixpoint differs from serial\nserial:\n%s\npartitioned:\n%s", seed, parts, fS, fP)
+			}
+		}
+	}
+	if partitionedDrives.Load() == before {
+		t.Fatal("partitioned path never engaged despite forced cutoffs")
+	}
+}
+
+// TestPartitionedIncrementalDeterminism: the same gate for partitioned
+// Incremental.Apply — identical tick sequences of interleaved inserts and
+// deletes (driving DRed and insert propagation through sharded drives)
+// must realize identical change counts and byte-identical databases after
+// every tick for partition counts 1/2/8.
+func TestPartitionedIncrementalDeterminism(t *testing.T) {
+	forcePartition(t)
+	for seed := int64(0); seed < 50; seed++ {
+		parts := []int{1, 2, 8}
+		progs := make([]*Program, len(parts))
+		incs := make([]*Incremental, len(parts))
+		r := rand.New(rand.NewSource(seed))
+		rules := randRules(r)
+		edb := randEDB(r)
+		ok := true
+		for k, pc := range parts {
+			p, err := NewProgram(rules...)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			p.SetParallelism(pc)
+			progs[k] = p
+			incs[k], err = NewIncremental(p, edb.Clone())
+			if err != nil {
+				ok = false // seeding rejected (e.g. derived/base collision): same for all
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for tick := 0; tick < 6; tick++ {
+			deltas := make([]*Delta, len(parts))
+			for k := range deltas {
+				deltas[k] = NewDelta()
+			}
+			for op := 0; op < 1+r.Intn(5); op++ {
+				pred := edbPreds[r.Intn(len(edbPreds))]
+				if r.Intn(2) == 0 {
+					tup := randEDBTuple(r, pred)
+					if edb.Get(pred).Insert(tup) {
+						for k := range incs {
+							incs[k].DB().Get(pred).Insert(tup)
+							deltas[k].Insert(pred, tup)
+						}
+					}
+				} else if existing := edb.Get(pred).Tuples(); len(existing) > 0 {
+					tup := existing[r.Intn(len(existing))]
+					edb.Get(pred).Delete(tup)
+					for k := range incs {
+						incs[k].DB().Get(pred).Delete(tup)
+						deltas[k].Delete(pred, tup)
+					}
+				}
+			}
+			ns := make([]int, len(parts))
+			var firstErr error
+			for k := range incs {
+				n, err := incs[k].Apply(deltas[k])
+				ns[k] = n
+				if k == 0 {
+					firstErr = err
+				} else if (firstErr == nil) != (err == nil) {
+					t.Fatalf("seed %d tick %d parts %d: error divergence: %v vs %v", seed, tick, parts[k], firstErr, err)
+				}
+			}
+			if firstErr != nil {
+				break
+			}
+			ref := fingerprint(incs[0].DB())
+			refDelta := fmt.Sprint(deltas[0].preds, deltas[0].added, deltas[0].removed)
+			for k := 1; k < len(parts); k++ {
+				if ns[k] != ns[0] {
+					t.Fatalf("seed %d tick %d parts %d: realized changes diverge: %d vs %d", seed, tick, parts[k], ns[0], ns[k])
+				}
+				// The extended deltas must agree too: downstream consumers
+				// (the transducer, chained components) see them.
+				if got := fmt.Sprint(deltas[k].preds, deltas[k].added, deltas[k].removed); got != refDelta {
+					t.Fatalf("seed %d tick %d parts %d: extended deltas diverge\nserial:      %s\npartitioned: %s", seed, tick, parts[k], refDelta, got)
+				}
+				if got := fingerprint(incs[k].DB()); got != ref {
+					t.Fatalf("seed %d tick %d parts %d: partitioned fixpoint differs from serial\nserial:\n%s\npartitioned:\n%s", seed, tick, parts[k], ref, got)
+				}
+			}
+		}
+	}
+}

@@ -88,8 +88,26 @@ type rulePlan struct {
 	// head tuple and running it answers "does any derivation of this tuple
 	// survive in the current database?" — the DRed re-derivation check.
 	// Compiled in Prepare for every non-aggregate rule; nil otherwise.
-	support     *rulePlan
-	supportVars []string
+	// supportBindPos[k] is the head-arg position whose value binds
+	// supportVars[k]; supportConsts lists head positions holding constants
+	// (a candidate must match them) and supportChecks lists (pos, firstPos)
+	// pairs where a head variable repeats (the candidate's columns must
+	// agree) — precomputed so binding a candidate is straight array work,
+	// with no per-candidate map.
+	support        *rulePlan
+	supportVars    []string
+	supportBindPos []int
+	supportConsts  []int
+	supportChecks  [][2]int
+
+	// partCol[i] is the partition key for sharding a delta driven through
+	// body literal i across workers (intra-component partitioned
+	// evaluation): the first column of literal i whose variable a later
+	// literal in the delta-first order probes on — the first bound join
+	// column, so tuples probing the same index buckets land on the same
+	// worker. -1 falls back to hashing the whole delta tuple (no join
+	// column: cross products, single-literal bodies).
+	partCol []int
 }
 
 // validateWith is Rule.Validate extended with caller-provided pre-bound
@@ -142,8 +160,14 @@ func validateWith(r Rule, preBound []string) error {
 }
 
 // compileRule builds the plan for one rule. preBound variables occupy the
-// first slots and are filled by the caller before execution.
-func compileRule(r Rule, preBound []string) (*rulePlan, error) {
+// first slots and are filled by the caller before execution. supportMode
+// tweaks the join-order tie-break for DRed support plans: on equal
+// boundness, probe literals that are not the rule's own head predicate
+// first — the head relation is exactly what the over-deletion phase is
+// churning, and enumerating it per candidate is what made re-derivation
+// degrade toward O(D²) on long chains (the stable input literal usually
+// answers in O(1)).
+func compileRule(r Rule, preBound []string, supportMode bool) (*rulePlan, error) {
 	if err := validateWith(r, preBound); err != nil {
 		return nil, err
 	}
@@ -302,6 +326,9 @@ func compileRule(r Rule, preBound []string) (*rulePlan, error) {
 					if allBound {
 						score += 8 // existence check, maximally selective
 					}
+					if supportMode && l.Pred == r.Head.Pred {
+						score -= 4 // break ties away from the churning head
+					}
 				}
 				if best < 0 || score > bestScore {
 					best, bestScore = bi, score
@@ -325,6 +352,38 @@ func compileRule(r Rule, preBound []string) (*rulePlan, error) {
 		}
 	}
 
+	// Partition keys: for each delta-first order, find the first column the
+	// delta literal binds that a later literal probes on.
+	p.partCol = make([]int, len(r.Body))
+	for bi := range r.Body {
+		p.partCol[bi] = -1
+		order := p.orders[1+bi]
+		if order == nil {
+			continue
+		}
+		first := &order[0]
+		colOf := map[int]int{} // slot → delta-literal column binding it
+		for k, s := range first.freeSlots {
+			colOf[s] = first.freePos[k]
+		}
+		for li := 1; li < len(order) && p.partCol[bi] < 0; li++ {
+			lp := &order[li]
+			probes := lp.probeArgs
+			if lp.negated {
+				probes = lp.negArgs
+			}
+			for _, st := range probes {
+				if st.slot < 0 {
+					continue
+				}
+				if c, ok := colOf[st.slot]; ok {
+					p.partCol[bi] = c
+					break
+				}
+			}
+		}
+	}
+
 	headArgs := r.Head.Args
 	if r.Agg != "" {
 		// Aggregate rules emit (groupVars..., aggVar) rows; grouping and
@@ -345,14 +404,14 @@ func (p *rulePlan) run(db *Database, deltaIdx int, delta *Relation, preset []any
 	p.runAug(db, deltaIdx, delta, nil, preset, emit)
 }
 
-// runAug is run with an optional per-predicate augmentation: every positive
-// non-delta literal on predicate P also matches the tuples in aug[P], as if
-// they were still present in the relation. The DRed over-deletion phase
-// reads the pre-batch view this way — the database plus the batch's removed
-// tuples — without mutating relations shared with concurrently evaluating
-// components. Augmentation is defined for positive literals only (DRed runs
-// on monotone components); negated probes ignore it.
-func (p *rulePlan) runAug(db *Database, deltaIdx int, delta *Relation, aug map[string][]Tuple, preset []any, emit func(Tuple)) {
+// runAug is run with an optional augmentation overlay: every positive
+// non-delta literal on predicate P also matches the overlay's tuples for P,
+// as if they were still present in the relation. The DRed over-deletion
+// phase reads the pre-batch view this way — the database plus the batch's
+// removed tuples — without mutating relations shared with concurrently
+// evaluating components. Augmentation is defined for positive literals only
+// (DRed runs on monotone components); negated probes ignore it.
+func (p *rulePlan) runAug(db *Database, deltaIdx int, delta *Relation, aug *augOverlay, preset []any, emit func(Tuple)) {
 	p.runAugUntil(db, deltaIdx, delta, aug, preset, func(t Tuple) bool {
 		emit(t)
 		return true
@@ -363,151 +422,238 @@ func (p *rulePlan) runAug(db *Database, deltaIdx int, delta *Relation, aug map[s
 // abandons the walk immediately. Existence queries (the DRed re-derivation
 // check) stop at the first surviving derivation instead of enumerating
 // them all.
-func (p *rulePlan) runAugUntil(db *Database, deltaIdx int, delta *Relation, aug map[string][]Tuple, preset []any, emit func(Tuple) bool) {
-	env := make([]any, p.nslots)
-	copy(env, preset)
-	for _, f := range p.preFilters {
-		if !f.eval(env) {
-			return
-		}
-	}
+func (p *rulePlan) runAugUntil(db *Database, deltaIdx int, delta *Relation, aug *augOverlay, preset []any, emit func(Tuple) bool) {
 	order := p.orders[0]
 	if deltaIdx >= 0 {
 		if o := p.orders[1+deltaIdx]; o != nil {
 			order = o
 		}
 	}
+	e := p.newExec(db, order, deltaIdx, delta, aug, preset, emit)
+	if !e.preFiltersPass() {
+		return
+	}
+	e.walk(0)
+}
+
+// runSegmented drives the delta-first order for body literal deltaIdx over
+// an explicit slice of delta tuples, tagging every emission with the index
+// of the driving tuple. Segment indexes are non-decreasing and one
+// segment's emissions are exactly what a serial whole-delta run would emit
+// while processing that tuple — the invariant the partitioned scheduler
+// relies on to stitch per-shard outputs back into serial emission order.
+// deltaIdx must name a non-negated body literal (those have a delta-first
+// order); env and scratch are allocated once and reused across tuples.
+func (p *rulePlan) runSegmented(db *Database, deltaIdx int, tuples []Tuple, aug *augOverlay, emit func(seg int, t Tuple)) {
+	order := p.orders[1+deltaIdx]
+	cur := 0
+	e := p.newExec(db, order, deltaIdx, nil, aug, nil, func(t Tuple) bool {
+		emit(cur, t)
+		return true
+	})
+	if !e.preFiltersPass() {
+		return
+	}
+	first := &order[0]
+	vals := e.scratch[0]
+	for k, st := range first.probeArgs {
+		vals[k] = st.value(e.env) // constants only: no slot is bound yet
+	}
+	for j, t := range tuples {
+		cur = j
+		// Inline litPlan matching for the delta literal: constant columns
+		// must agree, free columns bind slots, repeated variables check,
+		// then the literal's filters — the same acceptance test the serial
+		// path applies via index lookup + step.
+		if !projEqual(t, first.probePos, vals) {
+			continue
+		}
+		for k, pos := range first.freePos {
+			e.env[first.freeSlots[k]] = t[pos]
+		}
+		ok := true
+		for k, pos := range first.checkPos {
+			if t[pos] != e.env[first.checkSlots[k]] {
+				ok = false
+				break
+			}
+		}
+		for _, f := range first.filters {
+			if !ok || !f.eval(e.env) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.walk(1)
+		}
+	}
+}
+
+// planExec is one execution of a compiled join order: the flat binding
+// environment, per-position probe scratch, and the recursive join walk.
+// It is built once per run — or once per shard in partitioned evaluation,
+// where it is reused across every delta tuple the shard drives.
+type planExec struct {
+	p        *rulePlan
+	db       *Database
+	order    []litPlan
+	deltaIdx int
+	delta    *Relation
+	aug      *augOverlay
+	env      []any
+	scratch  [][]any
+	stopped  bool
+	emit     func(Tuple) bool
+}
+
+func (p *rulePlan) newExec(db *Database, order []litPlan, deltaIdx int, delta *Relation, aug *augOverlay, preset []any, emit func(Tuple) bool) *planExec {
+	e := &planExec{p: p, db: db, order: order, deltaIdx: deltaIdx, delta: delta, aug: aug, emit: emit}
+	e.env = make([]any, p.nslots)
+	copy(e.env, preset)
 	// Per-position scratch for probe values and negation probes, allocated
-	// once per run.
-	scratch := make([][]any, len(order))
+	// once per execution.
+	e.scratch = make([][]any, len(order))
 	for i := range order {
 		lp := &order[i]
 		if lp.negated {
-			scratch[i] = make([]any, len(lp.negArgs))
+			e.scratch[i] = make([]any, len(lp.negArgs))
 		} else {
-			scratch[i] = make([]any, len(lp.probeArgs))
+			e.scratch[i] = make([]any, len(lp.probeArgs))
 		}
 	}
+	return e
+}
 
-	stopped := false
-	var rec func(i int)
-	rec = func(i int) {
-		if stopped {
-			return
+// rerun re-arms a finished executor for another run with fresh preset
+// values — the DRed support checker amortizes one executor across every
+// candidate of a phase-2 pass this way. Only the preset prefix and the
+// stop flag need resetting: a slot beyond the preset is always written by
+// the literal that binds it before any deeper position reads it, so stale
+// values from the previous run are never observed.
+func (e *planExec) rerun(preset []any) {
+	copy(e.env, preset)
+	e.stopped = false
+}
+
+func (e *planExec) preFiltersPass() bool {
+	for _, f := range e.p.preFilters {
+		if !f.eval(e.env) {
+			return false
 		}
-		if i == len(order) {
-			head := make(Tuple, len(p.head))
-			for j, st := range p.head {
-				head[j] = st.value(env)
-			}
-			if !emit(head) {
-				stopped = true
-			}
-			return
+	}
+	return true
+}
+
+// walk recurses through the join order from position i, emitting head
+// tuples at the leaves.
+func (e *planExec) walk(i int) {
+	if e.stopped {
+		return
+	}
+	if i == len(e.order) {
+		head := make(Tuple, len(e.p.head))
+		for j, st := range e.p.head {
+			head[j] = st.value(e.env)
 		}
-		lp := &order[i]
-		rel := db.Get(lp.pred)
-		var augRows []Tuple
-		if aug != nil && !lp.negated {
-			augRows = aug[lp.pred]
+		if !e.emit(head) {
+			e.stopped = true
 		}
-		if deltaIdx >= 0 && lp.origIdx == deltaIdx {
-			rel = delta
-			augRows = nil // the delta position reads the delta verbatim
-		}
-		if rel == nil && augRows == nil {
-			if lp.negated {
-				rec(i + 1) // absent relation: negation trivially holds
-			}
-			return
-		}
+		return
+	}
+	lp := &e.order[i]
+	rel := e.db.Get(lp.pred)
+	var augRel *augRel
+	if e.aug != nil && !lp.negated {
+		augRel = e.aug.rels[lp.pred]
+	}
+	if e.deltaIdx >= 0 && lp.origIdx == e.deltaIdx {
+		rel = e.delta
+		augRel = nil // the delta position reads the delta verbatim
+	}
+	if rel == nil && augRel == nil {
 		if lp.negated {
-			probe := scratch[i]
-			for j, st := range lp.negArgs {
-				probe[j] = st.value(env)
-			}
-			if !rel.Contains(Tuple(probe)) {
-				rec(i + 1)
-			}
-			return
+			e.walk(i + 1) // absent relation: negation trivially holds
 		}
-		step := func(t Tuple) bool {
-			for k, pos := range lp.freePos {
-				env[lp.freeSlots[k]] = t[pos]
-			}
-			for k, pos := range lp.checkPos {
-				if t[pos] != env[lp.checkSlots[k]] {
-					return true
-				}
-			}
-			for _, f := range lp.filters {
-				if !f.eval(env) {
-					return true
-				}
-			}
-			rec(i + 1)
-			return !stopped
+		return
+	}
+	if lp.negated {
+		probe := e.scratch[i]
+		for j, st := range lp.negArgs {
+			probe[j] = st.value(e.env)
 		}
-		if len(lp.probePos) == 0 {
-			if rel != nil {
-				rel.scan(step)
-			}
-			for _, t := range augRows {
-				if stopped || !step(t) {
-					return
-				}
-			}
-			return
+		if !rel.Contains(Tuple(probe)) {
+			e.walk(i + 1)
 		}
-		vals := scratch[i]
-		for k, st := range lp.probeArgs {
-			vals[k] = st.value(env)
+		return
+	}
+	step := func(t Tuple) bool {
+		for k, pos := range lp.freePos {
+			e.env[lp.freeSlots[k]] = t[pos]
 		}
-		if lp.allBound {
-			// Existence check: probePos covers every column in order, so
-			// vals is the full tuple; the membership hash answers directly.
-			present := rel != nil && rel.Contains(Tuple(vals))
-			if !present {
-				for _, t := range augRows {
-					if t.Equal(Tuple(vals)) {
-						present = true
-						break
-					}
-				}
+		for k, pos := range lp.checkPos {
+			if t[pos] != e.env[lp.checkSlots[k]] {
+				return true
 			}
-			if present {
-				for _, f := range lp.filters {
-					if !f.eval(env) {
-						return
-					}
-				}
-				rec(i + 1)
-			}
-			return
 		}
+		for _, f := range lp.filters {
+			if !f.eval(e.env) {
+				return true
+			}
+		}
+		e.walk(i + 1)
+		return !e.stopped
+	}
+	if len(lp.probePos) == 0 {
 		if rel != nil {
-			for _, s := range rel.lookupSlots(lp.probePos, vals) {
-				t := rel.slots[s]
-				if !projEqual(t, lp.probePos, vals) {
-					continue // projection-hash collision
-				}
-				if !step(t) {
+			rel.scan(step)
+		}
+		if augRel != nil {
+			for _, t := range augRel.rows {
+				if e.stopped || !step(t) {
 					return
 				}
 			}
 		}
-		for _, t := range augRows {
-			if stopped {
+		return
+	}
+	vals := e.scratch[i]
+	for k, st := range lp.probeArgs {
+		vals[k] = st.value(e.env)
+	}
+	if lp.allBound {
+		// Existence check: probePos covers every column in order, so
+		// vals is the full tuple; the membership hash answers directly.
+		present := rel != nil && rel.Contains(Tuple(vals))
+		if !present && augRel != nil {
+			present = augRel.matches(lp.probePos, vals, func(Tuple) bool { return false })
+		}
+		if present {
+			for _, f := range lp.filters {
+				if !f.eval(e.env) {
+					return
+				}
+			}
+			e.walk(i + 1)
+		}
+		return
+	}
+	if rel != nil {
+		for _, s := range rel.lookupSlots(lp.probePos, vals) {
+			t := rel.slots[s]
+			if !projEqual(t, lp.probePos, vals) {
+				continue // projection-hash collision
+			}
+			if !step(t) {
 				return
 			}
-			if projEqual(t, lp.probePos, vals) {
-				if !step(t) {
-					return
-				}
-			}
 		}
 	}
-	rec(0)
+	if augRel != nil {
+		augRel.matches(lp.probePos, vals, func(t Tuple) bool {
+			return !e.stopped && step(t)
+		})
+	}
 }
 
 // prepared is the cached compilation of a whole program.
@@ -696,26 +842,40 @@ func (p *Program) Prepare() error {
 			for _, rules := range refineComponents(stratum) {
 				var plans []*rulePlan
 				for _, r := range rules {
-					pl, err := compileRule(r, nil)
+					pl, err := compileRule(r, nil, false)
 					if err != nil {
 						p.prepErr = err
 						return
 					}
 					if r.Agg == "" {
 						// Support plan for DRed re-derivation: the body with
-						// the distinct head variables pre-bound. Head
-						// constants are matched at bind time.
+						// the distinct head variables pre-bound, plus the
+						// precomputed candidate-binding metadata.
 						var headVars []string
-						seen := map[string]bool{}
-						for _, t := range r.Head.Args {
-							if t.IsVar() && !seen[t.Var] {
-								seen[t.Var] = true
-								headVars = append(headVars, t.Var)
+						firstPos := map[string]int{}
+						var consts []int
+						var checks [][2]int
+						for j, t := range r.Head.Args {
+							if !t.IsVar() {
+								consts = append(consts, j)
+								continue
 							}
+							if fp, ok := firstPos[t.Var]; ok {
+								checks = append(checks, [2]int{j, fp})
+								continue
+							}
+							firstPos[t.Var] = j
+							headVars = append(headVars, t.Var)
 						}
-						if sp, serr := compileRule(r, headVars); serr == nil {
+						if sp, serr := compileRule(r, headVars, true); serr == nil {
 							pl.support = sp
 							pl.supportVars = headVars
+							pl.supportBindPos = make([]int, len(headVars))
+							for k, v := range headVars {
+								pl.supportBindPos[k] = firstPos[v]
+							}
+							pl.supportConsts = consts
+							pl.supportChecks = checks
 						}
 					}
 					plans = append(plans, pl)
@@ -744,7 +904,7 @@ func PrepareRule(r Rule, boundVars ...string) (*PreparedRule, error) {
 	if r.Agg != "" {
 		return nil, fmt.Errorf("datalog: PrepareRule does not support aggregates")
 	}
-	plan, err := compileRule(r, boundVars)
+	plan, err := compileRule(r, boundVars, false)
 	if err != nil {
 		return nil, err
 	}

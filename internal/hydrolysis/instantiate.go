@@ -38,12 +38,95 @@ const (
 // predicate) falls back to per-tick full evaluation; InstantiateFullEval
 // forces that mode explicitly.
 //
+// Evaluation parallelism is tuned on the compiled query program itself:
+// c.Queries.SetParallelism(n) caps both the component-scheduler worker
+// pool and the intra-component partition count (0 restores the
+// GOMAXPROCS default, 1 forces fully serial evaluation); the runtime's
+// ticks respect whatever the program is set to, snapshotting it once per
+// evaluation.
+//
 // Trade-off: incremental mode maintains every derived relation eagerly,
 // whereas full-eval mode computes the fixpoint lazily only on ticks whose
-// handlers actually read a query. A program that declares queries its
-// handlers rarely or never consult is better served by InstantiateFullEval.
+// handlers actually read a query. The compiler resolves this automatically:
+// a probe-free program — no handler construct ever reads the tick snapshot,
+// so the lazy fixpoint is never triggered — stays on full evaluation (its
+// fixpoint would otherwise be maintained but never consulted), and
+// everything else defaults to incremental. A program whose handlers read
+// queries only rarely is still better served by an explicit
+// InstantiateFullEval.
 func (c *Compiled) Instantiate(name string, seed int64) (*transducer.Runtime, error) {
 	return c.instantiate(name, seed, modeAuto)
+}
+
+// probeFree reports whether no handler can ever trigger the per-tick
+// query fixpoint. Full-eval laziness is all-or-nothing — every snapshot
+// read (Tx.Query/QueryWhere/Derive) evaluates the whole query program, no
+// matter which relation it targets — so the detection must be
+// conservative: a handler counts as probing if it contains any construct
+// that reads the snapshot at all (a rule-driven send, a keyed delete, a
+// table-field read anywhere in an expression), not just ones naming a
+// query head. Only then does lazy full-eval mean the fixpoint is truly
+// never computed; anything else stays on incremental maintenance, where
+// eager upkeep is O(delta) instead of O(fixpoint) per reading tick.
+func (c *Compiled) probeFree() bool {
+	if len(c.Program.Queries) == 0 {
+		return true
+	}
+	for _, h := range c.Program.Handlers {
+		for _, r := range h.Requires {
+			if exprReadsSnapshot(r) {
+				return false
+			}
+		}
+		for _, s := range h.Body {
+			switch st := s.(type) {
+			case *hlang.SendStmt:
+				if len(st.Body) > 0 {
+					return false // rule-driven send derives against the snapshot
+				}
+			case *hlang.DeleteStmt:
+				return false // delete-by-key looks the victim rows up in the snapshot
+			case *hlang.MergeTupleStmt:
+				for _, a := range st.Args {
+					if exprReadsSnapshot(a) {
+						return false
+					}
+				}
+			case *hlang.MergeFieldStmt:
+				if exprReadsSnapshot(st.Key) || exprReadsSnapshot(st.Value) {
+					return false
+				}
+			case *hlang.AssignStmt:
+				if exprReadsSnapshot(st.Value) {
+					return false
+				}
+			case *hlang.ReplyStmt:
+				if exprReadsSnapshot(st.Value) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// exprReadsSnapshot reports whether evaluating the expression consults the
+// tick snapshot: table-field reads do; literals, parameters, scalar vars
+// and operators over them don't.
+func exprReadsSnapshot(x hlang.Expr) bool {
+	switch v := x.(type) {
+	case *hlang.FieldRef:
+		return true
+	case *hlang.BinExpr:
+		return exprReadsSnapshot(v.L) || exprReadsSnapshot(v.R)
+	case *hlang.CallExpr:
+		for _, a := range v.Args {
+			if exprReadsSnapshot(a) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // InstantiateIncremental builds the runtime with the query program in
@@ -88,7 +171,11 @@ func (c *Compiled) instantiate(name string, seed int64, mode evalMode) (*transdu
 			return nil, err
 		}
 	case modeAuto:
-		if err := rt.RegisterQueriesIncremental(c.Queries); err != nil {
+		if c.probeFree() {
+			// No handler ever reads a query head: lazy full eval skips the
+			// fixpoint entirely instead of maintaining it for nobody.
+			rt.RegisterQueries(c.Queries)
+		} else if err := rt.RegisterQueriesIncremental(c.Queries); err != nil {
 			rt.RegisterQueries(c.Queries) // program doesn't qualify: full eval
 		}
 	default:

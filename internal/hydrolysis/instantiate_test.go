@@ -1,0 +1,81 @@
+package hydrolysis
+
+import (
+	"testing"
+
+	"hydro/internal/datalog"
+	"hydro/internal/hlang"
+)
+
+// probeFreeSource declares a recursive query that no handler ever reads:
+// handlers only merge and reply. Eagerly maintaining `reach` would be pure
+// overhead, so auto-instantiation must keep this program on lazy full eval.
+const probeFreeSource = `
+table links(a: int, b: int) key(a, b)
+
+query reach(x, y) :- links(x, y)
+query reach(x, z) :- reach(x, y), links(y, z)
+
+on add_link(a: int, b: int) {
+    merge links(a, b)
+    reply "OK"
+}
+`
+
+// TestProbeFreeProgramStaysFullEval is the regression gate for the
+// compiler's probe-free detection: a program whose handlers never read a
+// declared query head auto-instantiates in full-eval mode (lazy fixpoint,
+// never computed), while a program that sends from a query head (the COVID
+// example's trace/diagnosed handlers) still defaults to incremental
+// maintenance. The explicit modes keep overriding the detection.
+func TestProbeFreeProgramStaysFullEval(t *testing.T) {
+	free, err := Compile(probeFreeSource, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.probeFree() {
+		t.Fatal("probeFree() = false for a program with no query-reading handler")
+	}
+	rt, err := free.Instantiate("n1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.IncrementalQueries() {
+		t.Fatal("probe-free program was instantiated with eager incremental maintenance")
+	}
+	// The program still runs, and the derived relation is simply never
+	// materialized outside tick snapshots.
+	rt.Inject("add_link", datalog.Tuple{int64(1), int64(2)})
+	rt.RunUntilIdle(10)
+	if got := rt.Table("links").Len(); got != 1 {
+		t.Fatalf("links = %d rows, want 1", got)
+	}
+
+	// Explicit incremental mode overrides the detection.
+	rtInc, err := free.InstantiateIncremental("n2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rtInc.IncrementalQueries() {
+		t.Fatal("InstantiateIncremental did not force incremental mode")
+	}
+
+	// The COVID program probes `transitive` from its trace/diagnosed
+	// handlers: auto mode must keep it incremental.
+	covid, err := Compile(hlang.CovidSource, Options{UDFs: map[string]UDF{
+		"covid_predict": func(args []any) any { return 0.5 },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covid.probeFree() {
+		t.Fatal("probeFree() = true for a program whose handlers send from a query head")
+	}
+	rtCovid, err := covid.Instantiate("n3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rtCovid.IncrementalQueries() {
+		t.Fatal("query-probing program lost incremental maintenance")
+	}
+}

@@ -213,6 +213,12 @@ func (rt *Runtime) RegisterQueriesIncremental(p *datalog.Program) error {
 // Table exposes a table's current contents (between ticks).
 func (rt *Runtime) Table(name string) *datalog.Relation { return rt.db.Get(name) }
 
+// IncrementalQueries reports whether the registered query program is
+// maintained incrementally across ticks (as opposed to lazy per-tick full
+// evaluation) — an observability hook for tests and operators checking
+// which execution model the compiler selected.
+func (rt *Runtime) IncrementalQueries() bool { return rt.inc != nil }
+
 // Var reads a scalar variable's current value (between ticks).
 func (rt *Runtime) Var(name string) any { return rt.vars[name] }
 
