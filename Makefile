@@ -2,7 +2,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test vet ci bench benchdiff tables fuzz
+.PHONY: build test vet ci bench benchdiff tables fuzz soak
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,13 @@ tables:
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIncrementalEquivalence -fuzztime $(FUZZTIME) ./internal/datalog
+
+# soak hammers the crash-recovery harness well past the checked-in seed
+# budget, under -race, with clock-derived seeds so every run explores new
+# kill points. Each seed kills a durable store at a random write offset
+# and requires byte-identical recovery against a never-crashed oracle
+# (DESIGN.md §10). SOAK_SEEDS/SOAK_TICKS scale the run.
+SOAK_SEEDS ?= 300
+SOAK_TICKS ?= 60
+soak:
+	$(GO) test -race -run '^TestCrashRecovery$$' ./internal/durable -crash-seeds $(SOAK_SEEDS) -crash-ticks $(SOAK_TICKS) -crash-rand

@@ -231,6 +231,24 @@ func (r *Relation) appendRaw(t Tuple) {
 	r.slots = append(r.slots, t)
 }
 
+// bulkLoad appends pre-deduplicated tuples in order and builds the
+// membership hash once — the snapshot-restore fast path. Callers guarantee
+// the tuples are distinct (snapshot contents are checksummed); arity is
+// still verified per tuple.
+func (r *Relation) bulkLoad(ts []Tuple) error {
+	for _, t := range ts {
+		if len(t) != r.Arity {
+			return fmt.Errorf("datalog: arity mismatch loading %v into %s/%d", t, r.Name, r.Arity)
+		}
+	}
+	r.byHash = nil
+	r.next = nil
+	r.idx = nil
+	r.slots = append(r.slots, ts...)
+	r.ensureByHash()
+	return nil
+}
+
 // scan calls fn for every live tuple in insertion order; fn returning
 // false stops the scan.
 func (r *Relation) scan(fn func(t Tuple) bool) {

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -395,7 +396,10 @@ func TestDifferentialThreeWayIncremental(t *testing.T) {
 }
 
 // TestIncrementalRejectsDerivedMutation: feeding a batch that claims to
-// have mutated a derived relation must error rather than corrupt counts.
+// have mutated a derived relation must error rather than corrupt counts —
+// and, because the error is raised before anything is mutated, the prior
+// fixpoint stays intact and the evaluator keeps serving good ticks
+// (graceful degradation: a serving loop rejects the bad tick and moves on).
 func TestIncrementalRejectsDerivedMutation(t *testing.T) {
 	p, err := NewProgram(Rule{
 		Head: Atom{Pred: "p1", Args: []Term{V("x"), V("y")}},
@@ -412,11 +416,21 @@ func TestIncrementalRejectsDerivedMutation(t *testing.T) {
 	}
 	d := NewDelta()
 	d.Insert("p1", Tuple{"x", "y"})
-	if _, err := inc.Apply(d); err == nil {
-		t.Fatal("mutating a derived relation as base must fail")
+	if _, err := inc.Apply(d); !errors.Is(err, ErrInconsistentDelta) {
+		t.Fatalf("mutating a derived relation as base must fail with ErrInconsistentDelta, got %v", err)
 	}
-	if _, err := inc.Apply(NewDelta()); err == nil {
-		t.Fatal("evaluator must refuse reuse after an error")
+	if !inc.DB().Get("p1").Contains(Tuple{"a", "b"}) {
+		t.Fatal("prior fixpoint must stay intact after a rejected batch")
+	}
+	// The evaluator stays usable: a subsequent good tick applies normally.
+	db.Get("edge").Insert(Tuple{"b", "c"})
+	good := NewDelta()
+	good.Insert("edge", Tuple{"b", "c"})
+	if _, err := inc.Apply(good); err != nil {
+		t.Fatalf("evaluator must keep serving after a rejected batch: %v", err)
+	}
+	if !inc.DB().Get("p1").Contains(Tuple{"b", "c"}) {
+		t.Fatal("good tick after rejection must maintain the fixpoint")
 	}
 }
 

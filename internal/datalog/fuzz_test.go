@@ -19,7 +19,13 @@ import (
 //
 //	byte 0: bits 0-1 pick the base relation (edge/attr/node),
 //	        bit 2 picks insert (0) or delete (1),
-//	        bit 3 forces a tick flush after the op.
+//	        bit 3 forces a tick flush after the op,
+//	        bit 4 closes and reopens the evaluator after the tick: the
+//	        fixpoint round-trips through State/RestoreIncremental — the
+//	        snapshot half of the durability path,
+//	        bit 5 crash-restarts instead: every base mutation since the
+//	        last committed tick is lost (as an unjournaled tail would be),
+//	        then the survivor round-trips through State/Restore.
 //	bytes 1-2: tuple constants (inserts) or victim index (deletes).
 //
 // A tick also flushes every 4 ops, and once more at the end.
@@ -29,6 +35,8 @@ func FuzzIncrementalEquivalence(f *testing.F) {
 	f.Add(int64(3), []byte("\x04\x00\x00\x04\x01\x00\x04\x02\x00\x00\x03\x03"))
 	f.Add(int64(7), []byte("\x0c\xff\xfe\x0c\x01\x02\x08\x10\x20\x04\x00\x01"))
 	f.Add(int64(11), []byte("edge-churn-and-deletes"))
+	f.Add(int64(3), []byte{0x00, 0x01, 0x02, 0x10, 0x00, 0x03, 0x04, 0x00, 0x00, 0x10, 0x01, 0x05})
+	f.Add(int64(16), []byte{0x00, 0x01, 0x02, 0x20, 0x03, 0x04, 0x24, 0x00, 0x01, 0x30, 0x02, 0x02})
 	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
 		if len(ops) > 96 {
 			ops = ops[:96] // bound per-input work
@@ -76,11 +84,13 @@ func FuzzIncrementalEquivalence(f *testing.F) {
 		}
 
 		delta := NewDelta()
+		var tail []DeltaOp // realized base mutations since the last committed tick
 		flush := func() {
 			if _, err := inc.Apply(delta); err != nil {
 				t.Fatalf("Apply: %v", err)
 			}
 			delta = NewDelta()
+			tail = nil
 			refC := edb.Clone()
 			if _, err := p.Eval(refC); err != nil {
 				t.Fatalf("Eval: %v", err)
@@ -97,6 +107,43 @@ func FuzzIncrementalEquivalence(f *testing.F) {
 			}
 		}
 
+		// reopen replaces the evaluator with one rebuilt from its own
+		// serialized fixpoint — the datalog half of a durable restart. The
+		// restored instance must match the original exactly and then keep
+		// maintaining.
+		reopen := func() {
+			fx, err := inc.State()
+			if err != nil {
+				t.Fatalf("State: %v", err)
+			}
+			restored, err := RestoreIncremental(p, NewDatabase(), fx)
+			if err != nil {
+				t.Fatalf("RestoreIncremental: %v", err)
+			}
+			if err := diffDatabases("restored vs original", restored.DB(), inc.DB()); err != nil {
+				t.Fatal(err)
+			}
+			inc = restored
+		}
+		// crash loses every base mutation since the last committed tick, in
+		// both the evaluator's database and the reference EDB — the fate of
+		// an unjournaled tail — before restarting from serialized state.
+		crash := func() {
+			for i := len(tail) - 1; i >= 0; i-- {
+				op := tail[i]
+				for _, db := range []*Database{edb, inc.DB()} {
+					if op.Del {
+						db.Get(op.Pred).Insert(op.T)
+					} else {
+						db.Get(op.Pred).Delete(op.T)
+					}
+				}
+			}
+			tail = nil
+			delta = NewDelta()
+			reopen()
+		}
+
 		sinceFlush := 0
 		for i := 0; i+2 < len(ops); i += 3 {
 			op, a, b := ops[i], ops[i+1], ops[i+2]
@@ -108,6 +155,7 @@ func FuzzIncrementalEquivalence(f *testing.F) {
 						t.Fatalf("mirrored insert diverged on %s%v", pred, tup)
 					}
 					delta.Insert(pred, tup)
+					tail = append(tail, DeltaOp{Pred: pred, T: tup})
 				}
 			} else if existing := edb.Get(pred).Tuples(); len(existing) > 0 {
 				tup := existing[(int(a)<<8|int(b))%len(existing)]
@@ -116,9 +164,18 @@ func FuzzIncrementalEquivalence(f *testing.F) {
 					t.Fatalf("mirrored delete diverged on %s%v", pred, tup)
 				}
 				delta.Delete(pred, tup)
+				tail = append(tail, DeltaOp{Del: true, Pred: pred, T: tup})
 			}
 			sinceFlush++
-			if op&8 != 0 || sinceFlush >= 4 {
+			switch {
+			case op&0x20 != 0:
+				crash()
+				sinceFlush = 0
+			case op&0x10 != 0:
+				flush()
+				reopen()
+				sinceFlush = 0
+			case op&8 != 0 || sinceFlush >= 4:
 				flush()
 				sinceFlush = 0
 			}

@@ -1,8 +1,16 @@
 package datalog
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrInconsistentDelta reports a change batch that contradicts the
+// maintained state — e.g. an insert whose tuple is not actually present in
+// the base relation, or a delete the caller never applied. Apply returns it
+// (wrapped with detail) *before* mutating anything, so the prior fixpoint
+// stays intact and a serving loop can reject the bad tick and keep running.
+var ErrInconsistentDelta = errors.New("datalog: delta inconsistent with retained state")
 
 // This file is the cross-tick incremental evaluator: instead of re-running
 // the fixpoint from a fresh snapshot on every transducer tick (O(database)
@@ -36,12 +44,39 @@ type Delta struct {
 	added   map[string][]Tuple
 	removed map[string][]Tuple
 	preds   []string // first-touch order, for deterministic iteration
+	// ops, when recording is enabled, preserves every change in exact
+	// application order — the per-pred added/removed lists lose the
+	// interleaving across predicates and across inserts vs deletes, which a
+	// write-ahead changelog (and a rollback) needs to replay faithfully.
+	ops    []DeltaOp
+	record bool
+}
+
+// DeltaOp is one realized change in exact application order. Del selects
+// delete over insert.
+type DeltaOp struct {
+	Del  bool
+	Pred string
+	T    Tuple
 }
 
 // NewDelta returns an empty change batch.
 func NewDelta() *Delta {
 	return &Delta{added: map[string][]Tuple{}, removed: map[string][]Tuple{}}
 }
+
+// SetRecording toggles exact-order op capture (see Ops). The transducer
+// enables it in incremental mode so ticks can be journaled to a durable
+// changelog and rolled back when rejected; plain evaluator callers leave it
+// off and pay nothing.
+func (d *Delta) SetRecording(on bool) { d.record = on }
+
+// Ops returns the recorded changes in exact application order. The slice is
+// owned by the Delta: callers must not mutate it. Note that once Apply has
+// folded the batch in, the ops also include the realized derived-relation
+// cascade (appended after the base changes) — changelog writers serialize
+// before Apply, so they see base changes only.
+func (d *Delta) Ops() []DeltaOp { return d.ops }
 
 func (d *Delta) touch(pred string) {
 	if _, ok := d.added[pred]; ok {
@@ -57,12 +92,18 @@ func (d *Delta) touch(pred string) {
 func (d *Delta) Insert(rel string, t Tuple) {
 	d.touch(rel)
 	d.added[rel] = append(d.added[rel], t)
+	if d.record {
+		d.ops = append(d.ops, DeltaOp{Pred: rel, T: t})
+	}
 }
 
 // Delete records that t was deleted from rel (and was present before).
 func (d *Delta) Delete(rel string, t Tuple) {
 	d.touch(rel)
 	d.removed[rel] = append(d.removed[rel], t)
+	if d.record {
+		d.ops = append(d.ops, DeltaOp{Del: true, Pred: rel, T: t})
+	}
 }
 
 // merge folds another batch's records into d, preserving o's deterministic
@@ -188,19 +229,14 @@ type Incremental struct {
 	forceRecompute bool
 }
 
-// NewIncremental compiles p, classifies its evaluation components, and
-// seeds the fixpoint (with derivation counts where counting applies) into
-// db. Derived relations must not contain base tuples.
-func NewIncremental(p *Program, db *Database) (*Incremental, error) {
+// newIncrementalCore compiles p and classifies its evaluation components
+// without touching db — the shared front half of NewIncremental (which then
+// seeds the fixpoint) and RestoreIncremental (which adopts a persisted one).
+func newIncrementalCore(p *Program, db *Database) (*Incremental, error) {
 	if err := p.Prepare(); err != nil {
 		return nil, err
 	}
 	inc := &Incremental{prog: p, db: db, counts: map[string]*tupleCounts{}, idb: p.idbPreds()}
-	for pred := range inc.idb {
-		if r := db.Get(pred); r != nil && r.Len() > 0 {
-			return nil, fmt.Errorf("datalog: incremental: relation %s is derived by rules but already holds base tuples", pred)
-		}
-	}
 	for _, plans := range p.prep.strata {
 		c := incComponent{plans: plans, headSet: map[string]bool{}, inputSet: map[string]bool{}}
 		for _, pl := range plans {
@@ -230,6 +266,22 @@ func NewIncremental(p *Program, db *Database) (*Incremental, error) {
 			}
 		}
 		inc.comps = append(inc.comps, c)
+	}
+	return inc, nil
+}
+
+// NewIncremental compiles p, classifies its evaluation components, and
+// seeds the fixpoint (with derivation counts where counting applies) into
+// db. Derived relations must not contain base tuples.
+func NewIncremental(p *Program, db *Database) (*Incremental, error) {
+	inc, err := newIncrementalCore(p, db)
+	if err != nil {
+		return nil, err
+	}
+	for pred := range inc.idb {
+		if r := db.Get(pred); r != nil && r.Len() > 0 {
+			return nil, fmt.Errorf("datalog: incremental: relation %s is derived by rules but already holds base tuples", pred)
+		}
 	}
 	preExisting := map[string]bool{}
 	for pred := range inc.idb {
@@ -263,6 +315,13 @@ func NewIncremental(p *Program, db *Database) (*Incremental, error) {
 // DB returns the maintained database: base relations plus the current
 // fixpoint of every derived relation.
 func (inc *Incremental) DB() *Database { return inc.db }
+
+// Broken reports whether an earlier Apply failed past the validation phase,
+// leaving the maintained fixpoint inconsistent. A rejected delta that was
+// caught pre-mutation (ErrInconsistentDelta with zero realized changes) does
+// NOT break the evaluator — callers distinguish a droppable bad tick from a
+// poisoned evaluator with this.
+func (inc *Incremental) Broken() bool { return inc.broken }
 
 func (inc *Incremental) countsFor(pred string) *tupleCounts {
 	c := inc.counts[pred]
@@ -313,9 +372,13 @@ func (inc *Incremental) Apply(d *Delta) (int, error) {
 	d.normalize()
 	for _, pred := range d.preds {
 		if inc.idb[pred] && (len(d.added[pred]) > 0 || len(d.removed[pred]) > 0) {
-			inc.broken = true
-			return 0, fmt.Errorf("datalog: incremental: derived relation %s was mutated as a base relation", pred)
+			// Nothing has been mutated yet: the prior fixpoint is intact, so
+			// the evaluator stays usable and the caller can drop the tick.
+			return 0, fmt.Errorf("%w: derived relation %s was mutated as a base relation", ErrInconsistentDelta, pred)
 		}
+	}
+	if err := inc.validateDelta(d); err != nil {
+		return 0, err // pre-mutation: prior fixpoint intact, evaluator usable
 	}
 	// One snapshot of the parallelism knob governs the whole batch: both
 	// the per-level component fan-out and the partition count of
@@ -350,6 +413,14 @@ func (inc *Incremental) Apply(d *Delta) (int, error) {
 			for _, ci := range active {
 				n, err := inc.applyComponent(&inc.comps[ci], d, d, workers)
 				if err != nil {
+					// A consistency error raised before any component realized
+					// a change is pre-mutation by construction (each strategy
+					// validates before committing): the fixpoint is intact and
+					// the evaluator stays usable. Past that point the batch is
+					// half-applied and the evaluator must refuse further use.
+					if errors.Is(err, ErrInconsistentDelta) && changes == 0 {
+						return 0, err
+					}
 					inc.broken = true
 					return changes, err
 				}
@@ -379,6 +450,31 @@ func (inc *Incremental) Apply(d *Delta) (int, error) {
 		}
 	}
 	return changes, nil
+}
+
+// validateDelta cross-checks a normalized batch against the database the
+// caller claims to have applied it to: every recorded insert must be
+// present and every recorded delete absent. It catches the realistic
+// corruption classes — a caller that recorded changes without applying
+// them, or applied them twice — before any maintenance state is touched.
+// (A caller that re-reports an unchanged tuple as "realized" is
+// undetectable here; the counting components catch that class when the
+// derivation counts would cross below zero, also before mutating.)
+func (inc *Incremental) validateDelta(d *Delta) error {
+	for _, pred := range d.preds {
+		rel := inc.db.Get(pred)
+		for _, t := range d.added[pred] {
+			if rel == nil || !rel.Contains(t) {
+				return fmt.Errorf("%w: recorded insert %s%v is not present in the base relation", ErrInconsistentDelta, pred, t)
+			}
+		}
+		for _, t := range d.removed[pred] {
+			if rel != nil && rel.Contains(t) {
+				return fmt.Errorf("%w: recorded delete %s%v is still present in the base relation", ErrInconsistentDelta, pred, t)
+			}
+		}
+	}
+	return nil
 }
 
 // touchedBy reports whether the batch changes any of the component's inputs.
@@ -416,7 +512,7 @@ func (inc *Incremental) applyComponent(c *incComponent, in, out *Delta, parts in
 	case c.nonMono:
 		return inc.recompute(c, out, parts)
 	case !c.recursive:
-		return inc.applyCounting(c, in, out), nil
+		return inc.applyCounting(c, in, out)
 	case hasDel:
 		if inc.forceRecompute || !c.dredReady() {
 			return inc.recompute(c, out, parts)
@@ -447,8 +543,12 @@ func (inc *Incremental) warmComponent(c *incComponent, d *Delta) {
 // applyCounting maintains a non-recursive monotone component exactly: the
 // batch's input changes enumerate the derivations gained and lost, signed
 // counts accumulate per head tuple, and zero crossings realize set-level
-// changes (which extend the delta for downstream components).
-func (inc *Incremental) applyCounting(c *incComponent, in, out *Delta) int {
+// changes (which extend the delta for downstream components). The commit is
+// two-phase: the accumulated deltas are validated against the maintained
+// counts first (a crossing below zero means the batch contradicts retained
+// state), so an inconsistent tick surfaces as ErrInconsistentDelta before
+// the component mutates anything.
+func (inc *Incremental) applyCounting(c *incComponent, in, out *Delta) (int, error) {
 	acc := map[string]*tupleCounts{}
 	oldViews := map[string]relView{}
 	oldOf := func(pred string) relView {
@@ -477,6 +577,22 @@ func (inc *Incremental) applyCounting(c *incComponent, in, out *Delta) int {
 			}
 		}
 	}
+	// Phase 1: validate every prospective count against the maintained
+	// state without mutating — a crossing below zero means the delta claims
+	// to retract derivations the component never recorded.
+	for _, h := range c.heads {
+		a := acc[h]
+		if a == nil {
+			continue
+		}
+		cnt := inc.countsFor(h)
+		for _, e := range a.ents {
+			if e.n != 0 && cnt.get(e.t)+e.n < 0 {
+				return 0, fmt.Errorf("%w: derivation count for %s%v would fall below zero", ErrInconsistentDelta, h, e.t)
+			}
+		}
+	}
+	// Phase 2: commit.
 	changes := 0
 	for _, h := range c.heads {
 		a := acc[h]
@@ -490,9 +606,6 @@ func (inc *Incremental) applyCounting(c *incComponent, in, out *Delta) int {
 				continue
 			}
 			old, now := cnt.add(e.t, e.n)
-			if now < 0 {
-				panic(fmt.Sprintf("datalog: incremental: negative derivation count for %s%v", h, e.t))
-			}
 			switch {
 			case old == 0 && now > 0:
 				rel.Insert(e.t)
@@ -506,7 +619,7 @@ func (inc *Incremental) applyCounting(c *incComponent, in, out *Delta) int {
 			}
 		}
 	}
-	return changes
+	return changes, nil
 }
 
 // deltaJoin enumerates the body bindings of r in which position di is the

@@ -461,6 +461,19 @@ func (c *tupleCounts) add(t Tuple, d int) (old, now int) {
 	return 0, d
 }
 
+// get returns t's current count without creating an entry.
+func (c *tupleCounts) get(t Tuple) int {
+	if len(c.m) == 0 {
+		return 0
+	}
+	for _, i := range c.m[hashTuple(t)] {
+		if c.ents[i].t.Equal(t) {
+			return c.ents[i].n
+		}
+	}
+	return 0
+}
+
 // drop removes t's entry entirely (callers drop maintained counts that
 // returned to zero).
 func (c *tupleCounts) drop(t Tuple) {

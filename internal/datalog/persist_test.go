@@ -1,0 +1,314 @@
+package datalog
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// tcProgram is a two-component program: a recursive closure (semi-naive /
+// DRed maintenance) feeding a non-recursive join (counting maintenance) —
+// both persistence-relevant state classes.
+func persistProgram(t testing.TB) *Program {
+	t.Helper()
+	p, err := NewProgram(
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("y")}},
+			Body: []Literal{{Atom: Atom{Pred: "edge", Args: []Term{V("x"), V("y")}}}},
+		},
+		Rule{
+			Head: Atom{Pred: "path", Args: []Term{V("x"), V("z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "path", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "edge", Args: []Term{V("y"), V("z")}}},
+			},
+		},
+		Rule{
+			Head: Atom{Pred: "reach_attr", Args: []Term{V("x"), V("v")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "path", Args: []Term{V("x"), V("y")}}},
+				{Atom: Atom{Pred: "attr", Args: []Term{V("y"), V("v")}}},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStateRoundTrip: capture → restore must reproduce the maintained state
+// exactly, and the restored evaluator must maintain subsequent ticks
+// identically to the original.
+func TestStateRoundTrip(t *testing.T) {
+	p := persistProgram(t)
+	db := NewDatabase()
+	edge := db.Ensure("edge", 2)
+	attr := db.Ensure("attr", 2)
+	for i := int64(0); i < 6; i++ {
+		edge.Insert(Tuple{i, i + 1})
+	}
+	attr.Insert(Tuple{int64(3), int64(30)})
+	attr.Insert(Tuple{int64(6), int64(60)})
+	inc, err := NewIncremental(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn a little so counts have seen drops and re-adds.
+	d := NewDelta()
+	edge.Delete(Tuple{int64(2), int64(3)})
+	d.Delete("edge", Tuple{int64(2), int64(3)})
+	if _, err := inc.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	d = NewDelta()
+	edge.Insert(Tuple{int64(2), int64(3)})
+	d.Insert("edge", Tuple{int64(2), int64(3)})
+	if _, err := inc.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := inc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDatabase()
+	inc2, err := RestoreIncremental(p, db2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffDatabases("restored vs original", inc2.DB(), inc.DB()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both evaluators must track the same future ticks, including deletes
+	// that exercise the restored derivation counts and DRed.
+	mutate := func(e *Incremental, del bool, tup Tuple) {
+		d := NewDelta()
+		rel := e.DB().Get("edge")
+		if del {
+			if rel.Delete(tup) {
+				d.Delete("edge", tup)
+			}
+		} else if rel.Insert(tup) {
+			d.Insert("edge", tup)
+		}
+		if _, err := e.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := []struct {
+		del bool
+		tup Tuple
+	}{
+		{false, Tuple{int64(6), int64(0)}}, // close the cycle
+		{true, Tuple{int64(3), int64(4)}},  // cut the chain
+		{true, Tuple{int64(6), int64(0)}},
+		{false, Tuple{int64(3), int64(4)}},
+	}
+	for _, s := range steps {
+		mutate(inc, s.del, s.tup)
+		mutate(inc2, s.del, s.tup)
+		if err := diffDatabases("restored vs original after tick", inc2.DB(), inc.DB()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// And the re-captured states must be structurally identical (orders
+	// included) — the byte-for-byte recovery guarantee rests on this.
+	st1, err := inc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := inc2.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st1.Relations) != len(st2.Relations) || len(st1.Counts) != len(st2.Counts) {
+		t.Fatalf("state shapes diverge: %d/%d relations, %d/%d counts",
+			len(st1.Relations), len(st2.Relations), len(st1.Counts), len(st2.Counts))
+	}
+	for i := range st1.Relations {
+		a, b := st1.Relations[i], st2.Relations[i]
+		if a.Name != b.Name || a.Arity != b.Arity || len(a.Tuples) != len(b.Tuples) {
+			t.Fatalf("relation state %s diverges", a.Name)
+		}
+		for j := range a.Tuples {
+			if !a.Tuples[j].Equal(b.Tuples[j]) {
+				t.Fatalf("relation %s tuple order diverges at %d: %v vs %v", a.Name, j, a.Tuples[j], b.Tuples[j])
+			}
+		}
+	}
+	for i := range st1.Counts {
+		a, b := st1.Counts[i], st2.Counts[i]
+		if a.Pred != b.Pred || len(a.Entries) != len(b.Entries) {
+			t.Fatalf("counts state %s diverges", a.Pred)
+		}
+		for j := range a.Entries {
+			if !a.Entries[j].Tuple.Equal(b.Entries[j].Tuple) || a.Entries[j].Count != b.Entries[j].Count {
+				t.Fatalf("counts %s entry %d diverges", a.Pred, j)
+			}
+		}
+	}
+}
+
+// TestStateRoundTripRandomized: the three-way differential harness's
+// program shapes, with a capture/restore in the middle of a random tick
+// sequence — the restored evaluator must stay equivalent to scratch Eval.
+func TestStateRoundTripRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p, err := NewProgram(randRules(r)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edb := randEDB(r)
+		inc, err := NewIncremental(p, edb.Clone())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for tick := 0; tick < 8; tick++ {
+			d := NewDelta()
+			for n := 0; n < 1+r.Intn(3); n++ {
+				pred := edbPreds[r.Intn(len(edbPreds))]
+				if r.Intn(3) > 0 {
+					tup := randEDBTuple(r, pred)
+					if edb.Get(pred).Insert(tup) {
+						inc.DB().Get(pred).Insert(tup)
+						d.Insert(pred, tup)
+					}
+				} else if existing := edb.Get(pred).Tuples(); len(existing) > 0 {
+					tup := existing[r.Intn(len(existing))]
+					edb.Get(pred).Delete(tup)
+					inc.DB().Get(pred).Delete(tup)
+					d.Delete(pred, tup)
+				}
+			}
+			if _, err := inc.Apply(d); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if tick == 3 { // close/reopen mid-sequence
+				st, err := inc.State()
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				inc, err = RestoreIncremental(p, NewDatabase(), st)
+				if err != nil {
+					t.Fatalf("seed %d: restore: %v", seed, err)
+				}
+			}
+			ref := edb.Clone()
+			if _, err := p.Eval(ref); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := diffDatabases("restored incremental vs compiled", inc.DB(), ref); err != nil {
+				t.Fatalf("seed %d tick %d: %v", seed, tick, err)
+			}
+		}
+	}
+}
+
+// TestRestoreRejectsCorruptState: hand-corrupted states must be refused.
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	p := persistProgram(t)
+	db := NewDatabase()
+	db.Ensure("edge", 2).Insert(Tuple{"a", "b"})
+	db.Ensure("attr", 2).Insert(Tuple{"b", int64(1)})
+	inc, err := NewIncremental(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := inc.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(st *FixpointState){
+		"count for non-counting pred": func(st *FixpointState) {
+			st.Counts = append(st.Counts, CountsState{Pred: "path", Entries: []CountEntry{{Tuple: Tuple{"a", "b"}, Count: 1}}})
+		},
+		"non-positive count": func(st *FixpointState) {
+			st.Counts[0].Entries[0].Count = 0
+		},
+		"counted tuple missing from fixpoint": func(st *FixpointState) {
+			st.Counts[0].Entries[0].Tuple = Tuple{"zz", int64(9)}
+		},
+		"uncounted fixpoint tuple": func(st *FixpointState) {
+			st.Counts = nil
+		},
+	}
+	for name, corrupt := range cases {
+		st, err := inc.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupt(st)
+		if _, err := RestoreIncremental(p, NewDatabase(), st); err == nil {
+			t.Errorf("%s: restore must fail", name)
+		}
+	}
+	// The untouched capture still restores.
+	if _, err := RestoreIncremental(p, NewDatabase(), good); err != nil {
+		t.Fatalf("good state must restore: %v", err)
+	}
+}
+
+// TestApplyRejectsInconsistentDelta: batches contradicting retained state
+// surface ErrInconsistentDelta pre-mutation — the prior fixpoint stays
+// intact and the evaluator keeps serving (the graceful-degradation
+// regression for the serving loop).
+func TestApplyRejectsInconsistentDelta(t *testing.T) {
+	setup := func() (*Incremental, *Database) {
+		p := persistProgram(t)
+		db := NewDatabase()
+		db.Ensure("edge", 2).Insert(Tuple{"a", "b"})
+		db.Ensure("attr", 2).Insert(Tuple{"b", int64(1)})
+		inc, err := NewIncremental(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inc, db
+	}
+
+	t.Run("insert never applied", func(t *testing.T) {
+		inc, _ := setup()
+		d := NewDelta()
+		d.Insert("edge", Tuple{"x", "y"}) // not actually in the relation
+		if _, err := inc.Apply(d); !errors.Is(err, ErrInconsistentDelta) {
+			t.Fatalf("want ErrInconsistentDelta, got %v", err)
+		}
+	})
+	t.Run("delete never applied", func(t *testing.T) {
+		inc, _ := setup()
+		d := NewDelta()
+		d.Delete("edge", Tuple{"a", "b"}) // still present
+		if _, err := inc.Apply(d); !errors.Is(err, ErrInconsistentDelta) {
+			t.Fatalf("want ErrInconsistentDelta, got %v", err)
+		}
+	})
+	t.Run("phantom delete breaks counts", func(t *testing.T) {
+		// A delete of a tuple that was never present passes the membership
+		// check (it is absent now) but would drive a derivation count of the
+		// counting component below zero: the two-phase commit must surface
+		// the error before mutating.
+		inc, db := setup()
+		d := NewDelta()
+		d.Delete("attr", Tuple{"b", int64(7)}) // never existed; joins with path(a,b)
+		_, err := inc.Apply(d)
+		if !errors.Is(err, ErrInconsistentDelta) {
+			t.Fatalf("want ErrInconsistentDelta, got %v", err)
+		}
+		if !inc.DB().Get("reach_attr").Contains(Tuple{"a", int64(1)}) {
+			t.Fatal("prior fixpoint must stay intact")
+		}
+		// Still serving: a good tick lands.
+		db.Get("edge").Insert(Tuple{"b", "c"})
+		good := NewDelta()
+		good.Insert("edge", Tuple{"b", "c"})
+		if _, err := inc.Apply(good); err != nil {
+			t.Fatalf("evaluator must keep serving: %v", err)
+		}
+		if !inc.DB().Get("path").Contains(Tuple{"a", "c"}) {
+			t.Fatal("good tick after rejection must maintain the fixpoint")
+		}
+	})
+}

@@ -1,0 +1,346 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"hydro/internal/datalog"
+	"hydro/internal/storage"
+)
+
+// Snapshots are staged through the Storage interface — an ordered key-value
+// container — before touching the file system, and decoded back through one
+// on recovery. internal/storage's B+-tree is the first backend (its ordered
+// Scan is what streams the file deterministically); a paged or
+// larger-than-memory backend can slot in behind the same five methods.
+//
+// Keyspace (lexicographic order is the file order):
+//
+//	c/<pred>/<index %010d>  → tuple ‖ uvarint count   (derivation counts)
+//	m/seq                   → uvarint seq              (last seq covered)
+//	r/<name>                → uvarint arity            (relation header)
+//	t/<name>/<index %010d>  → tuple                    (insertion order)
+//
+// File format: 8-byte magic "HYSNAP1\n", then per entry (uvarint key length,
+// key, uvarint value length, value), then a u32 LE CRC32C of everything
+// before it. The file is written to a temp name, fsynced, and renamed over
+// the live snapshot — commit is the rename, so recovery sees either the old
+// snapshot or the new one, never a hybrid; the CRC rejects any torn temp
+// file that was renamed by a buggy layer anyway.
+
+// Storage is the ordered key-value staging area a snapshot is built in and
+// decoded from. *storage.BTree satisfies it.
+type Storage interface {
+	Put(key string, val any)
+	Get(key string) (any, bool)
+	Delete(key string) bool
+	Scan(startKey, endKey string, f func(key string, val any) bool)
+	Len() int
+}
+
+var _ Storage = (*storage.BTree)(nil)
+
+const (
+	snapName    = "snapshot.snap"
+	snapTmpName = "snapshot.snap.tmp"
+	snapMagic   = "HYSNAP1\n"
+)
+
+// stageState lays a fixpoint state (plus the seq it covers) into st.
+func stageState(st Storage, seq uint64, fx *datalog.FixpointState) error {
+	st.Put("m/seq", binary.AppendUvarint(nil, seq))
+	for _, rs := range fx.Relations {
+		if strings.ContainsRune(rs.Name, '/') {
+			return fmt.Errorf("durable: relation name %q contains '/'", rs.Name)
+		}
+		st.Put("r/"+rs.Name, binary.AppendUvarint(nil, uint64(rs.Arity)))
+		for i, t := range rs.Tuples {
+			b, err := appendTuple(nil, t)
+			if err != nil {
+				return err
+			}
+			st.Put(fmt.Sprintf("t/%s/%010d", rs.Name, i), b)
+		}
+	}
+	for _, cs := range fx.Counts {
+		for i, e := range cs.Entries {
+			b, err := appendTuple(nil, e.Tuple)
+			if err != nil {
+				return err
+			}
+			b = binary.AppendUvarint(b, uint64(e.Count))
+			st.Put(fmt.Sprintf("c/%s/%010d", cs.Pred, i), b)
+		}
+	}
+	return nil
+}
+
+// unstageState rebuilds a fixpoint state from a staged snapshot.
+func unstageState(st Storage) (seq uint64, fx *datalog.FixpointState, err error) {
+	fx = &datalog.FixpointState{}
+	rels := map[string]*datalog.RelationState{}
+	counts := map[string]*datalog.CountsState{}
+	var names, countPreds []string
+	st.Scan("", "", func(key string, val any) bool {
+		b, ok := val.([]byte)
+		if !ok {
+			err = fmt.Errorf("durable: snapshot key %q holds %T, not bytes", key, val)
+			return false
+		}
+		switch {
+		case key == "m/seq":
+			seq, _ = binary.Uvarint(b)
+		case strings.HasPrefix(key, "r/"):
+			name := key[2:]
+			arity, _ := binary.Uvarint(b)
+			rels[name] = &datalog.RelationState{Name: name, Arity: int(arity)}
+			names = append(names, name)
+		case strings.HasPrefix(key, "t/"):
+			name, _, ok := splitIndexedKey(key[2:])
+			if !ok || rels[name] == nil {
+				err = fmt.Errorf("durable: tuple key %q has no relation header", key)
+				return false
+			}
+			t, rest, terr := readTuple(b)
+			if terr != nil || len(rest) != 0 {
+				err = fmt.Errorf("durable: snapshot tuple %q: %v", key, terr)
+				return false
+			}
+			// Scan order is key order, and the zero-padded index makes key
+			// order insertion order.
+			rels[name].Tuples = append(rels[name].Tuples, t)
+		case strings.HasPrefix(key, "c/"):
+			pred, _, ok := splitIndexedKey(key[2:])
+			if !ok {
+				err = fmt.Errorf("durable: malformed count key %q", key)
+				return false
+			}
+			t, rest, terr := readTuple(b)
+			if terr != nil {
+				err = fmt.Errorf("durable: snapshot count %q: %v", key, terr)
+				return false
+			}
+			n, sz := binary.Uvarint(rest)
+			if sz <= 0 || sz != len(rest) {
+				err = fmt.Errorf("durable: malformed count value for %q", key)
+				return false
+			}
+			if counts[pred] == nil {
+				counts[pred] = &datalog.CountsState{Pred: pred}
+				countPreds = append(countPreds, pred)
+			}
+			counts[pred].Entries = append(counts[pred].Entries, datalog.CountEntry{Tuple: t, Count: int(n)})
+		default:
+			err = fmt.Errorf("durable: unknown snapshot key %q", key)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	sort.Strings(names) // datalog.State() order: sorted relation names
+	for _, n := range names {
+		rs := rels[n]
+		if len(rs.Tuples) == 0 {
+			rs.Tuples = nil
+		}
+		fx.Relations = append(fx.Relations, *rs)
+	}
+	sort.Strings(countPreds)
+	for _, p := range countPreds {
+		fx.Counts = append(fx.Counts, *counts[p])
+	}
+	return seq, fx, nil
+}
+
+// splitIndexedKey splits "<name>/<index>" on the LAST slash (relation names
+// never contain one; stageState enforces that).
+func splitIndexedKey(s string) (name, idx string, ok bool) {
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// encodeSnapshot serializes a staged Storage to the on-disk image
+// (CRC-trailed).
+func encodeSnapshot(st Storage) []byte {
+	b := []byte(snapMagic)
+	st.Scan("", "", func(key string, val any) bool {
+		b = appendString(b, key)
+		vb := val.([]byte)
+		b = binary.AppendUvarint(b, uint64(len(vb)))
+		b = append(b, vb...)
+		return true
+	})
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// forEachSnapEntry verifies a snapshot image (magic + CRC) and streams its
+// entries in file order — the recovery fast path, which must not pay for
+// staging 10k+ entries through a B-tree it will immediately tear back down.
+// key and val alias data; the callback must not retain them.
+func forEachSnapEntry(data []byte, f func(key, val []byte) error) error {
+	if len(data) < len(snapMagic)+4 {
+		return fmt.Errorf("durable: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("durable: bad snapshot magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("durable: snapshot CRC mismatch")
+	}
+	b := body[len(snapMagic):]
+	for len(b) > 0 {
+		klen, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < klen {
+			return fmt.Errorf("durable: snapshot entry: truncated key")
+		}
+		key := b[sz : sz+int(klen)]
+		b = b[sz+int(klen):]
+		vlen, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < vlen {
+			return fmt.Errorf("durable: snapshot entry %q: truncated value", key)
+		}
+		val := b[sz : sz+int(vlen)]
+		b = b[sz+int(vlen):]
+		if err := f(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapSeqOf extracts just the covered seq from a snapshot image — what Open
+// needs to compute the replay floor without materializing the whole state.
+func snapSeqOf(data []byte) (uint64, error) {
+	var seq uint64
+	found := false
+	errStop := fmt.Errorf("stop")
+	err := forEachSnapEntry(data, func(key, val []byte) error {
+		if string(key) == "m/seq" {
+			seq, _ = binary.Uvarint(val)
+			found = true
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("durable: snapshot has no m/seq entry")
+	}
+	return seq, nil
+}
+
+// unstageBytes rebuilds a FixpointState straight from a snapshot image.
+// Entries arrive in key order, which the zero-padded indexes make exactly
+// the order State() emits: relations sorted by name, tuples in insertion
+// order, count entries first-seen. So the state is assembled append-only,
+// no sorting, no intermediate Storage.
+func unstageBytes(data []byte) (seq uint64, fx *datalog.FixpointState, err error) {
+	fx = &datalog.FixpointState{}
+	relIdx := -1 // cursor into fx.Relations for the open 't/' group
+	var arena tupleArena
+	err = forEachSnapEntry(data, func(key, val []byte) error {
+		if len(key) < 2 || key[1] != '/' {
+			return fmt.Errorf("durable: unknown snapshot key %q", key)
+		}
+		switch key[0] {
+		case 'm':
+			if string(key) != "m/seq" {
+				return fmt.Errorf("durable: unknown snapshot key %q", key)
+			}
+			seq, _ = binary.Uvarint(val)
+		case 'r':
+			arity, _ := binary.Uvarint(val)
+			fx.Relations = append(fx.Relations, datalog.RelationState{Name: string(key[2:]), Arity: int(arity)})
+		case 't':
+			i := bytes.LastIndexByte(key[2:], '/')
+			if i < 0 {
+				return fmt.Errorf("durable: malformed tuple key %q", key)
+			}
+			name := key[2 : 2+i]
+			// Every 'r/' header sorts before every 't/' entry, and tuple
+			// groups arrive in the headers' name order, so the group's
+			// relation is found by advancing the cursor (string(name) in a
+			// comparison does not allocate).
+			if relIdx < 0 || fx.Relations[relIdx].Name != string(name) {
+				for relIdx++; relIdx < len(fx.Relations) && fx.Relations[relIdx].Name != string(name); relIdx++ {
+				}
+				if relIdx >= len(fx.Relations) {
+					return fmt.Errorf("durable: tuple key %q has no relation header", key)
+				}
+			}
+			t, rest, terr := readTupleAlloc(val, &arena)
+			if terr != nil || len(rest) != 0 {
+				return fmt.Errorf("durable: snapshot tuple %q: %v", key, terr)
+			}
+			fx.Relations[relIdx].Tuples = append(fx.Relations[relIdx].Tuples, t)
+		case 'c':
+			i := bytes.LastIndexByte(key[2:], '/')
+			if i < 0 {
+				return fmt.Errorf("durable: malformed count key %q", key)
+			}
+			pred := key[2 : 2+i]
+			if n := len(fx.Counts); n == 0 || fx.Counts[n-1].Pred != string(pred) {
+				fx.Counts = append(fx.Counts, datalog.CountsState{Pred: string(pred)})
+			}
+			t, rest, terr := readTuple(val)
+			if terr != nil {
+				return fmt.Errorf("durable: snapshot count %q: %v", key, terr)
+			}
+			n, sz := binary.Uvarint(rest)
+			if sz <= 0 || sz != len(rest) {
+				return fmt.Errorf("durable: malformed count value for %q", key)
+			}
+			cs := &fx.Counts[len(fx.Counts)-1]
+			cs.Entries = append(cs.Entries, datalog.CountEntry{Tuple: t, Count: int(n)})
+		default:
+			return fmt.Errorf("durable: unknown snapshot key %q", key)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, fx, nil
+}
+
+// decodeSnapshot verifies a snapshot image and loads it into a fresh
+// B-tree-backed Storage.
+func decodeSnapshot(data []byte) (Storage, error) {
+	if len(data) < len(snapMagic)+4 {
+		return nil, fmt.Errorf("durable: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("durable: bad snapshot magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("durable: snapshot CRC mismatch")
+	}
+	st := storage.NewBTree()
+	b := body[len(snapMagic):]
+	for len(b) > 0 {
+		key, rest, err := readString(b)
+		if err != nil {
+			return nil, fmt.Errorf("durable: snapshot entry: %w", err)
+		}
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < n {
+			return nil, fmt.Errorf("durable: snapshot entry %q: truncated value", key)
+		}
+		st.Put(key, append([]byte(nil), rest[sz:sz+int(n)]...))
+		b = rest[sz+int(n):]
+	}
+	return st, nil
+}

@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkInvariants walks the whole tree and fails on any structural
+// violation: key order within and across nodes, child/key arity, occupancy
+// (≥ btMinKeys for every non-root node), uniform leaf depth, and a leaf
+// chain that visits exactly the tree's keys in order.
+func checkInvariants(t *testing.T, bt *BTree) {
+	t.Helper()
+	leafDepth := -1
+	var leaves []*btNode
+	var walk func(n *btNode, depth int, lo, hi string)
+	walk = func(n *btNode, depth int, lo, hi string) {
+		if n != bt.root && len(n.keys) < btMinKeys {
+			t.Fatalf("node underflow: %d keys < %d (keys %v)", len(n.keys), btMinKeys, n.keys)
+		}
+		if len(n.keys) > btreeOrder {
+			t.Fatalf("node overflow: %d keys", len(n.keys))
+		}
+		if !sort.StringsAreSorted(n.keys) {
+			t.Fatalf("unsorted node keys %v", n.keys)
+		}
+		for _, k := range n.keys {
+			if k < lo || (hi != "" && k >= hi) {
+				t.Fatalf("key %q outside separator bounds [%q, %q)", k, lo, hi)
+			}
+		}
+		if n.leaf {
+			if len(n.values) != len(n.keys) {
+				t.Fatalf("leaf has %d values for %d keys", len(n.values), len(n.keys))
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("ragged leaves: depth %d vs %d", depth, leafDepth)
+			}
+			leaves = append(leaves, n)
+			return
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("internal node has %d children for %d keys", len(n.children), len(n.keys))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			walk(c, depth+1, clo, chi)
+		}
+	}
+	walk(bt.root, 1, "", "")
+
+	// The leaf chain must thread the in-order leaves exactly, and carry
+	// exactly size keys.
+	n := bt.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	total, i := 0, 0
+	for ; n != nil; n = n.next {
+		if i >= len(leaves) || leaves[i] != n {
+			t.Fatal("leaf chain diverges from in-order leaves (stale next pointer after merge?)")
+		}
+		i++
+		total += len(n.keys)
+	}
+	if i != len(leaves) {
+		t.Fatalf("leaf chain visits %d of %d leaves", i, len(leaves))
+	}
+	if total != bt.size {
+		t.Fatalf("leaves hold %d keys, size says %d", total, bt.size)
+	}
+}
+
+// TestBTreeDeleteRootCollapse: draining a multi-level tree shrinks it back
+// — depth falls as keys go, ending at a single empty leaf root — and the
+// surviving prefix stays fully scannable at every step.
+func TestBTreeDeleteRootCollapse(t *testing.T) {
+	bt := NewBTree()
+	const n = 4000
+	for _, k := range rand.New(rand.NewSource(3)).Perm(n) {
+		bt.Put(fmt.Sprintf("k%06d", k), k)
+	}
+	if bt.Depth() < 3 {
+		t.Fatalf("setup: depth = %d, want ≥ 3", bt.Depth())
+	}
+	for k := n - 1; k >= 0; k-- {
+		if !bt.Delete(fmt.Sprintf("k%06d", k)) {
+			t.Fatalf("k%06d missing", k)
+		}
+		if k%997 == 0 {
+			checkInvariants(t, bt)
+		}
+	}
+	if bt.Len() != 0 || bt.Depth() != 1 {
+		t.Fatalf("drained tree: len %d depth %d, want 0 and 1", bt.Len(), bt.Depth())
+	}
+	if _, _, ok := bt.Min(); ok {
+		t.Fatal("Min on drained tree")
+	}
+	checkInvariants(t, bt)
+	// The drained tree is still a working tree.
+	bt.Put("x", 1)
+	if v, ok := bt.Get("x"); !ok || v != 1 {
+		t.Fatal("drained tree unusable")
+	}
+}
+
+// TestBTreeDeleteMergePaths hits both borrow directions and sibling merges:
+// deleting every other key starves alternating leaves, forcing borrows
+// first, merges once both siblings sit at minimum.
+func TestBTreeDeleteMergePaths(t *testing.T) {
+	bt := NewBTree()
+	const n = 2048
+	for i := 0; i < n; i++ {
+		bt.Put(fmt.Sprintf("k%06d", i), i)
+	}
+	depthBefore := bt.Depth()
+	for i := 0; i < n; i += 2 {
+		bt.Delete(fmt.Sprintf("k%06d", i))
+	}
+	checkInvariants(t, bt)
+	for i := 1; i < n; i += 4 {
+		bt.Delete(fmt.Sprintf("k%06d", i))
+	}
+	checkInvariants(t, bt)
+	if bt.Len() != n/4 {
+		t.Fatalf("len = %d, want %d", bt.Len(), n/4)
+	}
+	if bt.Depth() >= depthBefore && depthBefore > 2 {
+		t.Fatalf("depth %d did not shrink from %d after deleting 3/4 of keys", bt.Depth(), depthBefore)
+	}
+	// Remaining keys are exactly i ≡ 3 (mod 4).
+	want := 0
+	bt.Scan("", "", func(k string, v any) bool {
+		if v.(int)%4 != 3 {
+			t.Fatalf("unexpected survivor %q", k)
+		}
+		want++
+		return true
+	})
+	if want != n/4 {
+		t.Fatalf("scan visited %d, want %d", want, n/4)
+	}
+}
+
+// TestBTreeRangeScanAcrossDeletes: range scans spanning leaves that were
+// split by inserts and then merged by deletes must stay exact — the leaf
+// chain is the scan's spine and every merge splices it.
+func TestBTreeRangeScanAcrossDeletes(t *testing.T) {
+	bt := NewBTree()
+	const n = 1000
+	for _, k := range rand.New(rand.NewSource(11)).Perm(n) {
+		bt.Put(fmt.Sprintf("k%06d", k), k)
+	}
+	r := rand.New(rand.NewSource(12))
+	alive := map[int]bool{}
+	for i := 0; i < n; i++ {
+		alive[i] = true
+	}
+	for i := 0; i < 700; i++ {
+		k := r.Intn(n)
+		if alive[k] {
+			delete(alive, k)
+			if !bt.Delete(fmt.Sprintf("k%06d", k)) {
+				t.Fatalf("k%06d missing", k)
+			}
+		}
+	}
+	checkInvariants(t, bt)
+	for trial := 0; trial < 50; trial++ {
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo) + 1
+		var got []string
+		bt.Scan(fmt.Sprintf("k%06d", lo), fmt.Sprintf("k%06d", hi), func(k string, v any) bool {
+			got = append(got, k)
+			return true
+		})
+		var want []string
+		for k := lo; k < hi; k++ {
+			if alive[k] {
+				want = append(want, fmt.Sprintf("k%06d", k))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range [%d,%d): scanned %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range [%d,%d) position %d: %q != %q", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBTreeDeleteRandomizedOracle: long random insert/delete churn against
+// a map oracle, with full structural invariant checks along the way.
+func TestBTreeDeleteRandomizedOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		bt := NewBTree()
+		ref := map[string]int{}
+		for step := 0; step < 6000; step++ {
+			k := fmt.Sprintf("k%04d", r.Intn(900))
+			if r.Intn(5) < 3 { // insert-biased so the tree grows, then churns
+				bt.Put(k, step)
+				ref[k] = step
+			} else {
+				_, inRef := ref[k]
+				if bt.Delete(k) != inRef {
+					t.Fatalf("seed %d step %d: delete(%q) disagrees with oracle", seed, step, k)
+				}
+				delete(ref, k)
+			}
+			if step%1499 == 0 {
+				checkInvariants(t, bt)
+			}
+		}
+		checkInvariants(t, bt)
+		if bt.Len() != len(ref) {
+			t.Fatalf("seed %d: len %d vs oracle %d", seed, bt.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got, ok := bt.Get(k); !ok || got != v {
+				t.Fatalf("seed %d: Get(%q) = %v,%v want %v", seed, k, got, ok, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package transducer
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hydro/internal/datalog"
+	"hydro/internal/durable"
+)
+
+// reachQueries is a non-recursive counted join — the maintenance strategy
+// most sensitive to out-of-band corruption (derivation counts must match
+// the database exactly).
+func reachQueries(t *testing.T) *datalog.Program {
+	t.Helper()
+	p, err := datalog.NewProgram(datalog.Rule{
+		Head: datalog.Atom{Pred: "reach", Args: []datalog.Term{datalog.V("x"), datalog.V("v")}},
+		Body: []datalog.Literal{
+			{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+			{Atom: datalog.Atom{Pred: "attr", Args: []datalog.Term{datalog.V("y"), datalog.V("v")}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// durableRuntime assembles the full boot path: registered tables, recovery
+// from the durability directory, and the store attached as the tick loop's
+// sink.
+func durableRuntime(t *testing.T, fs durable.FS, p *datalog.Program) (*Runtime, *durable.Store) {
+	t.Helper()
+	store, err := durable.Open(durable.Options{FS: fs, SnapshotEveryRecords: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New("n1", 1)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+	rt.RegisterTable(TableSchema{Name: "attr", Arity: 2})
+	rt.RegisterHandler("mut", func(tx *Tx, msg Message) {
+		table, op := msg.Payload[0].(string), msg.Payload[1].(string)
+		row := datalog.Tuple{msg.Payload[2], msg.Payload[3]}
+		if op == "del" {
+			tx.Delete(table, row)
+		} else {
+			tx.MergeTuple(table, row)
+		}
+	})
+	if err := rt.RecoverQueriesIncremental(p, store.Recover); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetDurability(store); err != nil {
+		t.Fatal(err)
+	}
+	return rt, store
+}
+
+func mutTick(t *testing.T, rt *Runtime, table, op string, a, b int64) {
+	t.Helper()
+	rt.Inject("mut", datalog.Tuple{table, op, a, b})
+	rt.Tick()
+}
+
+// TestDurableRuntimeRecovers: a runtime journaling through a durable.Store
+// resumes after a restart with tables and maintained fixpoint intact, and
+// keeps maintaining incrementally.
+func TestDurableRuntimeRecovers(t *testing.T) {
+	fs := durable.NewFaultFS()
+	rt, store := durableRuntime(t, fs, reachQueries(t))
+	mutTick(t, rt, "edge", "ins", 1, 2)
+	mutTick(t, rt, "attr", "ins", 2, 7)
+	mutTick(t, rt, "edge", "ins", 5, 2)
+	mutTick(t, rt, "edge", "del", 5, 2)
+	if got := store.LastSeq(); got != 4 {
+		t.Fatalf("LastSeq = %d, want 4 (one per effectful tick)", got)
+	}
+	if !rt.Table("reach").Contains(datalog.Tuple{int64(1), int64(7)}) {
+		t.Fatalf("fixpoint wrong before restart: reach = %v", rt.Table("reach").Tuples())
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, store2 := durableRuntime(t, fs, reachQueries(t))
+	defer store2.Close()
+	if got := store2.LastSeq(); got != 4 {
+		t.Fatalf("recovered LastSeq = %d, want 4", got)
+	}
+	if got := rt2.Table("edge").Len(); got != 1 {
+		t.Fatalf("recovered edge table has %d rows, want 1: %v", got, rt2.Table("edge").Tuples())
+	}
+	if !rt2.Table("reach").Contains(datalog.Tuple{int64(1), int64(7)}) || rt2.Table("reach").Len() != 1 {
+		t.Fatalf("recovered fixpoint wrong: reach = %v", rt2.Table("reach").Tuples())
+	}
+	// The recovered runtime keeps ticking durably.
+	mutTick(t, rt2, "attr", "ins", 2, 8)
+	if !rt2.Table("reach").Contains(datalog.Tuple{int64(1), int64(8)}) {
+		t.Fatalf("recovered runtime stopped maintaining: reach = %v", rt2.Table("reach").Tuples())
+	}
+	if got := store2.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq after resumed tick = %d, want 5", got)
+	}
+}
+
+// TestRejectedTickKeepsServing: an out-of-band table write desynchronizes
+// the evaluator's derivation counts; the tick that trips over it is rolled
+// back whole — journal aborted, mutations undone, sends dropped — and the
+// runtime keeps serving. The journal never sees the rejected tick, so
+// recovery replays only the committed history.
+func TestRejectedTickKeepsServing(t *testing.T) {
+	fs := durable.NewFaultFS()
+	rt, store := durableRuntime(t, fs, reachQueries(t))
+	mutTick(t, rt, "edge", "ins", 1, 2)
+	mutTick(t, rt, "attr", "ins", 2, 7)
+
+	// Out-of-band corruption: the evaluator never saw this edge, so its
+	// reach(3,7) derivation is uncounted.
+	rt.Table("edge").Insert(datalog.Tuple{int64(3), int64(2)})
+
+	// Deleting it drives the derivation count negative: clean rejection.
+	rt.RegisterHandler("evil", func(tx *Tx, msg Message) {
+		tx.Delete("edge", datalog.Tuple{int64(3), int64(2)})
+		tx.Send("never", datalog.Tuple{int64(1)})
+	})
+	rt.Inject("evil", datalog.Tuple{int64(0)})
+	rt.Tick()
+	if got := rt.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	if err := rt.LastRejection(); !errors.Is(err, datalog.ErrInconsistentDelta) {
+		t.Fatalf("LastRejection = %v, want ErrInconsistentDelta", err)
+	}
+	if !rt.Table("edge").Contains(datalog.Tuple{int64(3), int64(2)}) {
+		t.Fatal("rejected tick's delete not rolled back")
+	}
+	if got := store.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (rejected tick's record aborted)", got)
+	}
+	if got := rt.Stats().Sent; got != 0 {
+		t.Fatalf("rejected tick leaked %d sends", got)
+	}
+
+	// Still serving: a good tick commits normally.
+	mutTick(t, rt, "attr", "ins", 2, 9)
+	if !rt.Table("reach").Contains(datalog.Tuple{int64(1), int64(9)}) {
+		t.Fatalf("runtime stopped maintaining after rejection: reach = %v", rt.Table("reach").Tuples())
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees only the journaled history: three committed ticks, no
+	// out-of-band edge, no rejected delete.
+	rt2, store2 := durableRuntime(t, fs, reachQueries(t))
+	defer store2.Close()
+	if got := store2.LastSeq(); got != 3 {
+		t.Fatalf("recovered LastSeq = %d, want 3", got)
+	}
+	if rt2.Table("edge").Contains(datalog.Tuple{int64(3), int64(2)}) {
+		t.Fatal("unjournaled out-of-band edge resurrected by recovery")
+	}
+	if rt2.Table("reach").Len() != 2 {
+		t.Fatalf("recovered fixpoint wrong: reach = %v", rt2.Table("reach").Tuples())
+	}
+}
+
+// TestDerivedWriteRejectsTick: a handler writing a derived relation is
+// rejected before anything reaches the journal or the fixpoint, and the
+// runtime keeps serving (this used to panic the node).
+func TestDerivedWriteRejectsTick(t *testing.T) {
+	fs := durable.NewFaultFS()
+	rt, store := durableRuntime(t, fs, reachQueries(t))
+	defer store.Close()
+	mutTick(t, rt, "edge", "ins", 1, 2)
+
+	rt.RegisterHandler("bad", func(tx *Tx, msg Message) {
+		tx.MergeTuple("edge", datalog.Tuple{int64(4), int64(5)})
+		tx.MergeTuple("reach", datalog.Tuple{int64(9), int64(9)})
+	})
+	rt.Inject("bad", datalog.Tuple{int64(0)})
+	rt.Tick()
+	if got := rt.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	if rt.Table("edge").Contains(datalog.Tuple{int64(4), int64(5)}) {
+		t.Fatal("mutation staged before the derived write not rolled back")
+	}
+	if got := store.LastSeq(); got != 1 {
+		t.Fatalf("LastSeq = %d, want 1 (rejected tick never journaled)", got)
+	}
+	mutTick(t, rt, "attr", "ins", 2, 7)
+	if !rt.Table("reach").Contains(datalog.Tuple{int64(1), int64(7)}) {
+		t.Fatal("runtime stopped maintaining after rejection")
+	}
+}
+
+// TestAppendFailureRejectsTick: when the sink cannot journal a tick (disk
+// full, injected crash), the tick is rolled back and the node keeps serving
+// in-memory; after a restart the recovered state is the last journaled one.
+func TestAppendFailureRejectsTick(t *testing.T) {
+	fs := durable.NewFaultFS()
+	rt, store := durableRuntime(t, fs, reachQueries(t))
+	mutTick(t, rt, "edge", "ins", 1, 2)
+	mutTick(t, rt, "attr", "ins", 2, 7)
+
+	fs.CrashAfterBytes(4) // the next append tears mid-record
+	mutTick(t, rt, "edge", "ins", 5, 2)
+	if got := rt.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	if !errors.Is(rt.LastRejection(), durable.ErrCrashed) {
+		t.Fatalf("LastRejection = %v, want ErrCrashed", rt.LastRejection())
+	}
+	if rt.Table("edge").Contains(datalog.Tuple{int64(5), int64(2)}) {
+		t.Fatal("unjournaled mutation not rolled back")
+	}
+	// The store has latched failed: later effectful ticks are rejected too,
+	// but the node itself keeps running.
+	mutTick(t, rt, "edge", "ins", 6, 2)
+	if got := rt.Stats().Rejected; got != 2 {
+		t.Fatalf("Rejected = %d, want 2 (store failed, ticks refused)", got)
+	}
+	if store.Failed() == nil {
+		t.Fatal("store must latch failure after the torn append")
+	}
+
+	// Restart: the torn record is truncated, the two committed ticks replay.
+	fs.Revive()
+	rt2, store2 := durableRuntime(t, fs, reachQueries(t))
+	defer store2.Close()
+	if got := store2.LastSeq(); got != 2 {
+		t.Fatalf("recovered LastSeq = %d, want 2", got)
+	}
+	if !rt2.Table("reach").Contains(datalog.Tuple{int64(1), int64(7)}) || rt2.Table("reach").Len() != 1 {
+		t.Fatalf("recovered fixpoint wrong: reach = %v", rt2.Table("reach").Tuples())
+	}
+}
+
+// stubSink records the durability protocol calls the tick loop makes.
+type stubSink struct {
+	calls   []string
+	lastOps int
+}
+
+func (s *stubSink) Append(d *datalog.Delta) error {
+	s.calls = append(s.calls, "append")
+	s.lastOps = len(d.Ops())
+	return nil
+}
+func (s *stubSink) AbortLast() error {
+	s.calls = append(s.calls, "abort")
+	return nil
+}
+func (s *stubSink) Committed(inc *datalog.Incremental) error {
+	if inc == nil {
+		return fmt.Errorf("Committed called with nil evaluator")
+	}
+	s.calls = append(s.calls, "committed")
+	return nil
+}
+
+// TestDurabilityProtocolOrder pins the sink contract: append before apply,
+// committed after, nothing for no-effect ticks, and incremental mode
+// required to attach at all.
+func TestDurabilityProtocolOrder(t *testing.T) {
+	rt := New("n1", 1)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+	sink := &stubSink{}
+	if err := rt.SetDurability(sink); err == nil {
+		t.Fatal("SetDurability must require incremental query mode")
+	}
+	if err := rt.RegisterQueriesIncremental(tcQueries(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetDurability(sink); err != nil {
+		t.Fatal(err)
+	}
+
+	rt.RegisterHandler("add", func(tx *Tx, msg Message) { tx.MergeTuple("edge", msg.Payload) })
+	rt.RegisterHandler("noop", func(tx *Tx, msg Message) { tx.Assign("x", int64(1)) })
+	rt.RegisterVar("x", int64(0))
+
+	rt.Inject("add", datalog.Tuple{"a", "b"})
+	rt.Tick()
+	if got := fmt.Sprint(sink.calls); got != "[append committed]" {
+		t.Fatalf("effectful tick drove sink calls %v, want [append committed]", sink.calls)
+	}
+	if sink.lastOps == 0 {
+		t.Fatal("journaled delta carried no recorded ops")
+	}
+
+	sink.calls = nil
+	rt.Inject("noop", datalog.Tuple{int64(0)})
+	rt.Tick()
+	if len(sink.calls) != 0 {
+		t.Fatalf("no-table-effect tick drove sink calls %v", sink.calls)
+	}
+	if rt.Var("x") != int64(1) {
+		t.Fatal("assign-only tick did not commit")
+	}
+
+	// Re-registering queries detaches the sink (its journal describes the
+	// old evaluator's history).
+	if err := rt.RegisterQueriesIncremental(tcQueries(t)); err != nil {
+		t.Fatal(err)
+	}
+	sink.calls = nil
+	rt.Inject("add", datalog.Tuple{"b", "c"})
+	rt.Tick()
+	if len(sink.calls) != 0 {
+		t.Fatalf("detached sink still driven: %v", sink.calls)
+	}
+}

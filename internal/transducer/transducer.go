@@ -62,6 +62,19 @@ type Stats struct {
 	Mutations uint64 // applied end-of-tick mutations
 	Sent      uint64 // messages enqueued
 	Aborted   uint64 // handler invocations aborted by invariants
+	Rejected  uint64 // ticks rolled back after the evaluator or sink refused them
+}
+
+// DurabilitySink journals a runtime's realized table deltas so its
+// incremental fixpoint survives restarts; *durable.Store implements it. The
+// tick loop drives the append-before-apply protocol: Append journals the
+// tick's delta, the evaluator applies it, and Committed lets the sink take
+// a snapshot. AbortLast retracts the journaled record when the evaluator
+// rejects the tick after it was appended.
+type DurabilitySink interface {
+	Append(d *datalog.Delta) error
+	AbortLast() error
+	Committed(inc *datalog.Incremental) error
 }
 
 // Runtime is one transducer: a logical single-node event loop.
@@ -80,6 +93,11 @@ type Runtime struct {
 	// caches the query head predicates while incremental mode is active.
 	inc     *datalog.Incremental
 	derived map[string]bool
+	// sink, when set, journals every effectful tick's delta before it is
+	// applied (SetDurability); lastRejection remembers the most recent
+	// rejected tick or degraded-durability error for observability.
+	sink          DurabilitySink
+	lastRejection error
 
 	mailboxes map[string][]Message
 	inflight  []pendingSend
@@ -175,6 +193,7 @@ func (rt *Runtime) leaveIncremental() {
 	}
 	rt.inc = nil
 	rt.derived = nil
+	rt.sink = nil // the sink journaled the old evaluator's history
 }
 
 // RegisterQueriesIncremental installs the query program in cross-tick
@@ -209,6 +228,64 @@ func (rt *Runtime) RegisterQueriesIncremental(p *datalog.Program) error {
 	rt.derived = heads
 	return nil
 }
+
+// RecoverQueriesIncremental installs the query program in incremental mode
+// with state supplied by a recovery function instead of a freshly computed
+// fixpoint — the boot path for a runtime resuming from a durability
+// directory:
+//
+//	store, _ := durable.Open(durable.Options{Dir: dir})
+//	err := rt.RecoverQueriesIncremental(p, store.Recover)
+//	err = rt.SetDurability(store)
+//
+// The function receives the runtime database (registered tables already
+// exist, empty) and must return an evaluator maintaining p over that same
+// database — handles returned by Table stay valid across recovery.
+func (rt *Runtime) RecoverQueriesIncremental(p *datalog.Program, restore func(*datalog.Program, *datalog.Database) (*datalog.Incremental, error)) error {
+	rt.leaveIncremental()
+	rt.queries = nil
+	if p == nil {
+		return fmt.Errorf("transducer %s: recovery requires a query program", rt.Name)
+	}
+	rt.queries = p
+	heads := rt.derivedPreds()
+	for name := range rt.schemas {
+		if heads[name] {
+			rt.queries = nil
+			return fmt.Errorf("transducer %s: table %q collides with a derived query relation", rt.Name, name)
+		}
+	}
+	inc, err := restore(p, rt.db)
+	if err != nil {
+		rt.queries = nil
+		return err
+	}
+	if inc.DB() != rt.db {
+		rt.queries = nil
+		return fmt.Errorf("transducer %s: recovered evaluator maintains a different database", rt.Name)
+	}
+	rt.inc = inc
+	rt.derived = heads
+	return nil
+}
+
+// SetDurability attaches (or, with nil, detaches) the durability sink.
+// Durability journals the incremental fixpoint's input deltas, so it
+// requires incremental query mode; re-registering queries detaches the
+// sink, since its log describes the previous evaluator's history.
+func (rt *Runtime) SetDurability(sink DurabilitySink) error {
+	if sink != nil && rt.inc == nil {
+		return fmt.Errorf("transducer %s: durability requires incremental query mode", rt.Name)
+	}
+	rt.sink = sink
+	return nil
+}
+
+// LastRejection returns the most recent tick-rejection or degraded-
+// durability error, nil if there has been none. Rejections also count in
+// Stats.Rejected; a degraded-durability error (the tick stood, but the
+// sink's snapshot failed) surfaces only here.
+func (rt *Runtime) LastRejection() error { return rt.lastRejection }
 
 // Table exposes a table's current contents (between ticks).
 func (rt *Runtime) Table(name string) *datalog.Relation { return rt.db.Get(name) }
@@ -385,31 +462,95 @@ func splitAddr(addr string) (node, mailbox string, ok bool) {
 	return "", addr, false
 }
 
-// applyEffects commits the tick's staged mutations: inserts and field
-// merges (monotone), then assigns and deletes (non-monotone), then sends.
-// In incremental mode the realized table changes are collected as a delta
-// and folded into the maintained query fixpoint.
+// applyEffects commits the tick's staged mutations: table inserts, field
+// merges, and deletes first, then — in incremental mode — the durability
+// append and the fixpoint maintenance pass, then assigns and sends. The
+// realized table changes are collected as a recorded delta: the sink
+// journals exactly those ops, and a rejected tick is undone by replaying
+// them in reverse. A tick the evaluator or the sink refuses is rolled back
+// whole (mutations, assigns, and sends all dropped) and the runtime keeps
+// serving — a bad tick costs that tick, not the node.
 func (rt *Runtime) applyEffects(eff *effects) {
 	var delta *datalog.Delta
 	if rt.inc != nil {
 		delta = datalog.NewDelta()
+		delta.SetRecording(true)
 	}
+	muts := uint64(0) // counted into stats only if the tick commits
 	for _, ins := range eff.inserts {
 		if rt.derived[ins.table] {
-			// Writing a derived relation corrupts the maintained fixpoint:
-			// fail fast, before mutating (the compiler never emits this).
-			panic(fmt.Sprintf("transducer %s: insert into derived relation %q", rt.Name, ins.table))
+			// Writing a derived relation would corrupt the maintained
+			// fixpoint (the compiler never emits this).
+			rt.rejectTick(delta, fmt.Errorf("transducer %s: insert into derived relation %q", rt.Name, ins.table))
+			return
 		}
 		rt.applyInsert(ins.table, ins.row, delta)
-		rt.stats.Mutations++
+		muts++
 	}
 	for _, fm := range eff.fieldMerges {
 		if rt.derived[fm.table] {
-			panic(fmt.Sprintf("transducer %s: field merge into derived relation %q", rt.Name, fm.table))
+			rt.rejectTick(delta, fmt.Errorf("transducer %s: field merge into derived relation %q", rt.Name, fm.table))
+			return
 		}
 		rt.applyFieldMerge(fm, delta)
-		rt.stats.Mutations++
+		muts++
 	}
+	for _, del := range eff.deletes {
+		if rt.derived[del.table] {
+			// Full-eval mode never holds derived relations in the base
+			// database, so such deletes are no-ops there; match that.
+			muts++
+			continue
+		}
+		if rel := rt.db.Get(del.table); rel != nil {
+			if rel.Delete(del.row) && delta != nil {
+				delta.Delete(del.table, del.row)
+			}
+		}
+		muts++
+	}
+	if rt.inc != nil && !delta.Empty() {
+		// Append-before-apply: the journaled record is the tick's commit
+		// point; the maintenance pass folds the realized changes into the
+		// fixpoint (ticks that realized no table changes skip both).
+		// Derived counts the realized fixpoint changes here (the full-eval
+		// path counts per-tick re-derivations instead).
+		if rt.sink != nil {
+			if err := rt.sink.Append(delta); err != nil {
+				rt.rejectTick(delta, fmt.Errorf("transducer %s: durability append: %w", rt.Name, err))
+				return
+			}
+		}
+		n, err := rt.inc.Apply(delta)
+		if err != nil {
+			if rt.inc.Broken() {
+				// The batch half-applied: the fixpoint is inconsistent and
+				// nothing can be rolled back in-process.
+				panic(fmt.Sprintf("transducer %s: incremental maintenance failed mid-batch: %v", rt.Name, err))
+			}
+			if rt.sink != nil {
+				if aerr := rt.sink.AbortLast(); aerr != nil {
+					// The log keeps a record the fixpoint rejected. That is
+					// the final-record shape recovery tolerates, and the
+					// store has latched failed, so later effectful ticks are
+					// rejected until the operator intervenes.
+					err = fmt.Errorf("%w (durability abort also failed: %v)", err, aerr)
+				}
+			}
+			rt.rejectTick(delta, fmt.Errorf("transducer %s: tick rejected: %w", rt.Name, err))
+			return
+		}
+		rt.stats.Derived += uint64(n)
+		if rt.sink != nil {
+			if err := rt.sink.Committed(rt.inc); err != nil {
+				// The tick is journaled and applied; only the snapshot
+				// failed. Durability is degraded, not lost — surface it
+				// without rejecting the tick.
+				rt.lastRejection = fmt.Errorf("transducer %s: durability snapshot: %w", rt.Name, err)
+			}
+		}
+	}
+	rt.stats.Mutations += muts
 	// Deterministic order for assigns: sorted by var name; last staged
 	// value per name wins (conflicting assigns within a tick are a
 	// program race the analyzer flags, but the runtime stays deterministic).
@@ -422,32 +563,6 @@ func (rt *Runtime) applyEffects(eff *effects) {
 		rt.vars[name] = eff.assigns[name]
 		rt.stats.Mutations++
 	}
-	for _, del := range eff.deletes {
-		if rt.derived[del.table] {
-			// Full-eval mode never holds derived relations in the base
-			// database, so such deletes are no-ops there; match that.
-			rt.stats.Mutations++
-			continue
-		}
-		if rel := rt.db.Get(del.table); rel != nil {
-			if rel.Delete(del.row) && delta != nil {
-				delta.Delete(del.table, del.row)
-			}
-		}
-		rt.stats.Mutations++
-	}
-	if rt.inc != nil && !delta.Empty() {
-		// Fold the realized changes into the maintained fixpoint (ticks
-		// that realized no table changes skip it entirely). Derived counts
-		// the realized fixpoint changes here (the full-eval path counts
-		// per-tick re-derivations instead).
-		n, err := rt.inc.Apply(delta)
-		if err != nil {
-			// Effects writing derived relations are a compiler bug.
-			panic(fmt.Sprintf("transducer %s: incremental maintenance failed: %v", rt.Name, err))
-		}
-		rt.stats.Derived += uint64(n)
-	}
 	for _, msg := range eff.sends {
 		rt.nextID++
 		msg.ID = rt.nextID
@@ -458,6 +573,27 @@ func (rt *Runtime) applyEffects(eff *effects) {
 		})
 		rt.stats.Sent++
 	}
+}
+
+// rejectTick rolls back a tick whose effects the evaluator or the
+// durability sink refused: every realized table mutation is undone in
+// reverse application order, and the tick's assigns and sends are dropped.
+// Contents and counts are restored exactly (relation iteration order may
+// differ — a deleted row re-inserted by the rollback lands in a new slot).
+// The runtime keeps serving; the rejection is visible in Stats.Rejected and
+// LastRejection.
+func (rt *Runtime) rejectTick(delta *datalog.Delta, err error) {
+	ops := delta.Ops()
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		if op.Del {
+			rt.db.Ensure(op.Pred, len(op.T)).Insert(op.T)
+		} else if rel := rt.db.Get(op.Pred); rel != nil {
+			rel.Delete(op.T)
+		}
+	}
+	rt.stats.Rejected++
+	rt.lastRejection = err
 }
 
 // applyInsert inserts a tuple, honoring key-based merge semantics: when the
