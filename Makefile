@@ -2,7 +2,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test vet ci bench benchdiff tables fuzz soak
+.PHONY: build test vet ci bench benchdiff tables fuzz soak testbin test-sharded
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,25 @@ tables:
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIncrementalEquivalence -fuzztime $(FUZZTIME) ./internal/datalog
+	$(GO) test -run '^$$' -fuzz FuzzShardedEquivalence -fuzztime $(FUZZTIME) ./internal/shard
+
+# test-sharded is the distributed-dataflow gate: the sharded-vs-single-node
+# equivalence suite (SHARD_COUNTS picks the replica counts under test) plus
+# the simnet chaos/churn tests, all under -race.
+SHARD_COUNTS ?= 1,2,4
+test-sharded:
+	SHARD_COUNTS=$(SHARD_COUNTS) $(GO) test -race -run 'TestSharded|TestSink|TestPlacement|TestDeclared|FuzzShardedEquivalence' ./internal/shard ./internal/simnet
+
+# testbin compiles every package's test binary (without running it) into
+# the git-ignored $(TESTBIN_DIR) — use this instead of bare `go test -c`,
+# which litters the repo root with *.test files.
+TESTBIN_DIR ?= .testbin
+testbin:
+	@mkdir -p $(TESTBIN_DIR)
+	@for pkg in $$($(GO) list ./...); do \
+		$(GO) test -c -o $(TESTBIN_DIR)/$$(basename $$pkg).test $$pkg || exit 1; \
+	done
+	@ls -1 $(TESTBIN_DIR)
 
 # soak hammers the crash-recovery harness well past the checked-in seed
 # budget, under -race, with clock-derived seeds so every run explores new

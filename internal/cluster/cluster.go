@@ -203,6 +203,19 @@ func (c *Cluster) Host(machineID string, rt *transducer.Runtime) {
 	})
 }
 
+// HostNode places a raw network handler on a machine: the node inherits
+// the machine's latency domain and failure-domain membership (FailDomain /
+// Recover act on it through the machine), but is not ticked by Round —
+// purely message-driven servers (e.g. shard replicas) host this way.
+func (c *Cluster) HostNode(machineID string, h simnet.Handler) {
+	m := c.Topo.Get(machineID)
+	if m == nil {
+		panic(fmt.Sprintf("cluster: unknown machine %q", machineID))
+	}
+	c.Net.SetDomain(machineID, m.AZ)
+	c.Net.AddNode(machineID, h)
+}
+
 // Runtime returns the runtime hosted on a machine.
 func (c *Cluster) Runtime(machineID string) *transducer.Runtime { return c.hosts[machineID] }
 

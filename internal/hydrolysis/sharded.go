@@ -1,0 +1,42 @@
+package hydrolysis
+
+import (
+	"fmt"
+
+	"hydro/internal/cluster"
+	"hydro/internal/shard"
+	"hydro/internal/target"
+)
+
+// InstantiateSharded deploys the compiled program's query rules as a
+// distributed dataflow: n replicas are chosen from the cluster's topology
+// by the Fig-3 deployment ILP (cheapest machines subject to AZ spread,
+// target.PlaceReplicas), every declared table becomes a hash-partitioned
+// base relation using the program's partition plan (the declared
+// `partition(col)` hint, else the table key) as the placement hint, and
+// the query fixpoint is maintained across the replicas by the shard
+// coordinator. The returned deployment accepts base ticks via Submit and
+// converges to exactly the fixpoint a single-node Instantiate would hold.
+func (c *Compiled) InstantiateSharded(cl *cluster.Cluster, name string, n int, opts shard.Options) (*shard.Deployment, error) {
+	if c.Queries == nil {
+		return nil, fmt.Errorf("hydrolysis: program has no query rules to shard")
+	}
+	machines, err := target.PlaceReplicas(cl.Topo, n)
+	if err != nil {
+		return nil, err
+	}
+	edb := map[string]int{}
+	declared := map[string]int{}
+	for _, t := range c.Program.Tables {
+		edb[t.Name] = t.Arity()
+	}
+	for table, e := range c.PartitionPlan() {
+		if e.ColIdx >= 0 {
+			declared[table] = e.ColIdx
+		}
+	}
+	if opts.Declared == nil {
+		opts.Declared = declared
+	}
+	return shard.Deploy(cl, name, c.Queries, edb, machines, opts)
+}

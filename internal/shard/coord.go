@@ -1,0 +1,271 @@
+package shard
+
+import (
+	"hydro/internal/datalog"
+	"hydro/internal/simnet"
+)
+
+// Coordinator stages, in tick order.
+type stage int
+
+const (
+	stIdle stage = iota
+	stPrepare
+	stOps
+	stCompBegin
+	stRound
+	stApply
+	stRecompute
+	stCommit
+)
+
+// coord sequences one BSP tick at a time: broadcast a request, collect N
+// acks, advance. Failures are handled by whole-attempt retry — a watchdog
+// timer fires if an attempt stalls (replica down, link partitioned, in
+// rare configurations a dropped message), bumps the attempt number and
+// restarts the tick from prepare; replicas roll their staging back, so a
+// retried attempt recomputes from the committed state. Once every replica
+// has finished the attempt, the commit broadcast is the only remaining
+// step, and it is retried in place (idempotently) rather than restarted —
+// so a tick either commits on all replicas or keeps retrying until the
+// fault heals. The coordinator itself is control-plane state outside the
+// failure domains (DESIGN.md §11 discusses lifting this).
+type coord struct {
+	dep *Deployment
+
+	queue     [][]datalog.DeltaOp
+	committed uint64
+
+	active  bool
+	t, a    uint64
+	seq     uint64 // progress counter; stale watchdogs are ignored
+	stg     stage
+	comp    int
+	phase   int
+	round   int
+	seedIn  bool
+	tickOps []datalog.DeltaOp
+	routed  [][]datalog.DeltaOp
+	acks    map[int]rsp
+}
+
+func newCoord(dep *Deployment) *coord { return &coord{dep: dep} }
+
+func (c *coord) handle(now simnet.Time, msg simnet.Message) {
+	switch m := msg.Payload.(type) {
+	case kickMsg:
+		if !c.active && len(c.queue) > 0 {
+			c.startTick()
+		}
+	case watchdogMsg:
+		// Only a genuinely stalled attempt restarts: any ack-set completion
+		// bumps seq and re-arms, so an attempt that is slow but moving never
+		// trips the watchdog.
+		if !c.active || m.Tick != c.t || m.Att != c.a || m.Seq != c.seq {
+			return
+		}
+		if c.stg == stCommit {
+			// Every replica finished the attempt; just re-push the commit.
+			c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCommit})
+			c.progress()
+		} else {
+			c.a++
+			c.startAttempt()
+		}
+	case rsp:
+		c.collect(m)
+	}
+}
+
+func (c *coord) name() string { return c.dep.coordName }
+
+func (c *coord) armWatchdog() {
+	c.dep.net.After(c.name(), c.dep.retryAfter, watchdogMsg{Tick: c.t, Att: c.a, Seq: c.seq})
+}
+
+// progress marks forward motion of the current attempt and re-arms the
+// stall detector from now.
+func (c *coord) progress() {
+	c.seq++
+	c.armWatchdog()
+}
+
+func (c *coord) bcast(m req) {
+	c.acks = map[int]rsp{}
+	for _, node := range c.dep.replicaNames {
+		c.dep.net.Send(c.name(), node, m)
+	}
+}
+
+func (c *coord) startTick() {
+	c.tickOps = c.queue[0]
+	c.queue = c.queue[1:]
+	c.active = true
+	c.t = c.committed + 1
+	c.a++
+	c.startAttempt()
+}
+
+func (c *coord) startAttempt() {
+	// Route the tick's base ops once per attempt: sharded predicates go to
+	// the owning replica, mirrored ones to everybody.
+	c.routed = make([][]datalog.DeltaOp, c.dep.place.N)
+	for _, op := range c.tickOps {
+		if c.dep.place.Specs[op.Pred].Mirrored {
+			for i := range c.routed {
+				c.routed[i] = append(c.routed[i], op)
+			}
+			continue
+		}
+		d := c.dep.place.Owner(op.Pred, op.T)
+		c.routed[d] = append(c.routed[d], op)
+	}
+	c.stg = stPrepare
+	c.bcast(req{Tick: c.t, Att: c.a, Kind: reqPrepare})
+	c.progress()
+}
+
+func (c *coord) collect(m rsp) {
+	if !c.active || m.Tick != c.t || m.Att != c.a {
+		return
+	}
+	want := map[stage]reqKind{
+		stPrepare: reqPrepare, stOps: reqOps, stCompBegin: reqCompBegin,
+		stRound: reqRound, stApply: reqApply, stRecompute: reqRecompute,
+		stCommit: reqCommit,
+	}
+	if k, ok := want[c.stg]; !ok || m.Kind != k {
+		return
+	}
+	if c.stg >= stCompBegin && c.stg <= stRecompute && m.Comp != c.comp {
+		return
+	}
+	if (c.stg == stRound || c.stg == stApply) && (m.Phase != c.phase || m.Round != c.round) {
+		return
+	}
+	c.acks[m.From] = m
+	if len(c.acks) < c.dep.place.N {
+		return
+	}
+	c.progress()
+	c.advance()
+}
+
+func (c *coord) advance() {
+	switch c.stg {
+	case stPrepare:
+		c.stg = stOps
+		c.acks = map[int]rsp{}
+		for i, node := range c.dep.replicaNames {
+			c.dep.net.Send(c.name(), node, req{Tick: c.t, Att: c.a, Kind: reqOps, Ops: c.routed[i]})
+		}
+	case stOps:
+		c.comp = 0
+		c.beginComp()
+	case stCompBegin:
+		var hasAdd, hasDel bool
+		for i := 0; i < c.dep.place.N; i++ {
+			if c.acks[i].HasAdd {
+				hasAdd = true
+			}
+			if c.acks[i].HasDel {
+				hasDel = true
+			}
+		}
+		meta := c.dep.comps[c.comp]
+		switch {
+		case !hasAdd && !hasDel:
+			c.comp++
+			c.beginComp()
+		case meta.nonMono:
+			c.stg = stRecompute
+			c.bcast(req{Tick: c.t, Att: c.a, Kind: reqRecompute, Comp: c.comp})
+		case hasDel:
+			c.phase, c.round, c.seedIn = phaseDelete, 0, false
+			c.startRound()
+		default:
+			c.phase, c.round, c.seedIn = phaseInsert, 0, true
+			c.startRound()
+		}
+	case stRecompute:
+		c.comp++
+		c.beginComp()
+	case stRound:
+		// Per-replica barrier size: how many peers shipped it traffic.
+		expect := make([]int, c.dep.place.N)
+		for s := 0; s < c.dep.place.N; s++ {
+			for d, sent := range c.acks[s].SentTo {
+				if sent {
+					expect[d]++
+				}
+			}
+		}
+		c.stg = stApply
+		c.acks = map[int]rsp{}
+		for i, node := range c.dep.replicaNames {
+			c.dep.net.Send(c.name(), node, req{
+				Tick: c.t, Att: c.a, Kind: reqApply,
+				Comp: c.comp, Phase: c.phase, Round: c.round, Expect: expect[i],
+			})
+		}
+	case stApply:
+		total := 0
+		for i := 0; i < c.dep.place.N; i++ {
+			total += c.acks[i].Next
+		}
+		switch {
+		case c.phase == phaseRederive:
+			// Single pass; accepted insertions seed the insert rounds.
+			if total == 0 {
+				c.comp++
+				c.beginComp()
+				return
+			}
+			c.phase, c.round, c.seedIn = phaseInsert, 0, false
+			c.startRound()
+		case total > 0:
+			c.round++
+			c.startRound()
+		case c.phase == phaseDelete:
+			c.phase, c.round = phaseRederive, 0
+			c.startRound()
+		default: // phaseInsert quiesced
+			c.comp++
+			c.beginComp()
+		}
+	case stCommit:
+		allIn := true
+		for i := 0; i < c.dep.place.N; i++ {
+			if c.acks[i].Committed < c.t {
+				allIn = false
+			}
+		}
+		if !allIn {
+			return // commit retry will re-collect
+		}
+		c.committed = c.t
+		c.active = false
+		if len(c.queue) > 0 {
+			c.startTick()
+		}
+	}
+}
+
+func (c *coord) beginComp() {
+	if c.comp >= len(c.dep.comps) {
+		c.stg = stCommit
+		c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCommit})
+		return
+	}
+	c.stg = stCompBegin
+	c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCompBegin, Comp: c.comp})
+}
+
+func (c *coord) startRound() {
+	c.stg = stRound
+	c.bcast(req{
+		Tick: c.t, Att: c.a, Kind: reqRound,
+		Comp: c.comp, Phase: c.phase, Round: c.round,
+		SeedInputs: c.seedIn && c.round == 0,
+	})
+}

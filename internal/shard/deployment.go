@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hydro/internal/cluster"
+	"hydro/internal/datalog"
+	"hydro/internal/simnet"
+)
+
+// Options tunes a deployment.
+type Options struct {
+	// RetryAfter is the coordinator's stall watchdog: an attempt that makes
+	// no progress for this long (virtual time) is restarted. Zero uses a
+	// generous default.
+	RetryAfter simnet.Time
+	// Declared fixes partition columns for specific predicates (hlang
+	// `partition(col)` table annotations), overriding the compiled hints.
+	Declared map[string]int
+}
+
+// DefaultRetryAfter is far above one healthy barrier round-trip (sub-ms at
+// LAN latencies) so only genuine stalls — down replicas, cut links — trip
+// the attempt restart.
+const DefaultRetryAfter simnet.Time = 1_000_000 // 1s virtual
+
+// Deployment is a datalog program running sharded across cluster-hosted
+// replicas. Submit queues base-relation ticks; the coordinator commits
+// them in order as the simulation runs; Dump reads back the converged
+// fixpoint (union of shards, one copy of mirrored relations).
+type Deployment struct {
+	name         string
+	net          *simnet.Network
+	place        *Placement
+	comps        []*compMeta
+	arities      map[string]int
+	edb          map[string]int
+	replicas     []*replica
+	replicaNames []string
+	coordName    string
+	coord        *coord
+	retryAfter   simnet.Time
+	submitted    uint64
+}
+
+// Deploy hosts one replica of prog on each named machine of cl, sharding
+// base relations per the derived placement. edb maps base predicates to
+// arities; derived predicates are inferred from the rules and must not
+// overlap edb.
+func Deploy(cl *cluster.Cluster, name string, prog *datalog.Program, edb map[string]int, machines []string, opts Options) (*Deployment, error) {
+	if len(machines) < 1 {
+		return nil, fmt.Errorf("shard: need at least one machine")
+	}
+	place, err := NewPlacement(prog, edb, len(machines), opts.Declared)
+	if err != nil {
+		return nil, err
+	}
+	comps, err := prog.Components()
+	if err != nil {
+		return nil, err
+	}
+	metas, err := buildCompMeta(comps, place)
+	if err != nil {
+		return nil, err
+	}
+	arities := map[string]int{}
+	for pred, ar := range edb {
+		arities[pred] = ar
+	}
+	for _, c := range comps {
+		for _, r := range c.Rules {
+			h := r.Head.Pred
+			if _, isBase := edb[h]; isBase {
+				return nil, fmt.Errorf("shard: %s is both a base relation and a rule head", h)
+			}
+			if ar, ok := arities[h]; ok && ar != len(r.Head.Args) {
+				return nil, fmt.Errorf("shard: inconsistent arity for %s", h)
+			}
+			arities[h] = len(r.Head.Args)
+		}
+	}
+	for _, pred := range place.Preds {
+		if _, ok := arities[pred]; !ok {
+			return nil, fmt.Errorf("shard: predicate %s has no declared arity (add it to edb)", pred)
+		}
+	}
+
+	d := &Deployment{
+		name:         name,
+		net:          cl.Net,
+		place:        place,
+		comps:        metas,
+		arities:      arities,
+		edb:          edb,
+		replicaNames: machines,
+		coordName:    name + "-coord",
+		retryAfter:   opts.RetryAfter,
+	}
+	if d.retryAfter <= 0 {
+		d.retryAfter = DefaultRetryAfter
+	}
+	for i := range machines {
+		r := newReplica(d, i)
+		d.replicas = append(d.replicas, r)
+		cl.HostNode(machines[i], r.handle)
+	}
+	d.coord = newCoord(d)
+	cl.Net.AddNode(d.coordName, d.coord.handle)
+	return d, nil
+}
+
+// Placement returns the deployment's predicate placement.
+func (d *Deployment) Placement() *Placement { return d.place }
+
+// Replicas returns the replica node names in replica-index order.
+func (d *Deployment) Replicas() []string { return d.replicaNames }
+
+// Submit queues one tick of base-relation ops (applied owner-side with
+// insert-if-absent / delete-if-present semantics, so redundant ops are
+// no-ops) and wakes the coordinator. The tick commits atomically on all
+// replicas once the simulation delivers the protocol traffic.
+func (d *Deployment) Submit(ops []datalog.DeltaOp) error {
+	for _, op := range ops {
+		ar, ok := d.edb[op.Pred]
+		if !ok {
+			return fmt.Errorf("shard: %s is not a base relation", op.Pred)
+		}
+		if len(op.T) != ar {
+			return fmt.Errorf("shard: %s arity %d, got tuple %v", op.Pred, ar, op.T)
+		}
+	}
+	d.coord.queue = append(d.coord.queue, ops)
+	d.submitted++
+	d.net.After(d.coordName, 0, kickMsg{})
+	return nil
+}
+
+// SubmittedTicks returns the number of ticks queued so far.
+func (d *Deployment) SubmittedTicks() uint64 { return d.submitted }
+
+// CommittedTicks returns the number of ticks committed on every replica.
+func (d *Deployment) CommittedTicks() uint64 { return d.coord.committed }
+
+// Settle steps the network until every submitted tick has committed, up to
+// maxEvents deliveries. It reports whether the deployment converged.
+func (d *Deployment) Settle(maxEvents int) bool {
+	for i := 0; i < maxEvents; i++ {
+		if d.coord.committed >= d.submitted {
+			return true
+		}
+		if !d.net.Step() {
+			return d.coord.committed >= d.submitted
+		}
+	}
+	return d.coord.committed >= d.submitted
+}
+
+// Dump returns the converged global contents of every predicate: the
+// shard union for sharded relations, replica 0's copy for mirrored ones.
+// Call after Settle.
+func (d *Deployment) Dump() map[string][]datalog.Tuple {
+	out := map[string][]datalog.Tuple{}
+	for _, pred := range d.place.Preds {
+		if d.place.Specs[pred].Mirrored {
+			out[pred] = d.replicas[0].db.Get(pred).Tuples()
+			continue
+		}
+		set := newTset()
+		for _, r := range d.replicas {
+			for _, t := range r.db.Get(pred).Tuples() {
+				set.add(t)
+			}
+		}
+		out[pred] = sortTuples(set.ts)
+	}
+	return out
+}
+
+// DumpString renders Dump canonically (predicates sorted, tuples in
+// canonical order) for byte-level comparison across shard counts and
+// against a single-node reference.
+func (d *Deployment) DumpString() string { return renderDump(d.Dump()) }
+
+// CheckMirrors verifies every replica holds identical copies of each
+// mirrored predicate — the core replication invariant, checked by the
+// chaos tests after convergence.
+func (d *Deployment) CheckMirrors() error {
+	for _, pred := range d.place.Preds {
+		if !d.place.Specs[pred].Mirrored {
+			continue
+		}
+		ref := canonTuples(d.replicas[0].db.Get(pred).Tuples())
+		for i := 1; i < len(d.replicas); i++ {
+			got := canonTuples(d.replicas[i].db.Get(pred).Tuples())
+			if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+				return fmt.Errorf("shard: mirrored %s diverged between replica 0 and %d", pred, i)
+			}
+		}
+	}
+	return nil
+}
+
+// DumpDatabase renders db's relations for preds in the same canonical form
+// as DumpString — the single-node reference side of the equivalence tests.
+func DumpDatabase(db *datalog.Database, preds []string) string {
+	out := map[string][]datalog.Tuple{}
+	for _, pred := range preds {
+		if rel := db.Get(pred); rel != nil {
+			out[pred] = rel.Tuples()
+		} else {
+			out[pred] = nil
+		}
+	}
+	return renderDump(out)
+}
+
+func canonTuples(ts []datalog.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = tkey(t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortTuples(ts []datalog.Tuple) []datalog.Tuple {
+	sort.Slice(ts, func(i, j int) bool { return tkey(ts[i]) < tkey(ts[j]) })
+	return ts
+}
+
+func renderDump(m map[string][]datalog.Tuple) string {
+	preds := make([]string, 0, len(m))
+	for pred := range m {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	var b strings.Builder
+	for _, pred := range preds {
+		b.WriteString(pred)
+		b.WriteString(":\n")
+		for _, line := range canonTuples(m[pred]) {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

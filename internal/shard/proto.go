@@ -1,0 +1,79 @@
+package shard
+
+import "hydro/internal/datalog"
+
+// Wire protocol. One coordinator sequences BSP ticks over N replicas:
+//
+//	prepare → ops → per component: compBegin → (recompute |
+//	  phase rounds: round → xch* → apply) → … → commit
+//
+// Every request and response carries (Tick, Att); a replica drops
+// anything that is not its current attempt, and the coordinator drops
+// stale acks — so a timed-out attempt can be restarted wholesale (Att+1)
+// without fencing individual messages. Commit is the only stage retried
+// in place: by the time it starts every replica has finished the attempt,
+// so resending commit{t} until all ack is idempotent.
+
+type reqKind int
+
+const (
+	reqPrepare reqKind = iota
+	reqOps
+	reqCompBegin
+	reqRound
+	reqApply
+	reqRecompute
+	reqCommit
+)
+
+// DRed phases of a monotone component with deletions. Insert-only ticks
+// run phaseInsert alone, seeded from the input additions.
+const (
+	phaseDelete   = 1 // over-delete rounds (joins see the deletion overlay)
+	phaseRederive = 2 // one full immediate-consequence pass, insert-if-absent
+	phaseInsert   = 3 // semi-naive insert rounds
+)
+
+type req struct {
+	Tick, Att          uint64
+	Kind               reqKind
+	Comp, Phase, Round int
+	Ops                []datalog.DeltaOp // reqOps: this replica's routed slice
+	Expect             int               // reqApply: xch messages to await
+	SeedInputs         bool              // reqRound r0: seed from input adds (no prior rederive)
+}
+
+type rsp struct {
+	From               int
+	Tick, Att          uint64
+	Kind               reqKind
+	Comp, Phase, Round int
+	HasAdd, HasDel     bool   // reqCompBegin: local input changes
+	SentTo             []bool // reqRound: which peers got an xch this round
+	Next               int    // reqApply: accepted tuples pending next round
+	Committed          uint64 // last committed tick
+}
+
+// xchItem is one shipped derivation (or retraction) for pred.
+type xchItem struct {
+	Pred string
+	Del  bool
+	T    datalog.Tuple
+}
+
+// xchMsg carries one round's emissions from one replica to one peer.
+type xchMsg struct {
+	Tick, Att          uint64
+	Comp, Phase, Round int
+	From               int
+	Items              []xchItem
+}
+
+// rkey identifies one exchange barrier.
+type rkey struct {
+	tick, att          uint64
+	comp, phase, round int
+}
+
+type watchdogMsg struct{ Tick, Att, Seq uint64 }
+type kickMsg struct{}

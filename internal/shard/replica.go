@@ -1,0 +1,398 @@
+package shard
+
+import (
+	"sort"
+
+	"hydro/internal/datalog"
+	"hydro/internal/simnet"
+)
+
+// replica is one shard server: it owns one hash-shard of every sharded
+// relation (plus a full copy of every mirrored one), evaluates its share
+// of each monotone component's drives, ships non-local emissions to the
+// owning replica, and recomputes mirrored non-monotone components
+// locally. All tick-attempt work is staged against an undo log; a
+// restarted attempt rolls the log back, so redelivered or retried
+// protocol traffic can never double-apply.
+type replica struct {
+	dep  *Deployment
+	self int
+	db   *datalog.Database
+
+	committed       uint64 // last committed tick
+	curTick, curAtt uint64
+
+	// Staging for the current attempt.
+	undo       []datalog.DeltaOp // realized changes in application order
+	adds, dels map[string]*tset  // net realized changes this tick, per pred
+	pend       map[string][]datalog.Tuple
+	inbox      map[rkey][]xchMsg
+	await      map[rkey]int // apply barriers waiting on more xch traffic
+}
+
+func newReplica(dep *Deployment, self int) *replica {
+	r := &replica{dep: dep, self: self, db: datalog.NewDatabase()}
+	for pred, arity := range dep.arities {
+		r.db.Ensure(pred, arity)
+	}
+	r.resetStaging()
+	return r
+}
+
+func (r *replica) resetStaging() {
+	for i := len(r.undo) - 1; i >= 0; i-- {
+		op := r.undo[i]
+		if op.Del {
+			r.db.Get(op.Pred).Insert(op.T)
+		} else {
+			r.db.Get(op.Pred).Delete(op.T)
+		}
+	}
+	r.undo = nil
+	r.adds = map[string]*tset{}
+	r.dels = map[string]*tset{}
+	r.pend = map[string][]datalog.Tuple{}
+	r.inbox = map[rkey][]xchMsg{}
+	r.await = map[rkey]int{}
+}
+
+// record books one realized change: the undo log gets the exact op, and
+// the net per-pred change sets absorb churn (delete of a tick-added tuple
+// cancels instead of accumulating).
+func (r *replica) record(del bool, pred string, t datalog.Tuple) {
+	r.undo = append(r.undo, datalog.DeltaOp{Del: del, Pred: pred, T: t})
+	if del {
+		if a := r.adds[pred]; a != nil && a.has(t) {
+			a.remove(t)
+			return
+		}
+		d := r.dels[pred]
+		if d == nil {
+			d = newTset()
+			r.dels[pred] = d
+		}
+		d.add(t)
+		return
+	}
+	if d := r.dels[pred]; d != nil && d.has(t) {
+		d.remove(t)
+		return
+	}
+	a := r.adds[pred]
+	if a == nil {
+		a = newTset()
+		r.adds[pred] = a
+	}
+	a.add(t)
+}
+
+func (r *replica) name() string { return r.dep.replicaNames[r.self] }
+
+func (r *replica) reply(m rsp) {
+	m.From = r.self
+	m.Committed = r.committed
+	r.dep.net.Send(r.name(), r.dep.coordName, m)
+}
+
+func (r *replica) handle(now simnet.Time, msg simnet.Message) {
+	switch m := msg.Payload.(type) {
+	case req:
+		r.handleReq(m)
+	case xchMsg:
+		r.handleXch(m)
+	}
+}
+
+func (r *replica) handleReq(m req) {
+	switch m.Kind {
+	case reqPrepare:
+		if m.Tick <= r.committed {
+			// Already folded in (a commit retry crossed a newer prepare
+			// cannot happen — the coordinator never re-prepares a committed
+			// tick — but answer honestly anyway).
+			r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqPrepare})
+			return
+		}
+		r.resetStaging()
+		r.curTick, r.curAtt = m.Tick, m.Att
+		r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqPrepare})
+	case reqCommit:
+		if r.committed < m.Tick && r.curTick == m.Tick {
+			r.committed = m.Tick
+			r.undo = nil
+			r.adds = map[string]*tset{}
+			r.dels = map[string]*tset{}
+			r.pend = map[string][]datalog.Tuple{}
+			r.inbox = map[rkey][]xchMsg{}
+			r.await = map[rkey]int{}
+		}
+		r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqCommit})
+	default:
+		if m.Tick != r.curTick || m.Att != r.curAtt || r.committed >= m.Tick {
+			return // stale attempt
+		}
+		switch m.Kind {
+		case reqOps:
+			r.applyBase(m.Ops)
+			r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqOps})
+		case reqCompBegin:
+			c := r.dep.comps[m.Comp]
+			var hasAdd, hasDel bool
+			for _, in := range c.inputs {
+				if r.adds[in].len() > 0 {
+					hasAdd = true
+				}
+				if r.dels[in].len() > 0 {
+					hasDel = true
+				}
+			}
+			r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqCompBegin, Comp: m.Comp, HasAdd: hasAdd, HasDel: hasDel})
+		case reqRound:
+			r.runRound(m)
+		case reqApply:
+			k := rkey{m.Tick, m.Att, m.Comp, m.Phase, m.Round}
+			r.await[k] = m.Expect
+			r.maybeApply(k)
+		case reqRecompute:
+			r.recompute(m)
+		}
+	}
+}
+
+func (r *replica) applyBase(ops []datalog.DeltaOp) {
+	for _, op := range ops {
+		rel := r.db.Get(op.Pred)
+		if rel == nil || len(op.T) != rel.Arity {
+			continue // Submit validates; defensive
+		}
+		if op.Del {
+			if rel.Delete(op.T) {
+				r.record(true, op.Pred, op.T)
+			}
+		} else if rel.Insert(op.T) {
+			r.record(false, op.Pred, op.T)
+		}
+	}
+}
+
+// runRound drives one exchange round of a monotone component phase: the
+// current frontier (seeded from the tick's net input changes on round 0)
+// is pushed through every rule position, emissions are grouped by owning
+// replica, remote batches go out as xch messages, and the local batch is
+// stashed in the inbox so apply-time ordering treats self like any peer.
+func (r *replica) runRound(m req) {
+	c := r.dep.comps[m.Comp]
+	if m.Round == 0 {
+		switch {
+		case m.Phase == phaseDelete:
+			r.pend = map[string][]datalog.Tuple{}
+			for _, in := range c.inputs {
+				if d := r.dels[in]; d.len() > 0 {
+					r.pend[in] = append([]datalog.Tuple(nil), d.ts...)
+				}
+			}
+		case m.Phase == phaseInsert && m.SeedInputs:
+			r.pend = map[string][]datalog.Tuple{}
+			for _, in := range c.inputs {
+				if a := r.adds[in]; a.len() > 0 {
+					r.pend[in] = append([]datalog.Tuple(nil), a.ts...)
+				}
+			}
+		}
+		// phaseInsert without SeedInputs keeps the pend the rederive
+		// apply left behind; phaseRederive ignores pend entirely.
+	}
+
+	batches := make([][]xchItem, r.dep.place.N)
+	emitted := map[string]*tset{} // per-pred dedup of this round's emissions
+	emit := func(pred string, del bool, t datalog.Tuple) {
+		e := emitted[pred]
+		if e == nil {
+			e = newTset()
+			emitted[pred] = e
+		}
+		if e.has(t) {
+			return
+		}
+		e.add(t)
+		spec := r.dep.place.Specs[pred]
+		if spec.Mirrored {
+			// Local membership is authoritative for mirrored preds (all
+			// copies agree), so no-op traffic is filtered at the source.
+			rel := r.db.Get(pred)
+			if del == !rel.Contains(t) {
+				return
+			}
+			for d := range batches {
+				batches[d] = append(batches[d], xchItem{Pred: pred, Del: del, T: t})
+			}
+			return
+		}
+		d := r.dep.place.Owner(pred, t)
+		batches[d] = append(batches[d], xchItem{Pred: pred, Del: del, T: t})
+	}
+
+	del := m.Phase == phaseDelete
+	var overlay map[string]*tset
+	if del {
+		overlay = r.dels // pre-deletion view: net deletions so far this tick
+	}
+	for ri, rule := range c.rules {
+		if m.Phase == phaseRederive {
+			// One full immediate-consequence pass over the post-deletion
+			// state, driven through body position 0's local extent.
+			lit := rule.Body[0]
+			frontier := r.db.Get(lit.Pred).Tuples()
+			frontier = r.filterDriven(c, ri, 0, frontier)
+			driveRule(r.db, rule, 0, frontier, nil, func(h datalog.Tuple) {
+				emit(rule.Head.Pred, false, h)
+			})
+			continue
+		}
+		for i := range rule.Body {
+			frontier := r.pend[rule.Body[i].Pred]
+			if len(frontier) == 0 {
+				continue
+			}
+			frontier = r.filterDriven(c, ri, i, frontier)
+			driveRule(r.db, rule, i, frontier, overlay, func(h datalog.Tuple) {
+				emit(rule.Head.Pred, del, h)
+			})
+		}
+	}
+
+	k := rkey{m.Tick, m.Att, m.Comp, m.Phase, m.Round}
+	sentTo := make([]bool, r.dep.place.N)
+	for d, items := range batches {
+		if len(items) == 0 {
+			continue
+		}
+		x := xchMsg{Tick: m.Tick, Att: m.Att, Comp: m.Comp, Phase: m.Phase, Round: m.Round, From: r.self, Items: items}
+		if d == r.self {
+			r.inbox[k] = append(r.inbox[k], x)
+			continue
+		}
+		sentTo[d] = true
+		r.dep.net.Send(r.name(), r.dep.replicaNames[d], x)
+	}
+	r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqRound, Comp: m.Comp, Phase: m.Phase, Round: m.Round, SentTo: sentTo})
+}
+
+// filterDriven drops frontier tuples this replica must not drive: when the
+// driven predicate and all co-literals are mirrored, every replica holds
+// identical state and only the tuple's designated driver acts.
+func (r *replica) filterDriven(c *compMeta, ri, pos int, frontier []datalog.Tuple) []datalog.Tuple {
+	if !c.drives[ri][pos].designatedOnly {
+		return frontier
+	}
+	var out []datalog.Tuple
+	for _, t := range frontier {
+		if r.dep.place.Owner(c.rules[ri].Body[pos].Pred, t) == r.self {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (r *replica) handleXch(m xchMsg) {
+	if m.Tick != r.curTick || m.Att != r.curAtt || r.committed >= m.Tick {
+		return
+	}
+	k := rkey{m.Tick, m.Att, m.Comp, m.Phase, m.Round}
+	r.inbox[k] = append(r.inbox[k], m)
+	r.maybeApply(k)
+}
+
+// maybeApply completes an exchange barrier once every expected xch has
+// arrived: batches are applied in sender order (not arrival order), each
+// accepted change is recorded, and the accepted tuples become the next
+// round's frontier. The coordinator learns the frontier size and decides
+// whether another round follows.
+func (r *replica) maybeApply(k rkey) {
+	expect, ok := r.await[k]
+	if !ok {
+		return
+	}
+	got := 0
+	for _, x := range r.inbox[k] {
+		if x.From != r.self {
+			got++
+		}
+	}
+	if got < expect {
+		return
+	}
+	delete(r.await, k)
+	batches := r.inbox[k]
+	delete(r.inbox, k)
+	sort.Slice(batches, func(i, j int) bool { return batches[i].From < batches[j].From })
+
+	next := map[string][]datalog.Tuple{}
+	for _, x := range batches {
+		for _, it := range x.Items {
+			rel := r.db.Get(it.Pred)
+			if rel == nil {
+				continue
+			}
+			var changed bool
+			if it.Del {
+				changed = rel.Delete(it.T)
+			} else {
+				changed = rel.Insert(it.T)
+			}
+			if !changed {
+				continue
+			}
+			r.record(it.Del, it.Pred, it.T)
+			next[it.Pred] = append(next[it.Pred], it.T)
+		}
+	}
+	r.pend = next
+	n := 0
+	for _, ts := range next {
+		n += len(ts)
+	}
+	r.reply(rsp{Tick: k.tick, Att: k.att, Kind: reqApply, Comp: k.comp, Phase: k.phase, Round: k.round, Next: n})
+}
+
+// recompute re-evaluates a non-monotone component locally: its inputs are
+// fully mirrored, so clearing the heads and re-running the component's own
+// fixpoint on the replica database reproduces single-node semantics
+// (stratified negation, aggregates) exactly; the old-vs-new diff is
+// recorded so downstream components see precise deltas and the undo log
+// can roll the attempt back.
+func (r *replica) recompute(m req) {
+	c := r.dep.comps[m.Comp]
+	old := map[string][]datalog.Tuple{}
+	oldSet := map[string]*tset{}
+	for _, h := range c.heads {
+		rel := r.db.Get(h)
+		old[h] = rel.Tuples()
+		s := newTset()
+		for _, t := range old[h] {
+			s.add(t)
+		}
+		oldSet[h] = s
+		rel.Clear()
+	}
+	if _, err := c.sub.Eval(r.db); err != nil {
+		// Unreachable for a component compiled at Deploy time; leave the
+		// heads cleared — the attempt will be rolled back on retry.
+		r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqRecompute, Comp: m.Comp})
+		return
+	}
+	for _, h := range c.heads {
+		rel := r.db.Get(h)
+		for _, t := range old[h] {
+			if !rel.Contains(t) {
+				r.record(true, h, t)
+			}
+		}
+		for _, t := range rel.Tuples() {
+			if !oldSet[h].has(t) {
+				r.record(false, h, t)
+			}
+		}
+	}
+	r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqRecompute, Comp: m.Comp})
+}

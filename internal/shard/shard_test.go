@@ -1,0 +1,447 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hydro/internal/cluster"
+	"hydro/internal/datalog"
+	"hydro/internal/shard"
+	"hydro/internal/simnet"
+	"hydro/internal/target"
+)
+
+// settleBudget bounds one Settle call; healthy ticks need a few hundred
+// deliveries, so hitting this means the protocol is stuck.
+const settleBudget = 400_000
+
+var tcRules = []datalog.Rule{
+	{
+		Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+		Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+	},
+	{
+		Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+		Body: []datalog.Literal{
+			{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+			{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+		},
+	},
+}
+
+var tcEDB = map[string]int{"edge": 2, "node": 1, "attr": 2}
+
+// newDeployment builds an n-replica deployment of prog on a fresh
+// simulated cluster, replicas placed by the deployment ILP.
+func newDeployment(t testing.TB, prog *datalog.Program, edb map[string]int, n int, seed int64) (*cluster.Cluster, *shard.Deployment) {
+	t.Helper()
+	topo := cluster.NewTopology(3, 2, 2, cluster.ClassSmall)
+	cl := cluster.New(topo, simnet.DefaultConfig(seed))
+	machines, err := target.PlaceReplicas(topo, n)
+	if err != nil {
+		t.Fatalf("PlaceReplicas(%d): %v", n, err)
+	}
+	dep, err := shard.Deploy(cl, fmt.Sprintf("dep%d", n), prog, edb, machines, shard.Options{})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return cl, dep
+}
+
+// oracle maintains the single-node reference fixpoint: the same program
+// under datalog.Incremental, fed realized versions of the same raw ops.
+type oracle struct {
+	inc *datalog.Incremental
+}
+
+func newOracle(t testing.TB, prog *datalog.Program, edb map[string]int) *oracle {
+	t.Helper()
+	db := datalog.NewDatabase()
+	for pred, ar := range edb {
+		db.Ensure(pred, ar)
+	}
+	inc, err := datalog.NewIncremental(prog, db)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	return &oracle{inc: inc}
+}
+
+func (o *oracle) tick(t testing.TB, ops []datalog.DeltaOp) {
+	t.Helper()
+	delta := datalog.NewDelta()
+	for _, op := range ops {
+		rel := o.inc.DB().Get(op.Pred)
+		if op.Del {
+			if rel.Delete(op.T) {
+				delta.Delete(op.Pred, op.T)
+			}
+		} else if rel.Insert(op.T) {
+			delta.Insert(op.Pred, op.T)
+		}
+	}
+	if _, err := o.inc.Apply(delta); err != nil {
+		t.Fatalf("oracle Apply: %v", err)
+	}
+}
+
+func (o *oracle) dump(preds []string) string {
+	return shard.DumpDatabase(o.inc.DB(), preds)
+}
+
+func ins(pred string, vals ...any) datalog.DeltaOp {
+	return datalog.DeltaOp{Pred: pred, T: datalog.Tuple(vals)}
+}
+
+func del(pred string, vals ...any) datalog.DeltaOp {
+	return datalog.DeltaOp{Del: true, Pred: pred, T: datalog.Tuple(vals)}
+}
+
+// TestShardedTCMatchesSingleNode drives the transitive-closure workload
+// through a 3-replica deployment tick by tick — inserts building a chain
+// across shard boundaries, then deletions that retract closure tuples
+// owned by other replicas (cross-shard DRed traffic) — and requires
+// byte-identical dumps against the single-node incremental fixpoint after
+// every tick.
+func TestShardedTCMatchesSingleNode(t *testing.T) {
+	prog, err := datalog.NewProgram(tcRules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dep := newDeployment(t, prog, tcEDB, 3, 42)
+	ref := newOracle(t, prog, tcEDB)
+
+	ticks := [][]datalog.DeltaOp{
+		{ins("edge", "a", "b"), ins("edge", "b", "c"), ins("edge", "c", "d")},
+		{ins("edge", "d", "e"), ins("edge", "e", "f"), ins("edge", "f", "a")}, // closes a cycle
+		{ins("edge", "b", "g"), del("edge", "c", "d")},                        // cut mid-chain
+		{del("edge", "f", "a"), del("edge", "a", "b")},                        // delete-heavy
+		{ins("edge", "a", "b"), ins("edge", "c", "d")},                        // rebuild
+	}
+	for i, ops := range ticks {
+		if err := dep.Submit(ops); err != nil {
+			t.Fatalf("tick %d: Submit: %v", i, err)
+		}
+		if !dep.Settle(settleBudget) {
+			t.Fatalf("tick %d did not settle", i)
+		}
+		ref.tick(t, ops)
+		want := ref.dump(dep.Placement().Preds)
+		if got := dep.DumpString(); got != want {
+			t.Fatalf("tick %d diverged:\nsharded:\n%s\nsingle-node:\n%s", i, got, want)
+		}
+		if err := dep.CheckMirrors(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	// The TC shape must stay fully sharded — co-hashed joins, not
+	// mirrored fallback.
+	for _, pred := range []string{"edge", "path"} {
+		if dep.Placement().Specs[pred].Mirrored {
+			t.Fatalf("%s unexpectedly mirrored", pred)
+		}
+	}
+}
+
+// randConst draws from a small mixed-type domain so keys collide across
+// ticks (collisions are where maintenance bugs live).
+func randConst(r *rand.Rand) any {
+	if r.Intn(2) == 0 {
+		return string(rune('a' + r.Intn(4)))
+	}
+	return int64(r.Intn(4))
+}
+
+// randShardRules mirrors the datalog package's randRules shapes: a
+// transitive closure with randomized recursion (linear closures stay
+// co-hashed across shards; nonlinear ones exercise the mirrored
+// fallback), optional joins and filters, optional stratified negation,
+// and an optional aggregate layer.
+func randShardRules(r *rand.Rand) []datalog.Rule {
+	V, C := datalog.V, datalog.C
+	lit := func(pred string, args ...datalog.Term) datalog.Literal {
+		return datalog.Literal{Atom: datalog.Atom{Pred: pred, Args: args}}
+	}
+	neg := func(pred string, args ...datalog.Term) datalog.Literal {
+		return datalog.Literal{Atom: datalog.Atom{Pred: pred, Args: args}, Negated: true}
+	}
+	rules := []datalog.Rule{{
+		Head: datalog.Atom{Pred: "p1", Args: []datalog.Term{V("x"), V("y")}},
+		Body: []datalog.Literal{lit("edge", V("x"), V("y"))},
+	}}
+	switch r.Intn(3) {
+	case 0: // left-recursive
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: "p1", Args: []datalog.Term{V("x"), V("z")}},
+			Body: []datalog.Literal{lit("p1", V("x"), V("y")), lit("edge", V("y"), V("z"))},
+		})
+	case 1: // right-recursive
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: "p1", Args: []datalog.Term{V("x"), V("z")}},
+			Body: []datalog.Literal{lit("edge", V("x"), V("y")), lit("p1", V("y"), V("z"))},
+		})
+	default: // nonlinear — defeats co-hashing, exercises mirrored evaluation
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: "p1", Args: []datalog.Term{V("x"), V("z")}},
+			Body: []datalog.Literal{lit("p1", V("x"), V("y")), lit("p1", V("y"), V("z"))},
+		})
+	}
+	if r.Intn(2) == 0 {
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: "sym", Args: []datalog.Term{V("x"), V("y")}},
+			Body: []datalog.Literal{lit("edge", V("x"), V("y")), lit("edge", V("y"), V("x"))},
+		})
+	}
+	if r.Intn(2) == 0 {
+		rules = append(rules, datalog.Rule{
+			Head:    datalog.Atom{Pred: "p2", Args: []datalog.Term{V("x"), V("v")}},
+			Body:    []datalog.Literal{lit("p1", V("x"), V("y")), lit("attr", V("y"), V("v"))},
+			Filters: []datalog.Filter{{Op: datalog.OpGe, L: V("v"), R: C(int64(r.Intn(5)))}},
+		})
+	}
+	if r.Intn(2) == 0 {
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: "q", Args: []datalog.Term{V("x")}},
+			Body: []datalog.Literal{lit("node", V("x")), neg("p1", C(randConst(r)), V("x"))},
+		})
+	}
+	switch r.Intn(4) {
+	case 0:
+		rules = append(rules, datalog.Rule{
+			Head:   datalog.Atom{Pred: "fanout", Args: []datalog.Term{V("x"), V("y")}},
+			Body:   []datalog.Literal{lit("p1", V("x"), V("y"))},
+			Agg:    datalog.AggCount,
+			AggVar: "y",
+		})
+	case 1:
+		rules = append(rules, datalog.Rule{
+			Head:   datalog.Atom{Pred: "wsum", Args: []datalog.Term{V("x"), V("v")}},
+			Body:   []datalog.Literal{lit("p1", V("x"), V("y")), lit("attr", V("y"), V("v"))},
+			Agg:    datalog.AggSum,
+			AggVar: "v",
+		})
+	case 2:
+		rules = append(rules, datalog.Rule{
+			Head:   datalog.Atom{Pred: "best", Args: []datalog.Term{V("x"), V("v")}},
+			Body:   []datalog.Literal{lit("attr", V("x"), V("v"))},
+			Agg:    datalog.AggMax,
+			AggVar: "v",
+		})
+	}
+	return rules
+}
+
+// shadow tracks base-relation contents while generating ops, so deletes
+// target tuples that actually exist.
+type shadow struct {
+	rels map[string][]datalog.Tuple
+}
+
+func newShadow() *shadow { return &shadow{rels: map[string][]datalog.Tuple{}} }
+
+func (s *shadow) apply(op datalog.DeltaOp) {
+	key := func(t datalog.Tuple) string { return fmt.Sprint(t...) }
+	cur := s.rels[op.Pred]
+	if op.Del {
+		for i, t := range cur {
+			if key(t) == key(op.T) {
+				s.rels[op.Pred] = append(append([]datalog.Tuple{}, cur[:i]...), cur[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	for _, t := range cur {
+		if key(t) == key(op.T) {
+			return
+		}
+	}
+	s.rels[op.Pred] = append(cur, op.T)
+}
+
+func randBaseTuple(r *rand.Rand, pred string) datalog.Tuple {
+	switch pred {
+	case "edge":
+		return datalog.Tuple{randConst(r), randConst(r)}
+	case "attr":
+		return datalog.Tuple{randConst(r), int64(r.Intn(10))}
+	default:
+		return datalog.Tuple{randConst(r)}
+	}
+}
+
+// randTicks generates a tick sequence: a seeding tick, then churn ticks
+// whose delete probability rises toward the end (delete-heavy DRed tail).
+func randTicks(r *rand.Rand) [][]datalog.DeltaOp {
+	preds := []string{"edge", "edge", "attr", "node"} // edge-biased
+	sh := newShadow()
+	var ticks [][]datalog.DeltaOp
+	seedN := 8 + r.Intn(7)
+	var seed []datalog.DeltaOp
+	for i := 0; i < seedN; i++ {
+		op := ins(preds[r.Intn(len(preds))])
+		op.T = randBaseTuple(r, op.Pred)
+		sh.apply(op)
+		seed = append(seed, op)
+	}
+	ticks = append(ticks, seed)
+	nTicks := 6 + r.Intn(4)
+	for ti := 0; ti < nTicks; ti++ {
+		pDel := 0.25
+		if ti >= nTicks-3 {
+			pDel = 0.6
+		}
+		var ops []datalog.DeltaOp
+		for k := 0; k < 1+r.Intn(5); k++ {
+			pred := preds[r.Intn(len(preds))]
+			if r.Float64() < pDel && len(sh.rels[pred]) > 0 {
+				victim := sh.rels[pred][r.Intn(len(sh.rels[pred]))]
+				op := datalog.DeltaOp{Del: true, Pred: pred, T: victim}
+				sh.apply(op)
+				ops = append(ops, op)
+				continue
+			}
+			op := datalog.DeltaOp{Pred: pred, T: randBaseTuple(r, pred)}
+			sh.apply(op)
+			ops = append(ops, op)
+		}
+		ticks = append(ticks, ops)
+	}
+	return ticks
+}
+
+// shardCounts returns the shard counts under test; the CI sharded matrix
+// overrides via SHARD_COUNTS (e.g. "1,4").
+func shardCounts(t testing.TB) []int {
+	env := os.Getenv("SHARD_COUNTS")
+	if env == "" {
+		return []int{1, 2, 4}
+	}
+	var out []int
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			t.Fatalf("bad SHARD_COUNTS %q", env)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestShardedDeterminism50Seeds is the 50-seed determinism gate: for each
+// seed, a random program (TC shapes, negation, aggregates) and a random
+// delete-heavy tick sequence run at every shard count, and every count's
+// per-tick relation dumps must be byte-identical to the single-node
+// incremental fixpoint (and therefore to each other).
+func TestShardedDeterminism50Seeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-seed sweep")
+	}
+	counts := shardCounts(t)
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rules := randShardRules(rand.New(rand.NewSource(seed)))
+			ticks := randTicks(rand.New(rand.NewSource(seed ^ 0x5eed)))
+			prog, err := datalog.NewProgram(rules...)
+			if err != nil {
+				t.Fatalf("bad random program: %v", err)
+			}
+			_ = prog // program validity checked once up front
+			want := make([]string, len(ticks))
+			for _, n := range counts {
+				cprog, err := datalog.NewProgram(rules...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, dep := newDeployment(t, cprog, tcEDB, n, 1000+seed)
+				refRun := newOracle(t, cprog, tcEDB)
+				for i, ops := range ticks {
+					if err := dep.Submit(ops); err != nil {
+						t.Fatalf("n=%d tick %d: %v", n, i, err)
+					}
+					if !dep.Settle(settleBudget) {
+						t.Fatalf("n=%d tick %d did not settle", n, i)
+					}
+					refRun.tick(t, ops)
+					w := refRun.dump(dep.Placement().Preds)
+					if want[i] == "" {
+						want[i] = w
+					} else if want[i] != w {
+						t.Fatalf("oracle itself diverged at tick %d", i)
+					}
+					if got := dep.DumpString(); got != w {
+						t.Fatalf("n=%d tick %d diverged from single-node:\n%s\nwant:\n%s", n, i, got, w)
+					}
+				}
+				if err := dep.CheckMirrors(); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPlacementTCStaysSharded pins the placement analysis: the linear TC
+// shape keeps both relations hash-partitioned on the join key, while a
+// program with negation mirrors the negated closure.
+func TestPlacementTCStaysSharded(t *testing.T) {
+	prog, err := datalog.NewProgram(tcRules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := shard.NewPlacement(prog, tcEDB, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Specs["edge"].Mirrored || pl.Specs["path"].Mirrored {
+		t.Fatalf("TC relations should stay sharded: %+v", pl.Specs)
+	}
+	if pl.Specs["edge"].Col != 0 || pl.Specs["path"].Col != 1 {
+		t.Fatalf("unexpected partition columns: edge=%d path=%d",
+			pl.Specs["edge"].Col, pl.Specs["path"].Col)
+	}
+
+	negRules := append(append([]datalog.Rule{}, tcRules...), datalog.Rule{
+		Head: datalog.Atom{Pred: "dead", Args: []datalog.Term{datalog.V("x")}},
+		Body: []datalog.Literal{
+			{Atom: datalog.Atom{Pred: "node", Args: []datalog.Term{datalog.V("x")}}},
+			{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("x")}}, Negated: true},
+		},
+	})
+	nprog, err := datalog.NewProgram(negRules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	npl, err := shard.NewPlacement(nprog, tcEDB, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{"path", "node", "dead"} {
+		if !npl.Specs[pred].Mirrored {
+			t.Fatalf("%s should be mirrored under negation", pred)
+		}
+	}
+}
+
+// TestDeclaredPartitionHonored pins that hlang-style declared partition
+// columns override the compiled hints for rule-free tables.
+func TestDeclaredPartitionHonored(t *testing.T) {
+	prog, err := datalog.NewProgram(tcRules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := map[string]int{"edge": 2, "node": 1, "attr": 2, "people": 4}
+	pl, err := shard.NewPlacement(prog, edb, 3, map[string]int{"people": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pl.Specs["people"]; s.Mirrored || s.Col != 1 {
+		t.Fatalf("declared partition ignored: %+v", s)
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"hydro/internal/datalog"
 	"hydro/internal/hlang"
 	"hydro/internal/hydrolysis"
+	"hydro/internal/shard"
 	"hydro/internal/simnet"
+	"hydro/internal/target"
 	"hydro/internal/transducer"
 )
 
@@ -266,5 +268,323 @@ func TestIncrementalDeleteChaosReconverges(t *testing.T) {
 				t.Fatalf("seed %d: replica %s maintained closure diverged from reference\nwant: %s\ngot:  %s", seed, m, wantPath, got)
 			}
 		}
+	}
+}
+
+// ---- Sharded-dataflow chaos: the distributed fixpoint under churn ----
+
+var shardTCRules = []datalog.Rule{
+	{
+		Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+		Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+	},
+	{
+		Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+		Body: []datalog.Literal{
+			{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+			{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+		},
+	},
+}
+
+// shardOracle folds realized versions of the same raw ops into a
+// single-node incremental fixpoint.
+type shardOracle struct {
+	inc *datalog.Incremental
+}
+
+func newShardOracle(t *testing.T, rules []datalog.Rule, edb map[string]int) *shardOracle {
+	t.Helper()
+	prog, err := datalog.NewProgram(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := datalog.NewDatabase()
+	for pred, ar := range edb {
+		db.Ensure(pred, ar)
+	}
+	inc, err := datalog.NewIncremental(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &shardOracle{inc: inc}
+}
+
+func (o *shardOracle) tick(t *testing.T, ops []datalog.DeltaOp) {
+	t.Helper()
+	delta := datalog.NewDelta()
+	for _, op := range ops {
+		rel := o.inc.DB().Get(op.Pred)
+		if op.Del {
+			if rel.Delete(op.T) {
+				delta.Delete(op.Pred, op.T)
+			}
+		} else if rel.Insert(op.T) {
+			delta.Insert(op.Pred, op.T)
+		}
+	}
+	if _, err := o.inc.Apply(delta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func edgeIns(a, b int64) datalog.DeltaOp {
+	return datalog.DeltaOp{Pred: "edge", T: datalog.Tuple{a, b}}
+}
+
+func edgeDel(a, b int64) datalog.DeltaOp {
+	return datalog.DeltaOp{Del: true, Pred: "edge", T: datalog.Tuple{a, b}}
+}
+
+// TestShardedTCChaosFailRecoverReconverges: a 3-replica hash-partitioned
+// transitive-closure deployment (one replica per AZ, placed by the
+// deployment ILP) loses a whole AZ mid-tick — in-flight exchange traffic
+// and coordinator requests with it — and again during a delete-heavy tick
+// whose DRed retractions cross shard boundaries. The coordinator's
+// attempt-retry protocol redelivers after each Recover, and the sharded
+// fixpoint must land byte-identical to the single-node oracle.
+func TestShardedTCChaosFailRecoverReconverges(t *testing.T) {
+	edb := map[string]int{"edge": 2}
+	prog, err := datalog.NewProgram(shardTCRules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := cluster.NewTopology(3, 2, 2, cluster.ClassSmall)
+	cl := cluster.New(topo, simnet.DefaultConfig(4242))
+	machines, err := target.PlaceReplicas(topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := shard.Deploy(cl, "tcchaos", prog, edb, machines, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newShardOracle(t, shardTCRules, edb)
+
+	check := func(stage string) {
+		t.Helper()
+		want := shard.DumpDatabase(ref.inc.DB(), dep.Placement().Preds)
+		if got := dep.DumpString(); got != want {
+			t.Fatalf("%s: sharded diverged:\n%s\nwant:\n%s", stage, got, want)
+		}
+		if err := dep.CheckMirrors(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+
+	// Tick 1: build a chain crossing every shard, undisturbed.
+	t1 := []datalog.DeltaOp{edgeIns(1, 2), edgeIns(2, 3), edgeIns(3, 4), edgeIns(4, 5), edgeIns(5, 6)}
+	if err := dep.Submit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if !dep.Settle(400_000) {
+		t.Fatal("tick 1 did not settle")
+	}
+	ref.tick(t, t1)
+	check("tick 1")
+
+	// Tick 2: submit, then take out an entire replica AZ before the tick
+	// can finish. The protocol must stall, not corrupt.
+	t2 := []datalog.DeltaOp{edgeIns(6, 7), edgeIns(7, 1)}
+	if err := dep.Submit(t2); err != nil {
+		t.Fatal(err)
+	}
+	az := topo.Get(machines[1]).AZ
+	failed := cl.FailDomain(cluster.AZ, az)
+	if len(failed) == 0 {
+		t.Fatalf("FailDomain(%s) failed nothing", az)
+	}
+	cl.Net.RunUntil(cl.Net.Now() + 5_000_000) // 5s of retries against a dead AZ
+	ref.tick(t, t2)
+	if dep.DumpString() == shard.DumpDatabase(ref.inc.DB(), dep.Placement().Preds) {
+		t.Log("tick 2 completed before the AZ failure bit (timing-dependent, fine)")
+	}
+	for _, id := range failed {
+		cl.Recover(id)
+	}
+	if !dep.Settle(400_000) {
+		t.Fatal("tick 2 did not settle after recovery")
+	}
+	check("tick 2 after recovery")
+
+	// Tick 3: delete-heavy — cutting (3,4) and (7,1) retracts closure
+	// tuples owned by every shard — with a different AZ failing mid-tick.
+	t3 := []datalog.DeltaOp{edgeDel(3, 4), edgeDel(7, 1), edgeIns(3, 7)}
+	if err := dep.Submit(t3); err != nil {
+		t.Fatal(err)
+	}
+	az2 := topo.Get(machines[2]).AZ
+	failed = cl.FailDomain(cluster.AZ, az2)
+	cl.Net.RunUntil(cl.Net.Now() + 5_000_000)
+	for _, id := range failed {
+		cl.Recover(id)
+	}
+	if !dep.Settle(400_000) {
+		t.Fatal("tick 3 did not settle after recovery")
+	}
+	ref.tick(t, t3)
+	check("tick 3 delete-heavy after recovery")
+}
+
+// TestShardedTCFlappingLinksChurn: instead of clean fail/recover cycles,
+// the links between the coordinator and replicas (and between replica
+// pairs) flap repeatedly while ticks are in flight. Dropped requests,
+// dropped exchange batches, and dropped acks all look the same to the
+// coordinator — a stalled attempt — and every flap-heal cycle must end
+// with the deployment reconverging to the oracle.
+func TestShardedTCFlappingLinksChurn(t *testing.T) {
+	edb := map[string]int{"edge": 2}
+	prog, err := datalog.NewProgram(shardTCRules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := cluster.NewTopology(3, 2, 2, cluster.ClassSmall)
+	cl := cluster.New(topo, simnet.DefaultConfig(777))
+	machines, err := target.PlaceReplicas(topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := shard.Deploy(cl, "tcflap", prog, edb, machines, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newShardOracle(t, shardTCRules, edb)
+	coord := "tcflap-coord"
+
+	ticks := [][]datalog.DeltaOp{
+		{edgeIns(1, 2), edgeIns(2, 3), edgeIns(3, 4)},
+		{edgeIns(4, 5), edgeIns(5, 1)},
+		{edgeDel(2, 3), edgeIns(2, 5)},
+		{edgeDel(5, 1), edgeDel(3, 4), edgeIns(4, 1)},
+	}
+	for i, ops := range ticks {
+		if err := dep.Submit(ops); err != nil {
+			t.Fatal(err)
+		}
+		// Flap a rotating set of links while the tick runs: coordinator
+		// to one replica, plus one replica pair.
+		for flap := 0; flap < 3; flap++ {
+			a := machines[(i+flap)%len(machines)]
+			b := machines[(i+flap+1)%len(machines)]
+			cl.Net.Partition(coord, a)
+			cl.Net.Partition(a, b)
+			cl.Net.RunUntil(cl.Net.Now() + 1_500_000) // 1.5s partitioned
+			cl.Net.Heal(coord, a)
+			cl.Net.Heal(a, b)
+			cl.Net.RunUntil(cl.Net.Now() + 500_000)
+		}
+		if !dep.Settle(400_000) {
+			t.Fatalf("tick %d did not settle after churn", i)
+		}
+		ref.tick(t, ops)
+		want := shard.DumpDatabase(ref.inc.DB(), dep.Placement().Preds)
+		if got := dep.DumpString(); got != want {
+			t.Fatalf("tick %d diverged after churn:\n%s\nwant:\n%s", i, got, want)
+		}
+		if err := dep.CheckMirrors(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+}
+
+// TestShardedCovidChaosConverges runs the paper's COVID workload through
+// the compiled pipeline: hydrolysis compiles Fig 3's source, the declared
+// partition(country) column shards `people`, the transitive-closure query
+// rules shard `contacts`, and the deployment survives an AZ failure during
+// a tick that retracts contact edges (cross-shard DRed on the contact
+// graph's closure).
+func TestShardedCovidChaosConverges(t *testing.T) {
+	compiled, err := hydrolysis.Compile(hlang.CovidSource, hydrolysis.Options{
+		UDFs: map[string]hydrolysis.UDF{
+			"covid_predict": func(args []any) any { return 0.5 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := cluster.NewTopology(3, 2, 2, cluster.ClassSmall)
+	cl := cluster.New(topo, simnet.DefaultConfig(2021))
+	dep, err := compiled.InstantiateSharded(cl, "covid", 3, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := dep.Placement().Specs["people"]; s.Mirrored || s.Col != 1 {
+		t.Fatalf("people should shard on declared partition(country): %+v", s)
+	}
+
+	// Single-node oracle over an independently compiled copy of the same
+	// query program.
+	refCompiled, err := hydrolysis.Compile(hlang.CovidSource, hydrolysis.Options{
+		UDFs: map[string]hydrolysis.UDF{
+			"covid_predict": func(args []any) any { return 0.5 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDB := datalog.NewDatabase()
+	for _, tb := range refCompiled.Program.Tables {
+		refDB.Ensure(tb.Name, tb.Arity())
+	}
+	inc, err := datalog.NewIncremental(refCompiled.Queries, refDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTick := func(ops []datalog.DeltaOp) {
+		delta := datalog.NewDelta()
+		for _, op := range ops {
+			rel := refDB.Get(op.Pred)
+			if op.Del {
+				if rel.Delete(op.T) {
+					delta.Delete(op.Pred, op.T)
+				}
+			} else if rel.Insert(op.T) {
+				delta.Insert(op.Pred, op.T)
+			}
+		}
+		if _, err := inc.Apply(delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	person := func(pid int64, country string) datalog.DeltaOp {
+		return datalog.DeltaOp{Pred: "people", T: datalog.Tuple{pid, country, false, false}}
+	}
+	contact := func(a, b int64) datalog.DeltaOp {
+		return datalog.DeltaOp{Pred: "contacts", T: datalog.Tuple{a, b}}
+	}
+	uncontact := func(a, b int64) datalog.DeltaOp {
+		return datalog.DeltaOp{Del: true, Pred: "contacts", T: datalog.Tuple{a, b}}
+	}
+
+	ticks := [][]datalog.DeltaOp{
+		{person(1, "is"), person(2, "nz"), person(3, "is"), person(4, "us"),
+			contact(1, 2), contact(2, 1), contact(2, 3), contact(3, 2)},
+		{person(5, "nz"), contact(3, 4), contact(4, 3), contact(4, 5), contact(5, 4)},
+		{uncontact(2, 3), uncontact(3, 2), contact(1, 5), contact(5, 1)},
+	}
+	for i, ops := range ticks {
+		if err := dep.Submit(ops); err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 { // AZ failure during the retraction tick
+			az := topo.Get(dep.Replicas()[0]).AZ
+			failed := cl.FailDomain(cluster.AZ, az)
+			cl.Net.RunUntil(cl.Net.Now() + 4_000_000)
+			for _, id := range failed {
+				cl.Recover(id)
+			}
+		}
+		if !dep.Settle(400_000) {
+			t.Fatalf("covid tick %d did not settle", i)
+		}
+		refTick(ops)
+		want := shard.DumpDatabase(refDB, dep.Placement().Preds)
+		if got := dep.DumpString(); got != want {
+			t.Fatalf("covid tick %d diverged:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+	if err := dep.CheckMirrors(); err != nil {
+		t.Fatal(err)
 	}
 }

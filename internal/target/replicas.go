@@ -1,0 +1,71 @@
+package target
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hydro/internal/cluster"
+	"hydro/internal/ilp"
+)
+
+// PlaceReplicas solves shard-replica placement as the same Fig-3 style
+// integer program the handler deployment uses: pick n machines from the
+// topology minimizing total hourly cost, subject to the availability
+// constraint that no AZ hosts more than ceil(n/#AZs) replicas — a loss of
+// one zone then takes out the fewest possible shards. Down machines are
+// excluded. The chosen machine IDs come back sorted, which is the replica
+// index order a deployment will use.
+func PlaceReplicas(topo *cluster.Topology, n int) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("target: need at least 1 replica")
+	}
+	var up []*cluster.Machine
+	azSet := map[string]bool{}
+	for _, m := range topo.Machines {
+		if m.Up() {
+			up = append(up, m)
+			azSet[m.AZ] = true
+		}
+	}
+	if len(up) < n {
+		return nil, fmt.Errorf("target: need %d machines, only %d up", n, len(up))
+	}
+	azs := make([]string, 0, len(azSet))
+	for az := range azSet {
+		azs = append(azs, az)
+	}
+	sort.Strings(azs)
+	perAZ := int(math.Ceil(float64(n) / float64(len(azs))))
+
+	p := ilp.New()
+	for _, m := range up {
+		p.AddVar("x_"+m.ID, 0, 1, m.Class.CostPerHour)
+	}
+	total := make([]float64, len(up))
+	for i := range up {
+		total[i] = 1
+	}
+	p.AddConstraint("replicas", total, ilp.EQ, float64(n))
+	for _, az := range azs {
+		coefs := make([]float64, len(up))
+		for i, m := range up {
+			if m.AZ == az {
+				coefs[i] = 1
+			}
+		}
+		p.AddConstraint("az-cap-"+az, coefs, ilp.LE, float64(perAZ))
+	}
+	sol, err := p.Solve(0)
+	if err != nil {
+		return nil, fmt.Errorf("target: replica placement: %w", err)
+	}
+	var out []string
+	for i, m := range up {
+		if sol.Values[i] > 0 {
+			out = append(out, m.ID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
