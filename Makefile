@@ -2,7 +2,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test vet ci bench benchdiff tables fuzz soak testbin test-sharded
+.PHONY: build test vet ci bench benchdiff tables fuzz soak testbin test-sharded serve-bench serve-soak
 
 build:
 	$(GO) build ./...
@@ -67,3 +67,25 @@ SOAK_SEEDS ?= 300
 SOAK_TICKS ?= 60
 soak:
 	$(GO) test -race -run '^TestCrashRecovery$$' ./internal/durable -crash-seeds $(SOAK_SEEDS) -crash-ticks $(SOAK_TICKS) -crash-rand
+
+# serve-bench is the serving-path perf snapshot: the ingestion benchmarks
+# (per-message vs batched, plus the full Submit pipeline) followed by a
+# hydroload zipfian open-loop run that prints the enqueue→flush→eval→respond
+# latency breakdown and writes the per-request timing CSV.
+HYDROLOAD_N ?= 20000
+HYDROLOAD_RATE ?= 50000
+HYDROLOAD_CSV ?= .testbin/hydroload-timings.csv
+serve-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem ./internal/serve
+	@mkdir -p $(dir $(HYDROLOAD_CSV))
+	$(GO) run ./cmd/hydroload -n $(HYDROLOAD_N) -rate $(HYDROLOAD_RATE) -csv $(HYDROLOAD_CSV)
+	$(GO) run ./cmd/benchtab -timings $(HYDROLOAD_CSV)
+
+# serve-soak is the serving-path correctness gate, scaled past the default
+# suite: the batched≡serial equivalence sweep (rejected ticks, serializable
+# handlers, simnet-style delivery churn) plus every server-shell test and
+# the batched-beats-per-message throughput gate, all under -race.
+SERVE_SEEDS ?= 60
+SERVE_REQS ?= 150
+serve-soak:
+	$(GO) test -race -run 'TestServe|TestBatched' ./internal/serve -serve-seeds $(SERVE_SEEDS) -serve-reqs $(SERVE_REQS)

@@ -10,6 +10,8 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchtab -benchjson BENCH_1.json
 //	go test -run '^$' -bench . -benchmem ./... | benchtab -benchdiff BENCH_1.json -threshold 1.5
+//
+//	hydroload -csv timings.csv && benchtab -timings timings.csv
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	"hydro/internal/experiments"
+	"hydro/internal/serve"
 )
 
 // benchResult is one parsed benchmark line.
@@ -108,6 +111,23 @@ func writeBenchJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// summarizeTimings re-renders the summary table for a per-request timing
+// CSV written by `hydroload -csv` — the offline half of the serving
+// latency-breakdown loop (capture under load once, slice afterwards).
+func summarizeTimings(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := serve.ReadCSV(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Print(serve.Summarize(rows).Render())
+	return nil
+}
+
 // diffBench compares a fresh bench run (stdin) against the committed
 // baseline JSON and fails when any shared benchmark slowed down by more
 // than the threshold factor. Allocation deltas (allocs/op) are reported
@@ -184,7 +204,16 @@ func main() {
 	benchjson := flag.String("benchjson", "", "write benchmarks parsed from 'go test -bench' stdin to this JSON `file`")
 	benchdiff := flag.String("benchdiff", "", "compare benchmarks parsed from 'go test -bench' stdin against this baseline JSON `file`; exit non-zero on regression")
 	threshold := flag.Float64("threshold", 1.5, "slowdown factor tolerated by -benchdiff before failing")
+	timings := flag.String("timings", "", "summarize a hydroload per-request timing CSV `file` (p50/p90/p99 per phase)")
 	flag.Parse()
+
+	if *timings != "" {
+		if err := summarizeTimings(*timings); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchjson != "" {
 		if err := writeBenchJSON(*benchjson); err != nil {
@@ -223,7 +252,7 @@ func main() {
 		{"E10", func() experiments.Table { return experiments.RunE10(20 / scale) }},
 		{"E11", func() experiments.Table { return experiments.RunE11() }},
 		{"E12", func() experiments.Table { return experiments.RunE12(1000 / scale) }},
-		{"E13", func() experiments.Table { return experiments.RunE13(8/scale + 1, 400/scale) }},
+		{"E13", func() experiments.Table { return experiments.RunE13(8/scale+1, 400/scale) }},
 	}
 	ran := false
 	for _, r := range runs {

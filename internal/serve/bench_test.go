@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"hydro/internal/datalog"
+	"hydro/internal/transducer"
+)
+
+// benchRuntime is the ingestion fixture: an incremental transitive-closure
+// program fed unique chain-free edges, so every message carries a real
+// delta through Incremental.Apply without the closure blowing up as b.N
+// grows. The handler stays silent (no replies) so response mailboxes don't
+// accumulate across a long benchmark run.
+func benchRuntime(tb testing.TB) *transducer.Runtime {
+	rt := transducer.New("bench", 1)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(transducer.TableSchema{Name: "edge", Arity: 2})
+	if err := rt.RegisterQueriesIncremental(tcProgram(tb)); err != nil {
+		tb.Fatal(err)
+	}
+	rt.RegisterHandler("add_edge", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.MergeTuple("edge", msg.Payload)
+	})
+	return rt
+}
+
+const benchKeys = 256
+
+func benchEdge(i int) datalog.Tuple {
+	return datalog.Tuple{int64(i % benchKeys), int64(benchKeys + i)}
+}
+
+// ingest drives n messages at the given batch size: one tick per batch,
+// which in incremental mode is one Incremental.Apply per batch. batch=1 is
+// the pre-serving one-message-per-tick delivery model.
+func ingest(rt *transducer.Runtime, start, n, batch int) {
+	inj := make([]transducer.Injection, 0, batch)
+	for i := 0; i < n; {
+		inj = inj[:0]
+		for j := 0; j < batch && i < n; j++ {
+			inj = append(inj, transducer.Injection{Mailbox: "add_edge", Payload: benchEdge(start + i)})
+			i++
+		}
+		rt.InjectBatch(inj)
+		rt.Tick()
+	}
+}
+
+// BenchmarkServeIngestPerMessage is the baseline the serving front-end
+// replaces: every injected message pays a full tick (and one
+// Incremental.Apply). ns/op is per message.
+func BenchmarkServeIngestPerMessage(b *testing.B) {
+	rt := benchRuntime(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ingest(rt, 0, b.N, 1)
+}
+
+// BenchmarkServeIngestBatched64 amortizes the per-tick fixed costs across
+// 64-message batches. ns/op is per message.
+func BenchmarkServeIngestBatched64(b *testing.B) {
+	rt := benchRuntime(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ingest(rt, 0, b.N, 64)
+}
+
+// BenchmarkServeIngestBatched256 is the large-batch point. ns/op is per
+// message.
+func BenchmarkServeIngestBatched256(b *testing.B) {
+	rt := benchRuntime(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ingest(rt, 0, b.N, 256)
+}
+
+// BenchmarkServeSubmitPipeline measures the full serving shell — admission
+// queue, batcher, tick, settle, reply correlation, timing capture — per
+// request, with an open submitter so batches actually form.
+func BenchmarkServeSubmitPipeline(b *testing.B) {
+	rt := benchRuntime(b)
+	s := New(rt, Config{MaxBatch: 256, MaxWait: 200 * time.Microsecond, QueueDepth: 1024})
+	defer s.Close()
+	ps := make([]*Pending, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Submit(Request{Mailbox: "add_edge", Payload: benchEdge(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps[i] = p
+	}
+	for _, p := range ps {
+		if r := p.Wait(); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// TestBatchedIngestionBeatsPerMessage is the acceptance gate for the
+// serving front-end: batched ingestion must beat one-message-per-tick
+// delivery on throughput. The measured gap is typically several-fold (one
+// Incremental.Apply per 256 messages instead of per message); the 1.2×
+// bar only guards against the batching path regressing to per-message
+// cost, with slack for noisy CI hosts.
+func TestBatchedIngestionBeatsPerMessage(t *testing.T) {
+	const n = 4096
+	run := func(batch int) time.Duration {
+		rt := benchRuntime(t)
+		ingest(rt, 0, 512, batch) // warm-up: build relations, indexes, plans
+		start := time.Now()
+		ingest(rt, 512, n, batch)
+		return time.Since(start)
+	}
+	perMessage := run(1)
+	batched := run(256)
+	t.Logf("per-message: %v for %d msgs (%.0f msg/s); batched(256): %v (%.0f msg/s)",
+		perMessage, n, float64(n)/perMessage.Seconds(), batched, float64(n)/batched.Seconds())
+	if float64(perMessage) < 1.2*float64(batched) {
+		t.Fatalf("batched ingestion (%v) must beat per-message delivery (%v) by ≥1.2×", batched, perMessage)
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"hydro/internal/datalog"
+	"hydro/internal/hlang"
+	"hydro/internal/hydrolysis"
+	"hydro/internal/transducer"
+)
+
+// The sweep is the serving analogue of the parallel≡serial and
+// sharded≡single-node gates: batched ingestion must leave the runtime in
+// exactly the state one-message-per-tick delivery leaves it in, across
+// random request streams that include rejected ticks (poison requests
+// writing a derived head), serializable handlers (vaccinate), and
+// randomized send-delivery delays (the same churn simnet injects).
+// `make serve-soak` scales it up via these flags.
+var (
+	serveSeeds = flag.Int("serve-seeds", 20, "seeds for the batched≡serial equivalence sweep")
+	serveReqs  = flag.Int("serve-reqs", 100, "requests per seed in the equivalence sweep")
+)
+
+// covidRuntime instantiates the paper's COVID pipeline plus a hand-written
+// poison handler that writes the derived `transitive` relation — the
+// evaluator rejects any tick carrying it, in both execution modes.
+func covidRuntime(t testing.TB, seed int64, fullEval, churn bool) *transducer.Runtime {
+	t.Helper()
+	c, err := hydrolysis.Compile(hlang.CovidSource, hydrolysis.Options{
+		UDFs: map[string]hydrolysis.UDF{
+			"covid_predict": func(args []any) any { return float64(args[0].(int64)%100) / 100.0 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt *transducer.Runtime
+	if fullEval {
+		rt, err = c.InstantiateFullEval("srv", seed)
+	} else {
+		rt, err = c.Instantiate("srv", seed)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fullEval && !rt.IncrementalQueries() {
+		t.Fatal("covid pipeline must select incremental mode")
+	}
+	if !churn {
+		rt.SetDelay(func(r *rand.Rand) int { return 1 })
+	}
+	rt.RegisterHandler("poison", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.MergeTuple("transitive", datalog.Tuple{msg.Payload[0], msg.Payload[0]})
+	})
+	return rt
+}
+
+// canonicalState renders the runtime's committed state order-insensitively:
+// every relation's live tuples sorted, plus the scalar vars. Batching
+// regroups messages into ticks, so relation *slot* order (an artifact of
+// delta grouping) legitimately differs from serial delivery; the fixpoint
+// as a set of tuples per relation, and every scalar, must be byte-identical.
+func canonicalState(rt *transducer.Runtime, vars []string) string {
+	var b strings.Builder
+	names := rt.TableNames()
+	sort.Strings(names)
+	for _, name := range names {
+		rows := []string{}
+		for _, tu := range rt.Table(name).Tuples() {
+			rows = append(rows, fmt.Sprintf("%v", tu))
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "%s:%s\n", name, strings.Join(rows, ";"))
+	}
+	for _, v := range vars {
+		fmt.Fprintf(&b, "var %s=%v\n", v, rt.Var(v))
+	}
+	return b.String()
+}
+
+func genCovidRequests(r *rand.Rand, n int) (reqs []Request, poison []bool) {
+	const people = 12
+	countries := []string{"us", "fr", "in"}
+	for i := 0; i < n; i++ {
+		pid := int64(r.Intn(people))
+		switch k := r.Intn(100); {
+		case k < 25:
+			reqs = append(reqs, Request{Mailbox: "add_person", Payload: datalog.Tuple{pid, countries[r.Intn(len(countries))]}})
+		case k < 60:
+			reqs = append(reqs, Request{Mailbox: "add_contact", Payload: datalog.Tuple{pid, int64(r.Intn(people))}})
+		case k < 75:
+			reqs = append(reqs, Request{Mailbox: "diagnosed", Payload: datalog.Tuple{pid}})
+		case k < 85:
+			reqs = append(reqs, Request{Mailbox: "likelihood", Payload: datalog.Tuple{pid}})
+		case k < 93:
+			reqs = append(reqs, Request{Mailbox: "vaccinate", Payload: datalog.Tuple{pid}})
+		default:
+			reqs = append(reqs, Request{Mailbox: "poison", Payload: datalog.Tuple{pid}})
+		}
+		poison = append(poison, reqs[len(reqs)-1].Mailbox == "poison")
+	}
+	return reqs, poison
+}
+
+// driveSerial is the reference schedule: one message per tick, settled to
+// idle before the next message is admitted.
+func driveSerial(rt *transducer.Runtime, reqs []Request) {
+	for _, req := range reqs {
+		rt.Inject(req.Mailbox, req.Payload)
+		rt.Tick()
+		rt.RunUntilIdle(256)
+	}
+}
+
+func TestBatchedEqualsSerialSweep(t *testing.T) {
+	covidVars := []string{"vaccine_count"}
+	rejectedBatches := uint64(0)
+	for seed := 0; seed < *serveSeeds; seed++ {
+		for _, fullEval := range []bool{false, true} {
+			for _, churn := range []bool{false, true} {
+				r := rand.New(rand.NewSource(int64(seed)*4 + b2i(fullEval)*2 + b2i(churn)))
+				reqs, poison := genCovidRequests(r, *serveReqs)
+
+				ref := covidRuntime(t, int64(seed), fullEval, churn)
+				driveSerial(ref, reqs)
+				want := canonicalState(ref, covidVars)
+
+				rt := covidRuntime(t, int64(seed), fullEval, churn)
+				s := New(rt, Config{
+					MaxBatch:        1 + r.Intn(16),
+					MaxWait:         time.Duration(100+r.Intn(400)) * time.Microsecond,
+					QueueDepth:      64,
+					SerialMailboxes: []string{"vaccinate"},
+					DrainMailboxes:  []string{"alert", "trace_response"},
+				})
+				ps := make([]*Pending, len(reqs))
+				for i, req := range reqs {
+					p, err := s.Submit(req)
+					if err != nil {
+						t.Fatalf("seed %d fullEval=%v churn=%v: submit: %v", seed, fullEval, churn, err)
+					}
+					ps[i] = p
+				}
+				for i, p := range ps {
+					resp := p.Wait()
+					if poison[i] && resp.Err == nil {
+						t.Fatalf("seed %d fullEval=%v churn=%v: poison request %d served without rejection", seed, fullEval, churn, i)
+					}
+					if !poison[i] && resp.Err != nil {
+						t.Fatalf("seed %d fullEval=%v churn=%v: request %d (%s) failed: %v", seed, fullEval, churn, i, reqs[i].Mailbox, resp.Err)
+					}
+				}
+				rejectedBatches += s.Metrics().RejectedBatches
+				s.Close()
+				if got := canonicalState(s.Runtime(), covidVars); got != want {
+					t.Fatalf("seed %d fullEval=%v churn=%v: batched state diverged from serial\nserial:\n%s\nbatched:\n%s",
+						seed, fullEval, churn, want, got)
+				}
+			}
+		}
+	}
+	if rejectedBatches == 0 {
+		t.Fatal("sweep never exercised a rejected batch tick")
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package serve
+
+import "sync/atomic"
+
+// metrics is the server's live instrumentation: a queue-depth gauge plus
+// monotone counters, all atomics so Submit-side goroutines and the serve
+// loop update them without locks.
+type metrics struct {
+	queueDepth     atomic.Int64 // gauge: requests admitted but not yet flushed
+	queueHighWater atomic.Int64
+
+	submitted       atomic.Uint64
+	shed            atomic.Uint64
+	responded       atomic.Uint64
+	batches         atomic.Uint64
+	sizeFlushes     atomic.Uint64 // batches flushed because they hit MaxBatch
+	deadlineFlushes atomic.Uint64 // batches flushed by the MaxWait deadline
+	serialFlushes   atomic.Uint64 // singleton batches forced by SerialMailboxes
+	rejectedBatches atomic.Uint64 // batch ticks the evaluator/sink refused
+	retried         atomic.Uint64 // messages re-injected one-per-tick after a rejected batch
+	failed          atomic.Uint64 // requests answered with a rejection error
+	unsettled       atomic.Uint64 // batches whose cascade did not quiesce within SettleTicks
+
+	// Cumulative per-phase tick time across all batch ticks (from the
+	// runtime's TickTimings), for the tick-level breakdown underneath the
+	// per-request phases.
+	tickDeliverNs  atomic.Int64
+	tickSnapshotNs atomic.Int64
+	tickHandlersNs atomic.Int64
+	tickApplyNs    atomic.Int64
+	ticks          atomic.Uint64
+}
+
+// Metrics is a point-in-time snapshot of the server's gauges and counters.
+type Metrics struct {
+	QueueDepth     int64 // current admission-queue depth (gauge)
+	QueueHighWater int64
+
+	Submitted       uint64
+	Shed            uint64 // submissions refused by the Shed policy
+	Responded       uint64
+	Batches         uint64
+	SizeFlushes     uint64
+	DeadlineFlushes uint64
+	SerialFlushes   uint64
+	RejectedBatches uint64
+	Retried         uint64
+	Failed          uint64
+	Unsettled       uint64
+
+	// Cumulative runtime tick-phase time across batch and settle ticks.
+	TickDeliverNs  int64
+	TickSnapshotNs int64
+	TickHandlersNs int64
+	TickApplyNs    int64
+	Ticks          uint64
+}
+
+func (m *metrics) snapshot() Metrics {
+	return Metrics{
+		QueueDepth:      m.queueDepth.Load(),
+		QueueHighWater:  m.queueHighWater.Load(),
+		Submitted:       m.submitted.Load(),
+		Shed:            m.shed.Load(),
+		Responded:       m.responded.Load(),
+		Batches:         m.batches.Load(),
+		SizeFlushes:     m.sizeFlushes.Load(),
+		DeadlineFlushes: m.deadlineFlushes.Load(),
+		SerialFlushes:   m.serialFlushes.Load(),
+		RejectedBatches: m.rejectedBatches.Load(),
+		Retried:         m.retried.Load(),
+		Failed:          m.failed.Load(),
+		Unsettled:       m.unsettled.Load(),
+		TickDeliverNs:   m.tickDeliverNs.Load(),
+		TickSnapshotNs:  m.tickSnapshotNs.Load(),
+		TickHandlersNs:  m.tickHandlersNs.Load(),
+		TickApplyNs:     m.tickApplyNs.Load(),
+		Ticks:           m.ticks.Load(),
+	}
+}
+
+// gaugeInc bumps the queue-depth gauge and tracks its high-water mark.
+func (m *metrics) gaugeInc() {
+	d := m.queueDepth.Add(1)
+	for {
+		hw := m.queueHighWater.Load()
+		if d <= hw || m.queueHighWater.CompareAndSwap(hw, d) {
+			return
+		}
+	}
+}
+
+func (m *metrics) gaugeDec() { m.queueDepth.Add(-1) }

@@ -1,0 +1,485 @@
+// Package serve is the serving front-end of the transducer runtime: the
+// admission path between external clients and the event loop a compiled
+// HydroLogic program runs on.
+//
+// The transducer commits effects atomically per tick, and every tick pays
+// fixed costs — a snapshot (or, in incremental mode, one Incremental.Apply
+// maintenance pass), effect application, durability appends. Delivering
+// one injected message per tick pays those costs per message; the server
+// instead groups admitted requests into size-or-deadline batches and feeds
+// each batch to a single tick, so the fixed per-tick costs amortize across
+// the batch. Admission is bounded: a configurable-depth queue applies
+// backpressure by either blocking the submitter (Block) or failing fast
+// (Shed), with a live queue-depth gauge. Every admitted request carries a
+// flat, CSV-friendly timing record across the four serving phases
+// (enqueue → flush → eval → respond).
+//
+// Batching is transparent for the monotone, payload-driven handlers the
+// compiler emits: the committed fixpoint after a batch is identical (as a
+// set of tuples per relation) to delivering the same requests one per
+// tick — the seeded equivalence sweep in equivalence_test.go gates this
+// the same way parallel and sharded evaluation are gated. Two deliberate
+// carve-outs keep that true at the edges:
+//
+//   - Serializable handlers (snapshot-read/assign cycles like the paper's
+//     vaccinate) are order-sensitive across messages, so mailboxes listed
+//     in Config.SerialMailboxes flush as singleton batches: one message,
+//     one tick, exactly the serial schedule.
+//   - A rejected batch tick (the evaluator or durability sink refused it)
+//     rolls the whole batch back; the server then re-injects the batch's
+//     messages one per tick, so a poison request costs its own tick and
+//     its batchmates commit exactly as they would have serially.
+//
+// The runtime is single-threaded by design; the server owns it exclusively
+// from New until Close. Register tables, handlers and queries before
+// wrapping the runtime, and use Sync (or Close, then the runtime directly)
+// for out-of-band access.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"hydro/internal/datalog"
+	"hydro/internal/transducer"
+)
+
+var (
+	// ErrOverload is returned by Submit under the Shed policy when the
+	// admission queue is full — the client should back off and retry.
+	ErrOverload = errors.New("serve: admission queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrNoHandler rejects requests addressed to a mailbox no handler
+	// consumes; admitting them would queue work no tick ever drains.
+	ErrNoHandler = errors.New("serve: no handler for mailbox")
+)
+
+// Policy selects the backpressure behavior when the admission queue is
+// full.
+type Policy int
+
+const (
+	// Block makes Submit wait for queue space: backpressure propagates to
+	// the caller (closed-loop clients slow down to the server's pace).
+	Block Policy = iota
+	// Shed makes Submit fail fast with ErrOverload: open-loop ingestion
+	// drops load instead of building an unbounded backlog.
+	Shed
+)
+
+// Config tunes the serving shell. The zero value is usable: every field
+// has a serving-oriented default applied by New.
+type Config struct {
+	// MaxBatch flushes a batch when it reaches this many requests
+	// (default 64).
+	MaxBatch int
+	// MaxWait flushes a non-empty batch this long after its first request
+	// was dequeued, bounding the latency cost of waiting for a full batch
+	// (default 500µs).
+	MaxWait time.Duration
+	// QueueDepth bounds the admission queue (default 4×MaxBatch).
+	QueueDepth int
+	// Policy picks Block or Shed when the queue is full (default Block).
+	Policy Policy
+	// SettleTicks caps the post-batch ticks run to quiesce handler
+	// cascades before responding (default 256). A batch that fails to
+	// settle is counted in Metrics.Unsettled.
+	SettleTicks int
+	// SerialMailboxes lists mailboxes whose handlers are order-sensitive
+	// across messages (serializable handlers): their requests flush as
+	// singleton batches.
+	SerialMailboxes []string
+	// DrainMailboxes are observation mailboxes (alert fan-outs, send-rule
+	// targets) drained after every batch so they cannot grow without
+	// bound; drained messages go to OnDrain when set, else are dropped.
+	DrainMailboxes []string
+	// OnDrain receives messages drained from DrainMailboxes (called from
+	// the serve loop; keep it fast).
+	OnDrain func(mailbox string, msgs []transducer.Message)
+	// OnTiming receives every admitted request's timing record as its
+	// response is delivered (called from the serve loop; keep it fast).
+	OnTiming func(RequestTiming)
+}
+
+// Request is one external fact or command addressed to a handler mailbox.
+// The payload must not be mutated after Submit.
+type Request struct {
+	Mailbox string
+	Payload datalog.Tuple
+}
+
+// Response resolves one admitted request.
+type Response struct {
+	// ID is the runtime message ID the request was injected under.
+	ID uint64
+	// Reply is the payload of the handler's correlated reply (the values
+	// after the correlation ID), nil if the handler did not reply.
+	Reply datalog.Tuple
+	// Err is non-nil when the request's tick was rejected by the
+	// evaluator or durability sink, or the server closed before serving.
+	Err error
+	// Timing is the request's per-phase latency breakdown.
+	Timing RequestTiming
+}
+
+// Pending is an admitted request's future response.
+type Pending struct{ ch chan Response }
+
+// Done returns the channel the response is delivered on (buffered: the
+// serve loop never blocks on it).
+func (p *Pending) Done() <-chan Response { return p.ch }
+
+// Wait blocks for the response.
+func (p *Pending) Wait() Response { return <-p.ch }
+
+type pendingReq struct {
+	req  Request
+	enq  time.Time
+	resp chan Response
+}
+
+type flushReason int
+
+const (
+	flushSize flushReason = iota
+	flushDeadline
+	flushSerial
+	flushClose
+)
+
+// Server is the serving shell around one transducer runtime.
+type Server struct {
+	rt     *transducer.Runtime
+	cfg    Config
+	serial map[string]bool
+
+	queue chan *pendingReq
+	ctrl  chan func()
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu     sync.RWMutex // admission gate: Submit holds RLock, Close latches closed under Lock
+	closed bool
+
+	m        metrics
+	batchSeq uint64
+}
+
+// New wraps a runtime in a serving shell and starts its serve loop. The
+// server owns the runtime exclusively until Close; register tables,
+// handlers and queries before calling New.
+func New(rt *transducer.Runtime, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 500 * time.Microsecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.MaxBatch
+	}
+	if cfg.SettleTicks <= 0 {
+		cfg.SettleTicks = 256
+	}
+	s := &Server{
+		rt:     rt,
+		cfg:    cfg,
+		serial: map[string]bool{},
+		queue:  make(chan *pendingReq, cfg.QueueDepth),
+		ctrl:   make(chan func()),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, mb := range cfg.SerialMailboxes {
+		s.serial[mb] = true
+	}
+	rt.EnableTickTimings(true)
+	go s.loop()
+	return s
+}
+
+// Submit admits one request. Under Block it waits for queue space (the
+// backpressure path); under Shed it returns ErrOverload immediately when
+// the queue is full.
+func (s *Server) Submit(req Request) (*Pending, error) {
+	if !s.rt.Handles(req.Mailbox) {
+		return nil, ErrNoHandler
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	p := &pendingReq{req: req, enq: time.Now(), resp: make(chan Response, 1)}
+	if s.cfg.Policy == Shed {
+		select {
+		case s.queue <- p:
+		default:
+			s.m.shed.Add(1)
+			return nil, ErrOverload
+		}
+	} else {
+		s.queue <- p
+	}
+	// The gauge counts enqueued-but-unflushed requests. Incrementing after
+	// the send means a dequeue can transiently outrun the increment, but
+	// the high-water mark then only ever reflects requests that were
+	// actually admitted.
+	s.m.gaugeInc()
+	s.m.submitted.Add(1)
+	return &Pending{ch: p.resp}, nil
+}
+
+// Sync runs fn on the serve loop's goroutine between batches — the safe
+// way to read (or drain) the runtime while the server owns it.
+func (s *Server) Sync(fn func(rt *transducer.Runtime)) error {
+	ran := make(chan struct{})
+	select {
+	case s.ctrl <- func() { fn(s.rt); close(ran) }:
+	case <-s.done:
+		return ErrClosed
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Metrics snapshots the server's gauges and counters.
+func (s *Server) Metrics() Metrics { return s.m.snapshot() }
+
+// QueueDepth reads the admission-queue gauge.
+func (s *Server) QueueDepth() int { return int(s.m.queueDepth.Load()) }
+
+// Runtime returns the wrapped runtime. Only safe to use directly after
+// Close has returned (use Sync while the server is live).
+func (s *Server) Runtime() *transducer.Runtime { return s.rt }
+
+// Close stops admission, flushes every already-admitted request, and waits
+// for the serve loop to exit. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		<-s.done
+		return
+	}
+	// No Submit holds the RLock now, so everything admitted is in the
+	// queue; the loop drains it before exiting.
+	close(s.stop)
+	<-s.done
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case fn := <-s.ctrl:
+			fn()
+		case p := <-s.queue:
+			s.m.gaugeDec()
+			s.collect(p)
+		case <-s.stop:
+			s.drain()
+			return
+		}
+	}
+}
+
+// collect assembles one batch starting from its first request: it grows
+// until MaxBatch (size flush) or MaxWait after the first dequeue (deadline
+// flush), with serial-mailbox requests cutting the batch so they tick
+// alone.
+func (s *Server) collect(first *pendingReq) {
+	if s.serial[first.req.Mailbox] {
+		s.flush([]*pendingReq{first}, flushSerial)
+		return
+	}
+	batch := []*pendingReq{first}
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.queue:
+			s.m.gaugeDec()
+			if s.serial[p.req.Mailbox] {
+				s.flush(batch, flushSerial)
+				s.flush([]*pendingReq{p}, flushSerial)
+				return
+			}
+			batch = append(batch, p)
+		case <-timer.C:
+			s.flush(batch, flushDeadline)
+			return
+		case <-s.stop:
+			// Close requested mid-collect: flush what we have; the loop's
+			// drain pass sweeps the rest of the queue.
+			s.flush(batch, flushClose)
+			return
+		}
+	}
+	s.flush(batch, flushSize)
+}
+
+// drain sweeps the queue after Close: everything already admitted is
+// served in MaxBatch-sized chunks (serial requests still tick alone).
+func (s *Server) drain() {
+	var batch []*pendingReq
+	for {
+		select {
+		case fn := <-s.ctrl:
+			fn()
+		case p := <-s.queue:
+			s.m.gaugeDec()
+			if s.serial[p.req.Mailbox] {
+				s.flush(batch, flushClose)
+				batch = nil
+				s.flush([]*pendingReq{p}, flushSerial)
+				continue
+			}
+			batch = append(batch, p)
+			if len(batch) >= s.cfg.MaxBatch {
+				s.flush(batch, flushClose)
+				batch = nil
+			}
+		default:
+			s.flush(batch, flushClose)
+			return
+		}
+	}
+}
+
+// flush feeds one batch to a single tick, settles the cascade, and
+// responds to every request with its reply and timing breakdown.
+func (s *Server) flush(batch []*pendingReq, reason flushReason) {
+	if len(batch) == 0 {
+		return
+	}
+	s.batchSeq++
+	s.m.batches.Add(1)
+	switch reason {
+	case flushSize:
+		s.m.sizeFlushes.Add(1)
+	case flushDeadline:
+		s.m.deadlineFlushes.Add(1)
+	case flushSerial:
+		s.m.serialFlushes.Add(1)
+	}
+
+	flushStart := time.Now()
+	inj := make([]transducer.Injection, len(batch))
+	for i, p := range batch {
+		inj[i] = transducer.Injection{Mailbox: p.req.Mailbox, Payload: p.req.Payload}
+	}
+	ids := s.rt.InjectBatch(inj)
+	evalStart := time.Now()
+
+	errs := make([]error, len(batch))
+	rejected := s.tick() != nil
+	if rejected {
+		s.m.rejectedBatches.Add(1)
+		if len(batch) == 1 {
+			errs[0] = s.rt.LastRejection()
+		} else {
+			// The rejected tick consumed the batch's messages and dropped
+			// every effect. Re-inject one message per tick: the poison
+			// request is isolated to its own rejected tick, and its
+			// batchmates commit exactly as they would have serially.
+			for i, p := range batch {
+				ids[i] = s.rt.Inject(p.req.Mailbox, p.req.Payload)
+				s.m.retried.Add(1)
+				errs[i] = s.tick()
+			}
+		}
+	}
+	// Settle handler cascades to idle: at idle there are no in-flight
+	// sends, so every reply this batch provoked has been delivered.
+	settled := 0
+	for settled < s.cfg.SettleTicks && !s.rt.Idle() {
+		s.tick()
+		settled++
+	}
+	if !s.rt.Idle() {
+		s.m.unsettled.Add(1)
+	}
+	evalEnd := time.Now()
+
+	// Correlate replies: each handler Reply lands in "<mailbox><response>"
+	// with the request's message ID as payload[0].
+	replies := map[uint64]datalog.Tuple{}
+	drained := map[string]bool{}
+	for _, p := range batch {
+		box := p.req.Mailbox + "<response>"
+		if drained[box] {
+			continue
+		}
+		drained[box] = true
+		for _, m := range s.rt.Drain(box) {
+			if len(m.Payload) == 0 {
+				continue
+			}
+			if id, ok := m.Payload[0].(uint64); ok {
+				replies[id] = m.Payload[1:]
+			}
+		}
+	}
+	for _, box := range s.cfg.DrainMailboxes {
+		if msgs := s.rt.Drain(box); len(msgs) > 0 && s.cfg.OnDrain != nil {
+			s.cfg.OnDrain(box, msgs)
+		}
+	}
+
+	queueNs := make([]int64, len(batch))
+	for i, p := range batch {
+		queueNs[i] = flushStart.Sub(p.enq).Nanoseconds()
+	}
+	flushNs := evalStart.Sub(flushStart).Nanoseconds()
+	evalNs := evalEnd.Sub(evalStart).Nanoseconds()
+	for i, p := range batch {
+		respondNs := time.Since(evalEnd).Nanoseconds()
+		t := RequestTiming{
+			ID:            ids[i],
+			Mailbox:       p.req.Mailbox,
+			Batch:         s.batchSeq,
+			BatchSize:     len(batch),
+			EnqueueUnixNs: p.enq.UnixNano(),
+			QueueNs:       queueNs[i],
+			FlushNs:       flushNs,
+			EvalNs:        evalNs,
+			RespondNs:     respondNs,
+			TotalNs:       queueNs[i] + flushNs + evalNs + respondNs,
+			Rejected:      errs[i] != nil,
+		}
+		if errs[i] != nil {
+			s.m.failed.Add(1)
+		}
+		p.resp <- Response{ID: ids[i], Reply: replies[ids[i]], Err: errs[i], Timing: t}
+		s.m.responded.Add(1)
+		if s.cfg.OnTiming != nil {
+			s.cfg.OnTiming(t)
+		}
+	}
+}
+
+// tick runs one runtime tick, folds its phase timings into the metrics,
+// and returns the rejection error if the evaluator or sink refused it.
+func (s *Server) tick() error {
+	before := s.rt.Stats().Rejected
+	s.rt.Tick()
+	tt := s.rt.LastTickTimings()
+	s.m.tickDeliverNs.Add(tt.Deliver.Nanoseconds())
+	s.m.tickSnapshotNs.Add(tt.Snapshot.Nanoseconds())
+	s.m.tickHandlersNs.Add(tt.Handlers.Nanoseconds())
+	s.m.tickApplyNs.Add(tt.Apply.Nanoseconds())
+	s.m.ticks.Add(1)
+	if s.rt.Stats().Rejected > before {
+		return s.rt.LastRejection()
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hydro/internal/datalog"
+	"hydro/internal/transducer"
+)
+
+func fixedDelay(r *rand.Rand) int { return 1 }
+
+func tcProgram(t testing.TB) *datalog.Program {
+	t.Helper()
+	prog, err := datalog.NewProgram(
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		datalog.Rule{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// newGraphRuntime builds the serving fixture: an incremental transitive-
+// closure graph with handlers for fact ingestion (add_edge), reads
+// (count_paths), cascades (fanout → alert), a non-monotone counter (incr),
+// and a poison pill that writes a derived head (rejected tick).
+func newGraphRuntime(t testing.TB, seed int64) *transducer.Runtime {
+	t.Helper()
+	rt := transducer.New("srv", seed)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(transducer.TableSchema{Name: "edge", Arity: 2})
+	rt.RegisterVar("count", int64(0))
+	if err := rt.RegisterQueriesIncremental(tcProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	rt.RegisterHandler("add_edge", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.MergeTuple("edge", msg.Payload)
+		tx.Reply("ok")
+	})
+	rt.RegisterHandler("count_paths", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.Reply(int64(len(tx.Query("path"))))
+	})
+	rt.RegisterHandler("incr", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.Assign("count", tx.ReadVar("count").(int64)+1)
+	})
+	rt.RegisterHandler("fanout", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.Send("alert", msg.Payload)
+	})
+	rt.RegisterHandler("poison", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.MergeTuple("path", msg.Payload)
+	})
+	return rt
+}
+
+// holdLoop parks the serve loop inside a Sync callback so a test can stage
+// submissions deterministically; the returned release function unparks it.
+func holdLoop(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	entered := make(chan struct{})
+	hold := make(chan struct{})
+	go s.Sync(func(*transducer.Runtime) {
+		close(entered)
+		<-hold
+	})
+	<-entered
+	return func() { close(hold) }
+}
+
+func mustSubmit(t *testing.T, s *Server, mailbox string, payload datalog.Tuple) *Pending {
+	t.Helper()
+	p, err := s.Submit(Request{Mailbox: mailbox, Payload: payload})
+	if err != nil {
+		t.Fatalf("submit %s: %v", mailbox, err)
+	}
+	return p
+}
+
+func TestServeBatchesBySize(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{MaxBatch: 4, MaxWait: time.Second, QueueDepth: 16})
+	defer s.Close()
+	release := holdLoop(t, s)
+	var ps []*Pending
+	for i := 0; i < 8; i++ {
+		ps = append(ps, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(i), int64(i + 1)}))
+	}
+	release()
+	for _, p := range ps {
+		r := p.Wait()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Timing.BatchSize != 4 {
+			t.Fatalf("BatchSize = %d, want 4", r.Timing.BatchSize)
+		}
+	}
+	m := s.Metrics()
+	if m.Batches != 2 || m.SizeFlushes != 2 {
+		t.Fatalf("batches=%d sizeFlushes=%d, want 2/2", m.Batches, m.SizeFlushes)
+	}
+	if got := len(rt0Tuples(t, s, "edge")); got != 8 {
+		t.Fatalf("edge has %d rows, want 8", got)
+	}
+}
+
+// rt0Tuples reads a table through Sync (the server still owns the runtime).
+func rt0Tuples(t *testing.T, s *Server, table string) []datalog.Tuple {
+	t.Helper()
+	var out []datalog.Tuple
+	if err := s.Sync(func(rt *transducer.Runtime) { out = rt.Table(table).Tuples() }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServeDeadlineFlush(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{MaxBatch: 64, MaxWait: 2 * time.Millisecond})
+	defer s.Close()
+	release := holdLoop(t, s)
+	ps := []*Pending{
+		mustSubmit(t, s, "add_edge", datalog.Tuple{int64(1), int64(2)}),
+		mustSubmit(t, s, "add_edge", datalog.Tuple{int64(2), int64(3)}),
+		mustSubmit(t, s, "add_edge", datalog.Tuple{int64(3), int64(4)}),
+	}
+	release()
+	for _, p := range ps {
+		if r := p.Wait(); r.Err != nil || r.Timing.BatchSize != 3 {
+			t.Fatalf("resp = %+v, want batch of 3", r)
+		}
+	}
+	if m := s.Metrics(); m.DeadlineFlushes != 1 || m.SizeFlushes != 0 {
+		t.Fatalf("deadline=%d size=%d, want 1/0", m.DeadlineFlushes, m.SizeFlushes)
+	}
+}
+
+func TestServeShedBackpressure(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{MaxBatch: 2, QueueDepth: 2, Policy: Shed, MaxWait: time.Millisecond})
+	defer s.Close()
+	release := holdLoop(t, s)
+	p1 := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(1), int64(2)})
+	p2 := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(2), int64(3)})
+	if got := s.QueueDepth(); got != 2 {
+		t.Fatalf("queue gauge = %d, want 2", got)
+	}
+	if _, err := s.Submit(Request{Mailbox: "add_edge", Payload: datalog.Tuple{int64(3), int64(4)}}); !errors.Is(err, ErrOverload) {
+		t.Fatalf("full queue must shed, got %v", err)
+	}
+	release()
+	p1.Wait()
+	p2.Wait()
+	m := s.Metrics()
+	if m.Shed != 1 || m.Submitted != 2 || m.QueueHighWater != 2 {
+		t.Fatalf("shed=%d submitted=%d highwater=%d", m.Shed, m.Submitted, m.QueueHighWater)
+	}
+	if got := s.QueueDepth(); got != 0 {
+		t.Fatalf("drained queue gauge = %d, want 0", got)
+	}
+}
+
+func TestServeBlockBackpressure(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{MaxBatch: 1, QueueDepth: 1, Policy: Block})
+	defer s.Close()
+	release := holdLoop(t, s)
+	p1 := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(1), int64(2)})
+	blocked := make(chan *Pending)
+	go func() {
+		p, err := s.Submit(Request{Mailbox: "add_edge", Payload: datalog.Tuple{int64(2), int64(3)}})
+		if err != nil {
+			t.Error(err)
+		}
+		blocked <- p
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("submit into a full queue must block under the Block policy")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	p2 := <-blocked
+	if r := p1.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := p2.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+}
+
+// TestServeRejectedBatchRetryIsolation: a poison request must cost only its
+// own tick — its batchmates commit exactly as they would have serially.
+func TestServeRejectedBatchRetryIsolation(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{MaxBatch: 8, MaxWait: 20 * time.Millisecond, QueueDepth: 16})
+	defer s.Close()
+	release := holdLoop(t, s)
+	pGood1 := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(1), int64(2)})
+	pPoison := mustSubmit(t, s, "poison", datalog.Tuple{int64(9), int64(9)})
+	pGood2 := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(2), int64(3)})
+	release()
+	if r := pGood1.Wait(); r.Err != nil {
+		t.Fatalf("innocent batchmate failed: %v", r.Err)
+	}
+	if r := pGood2.Wait(); r.Err != nil {
+		t.Fatalf("innocent batchmate failed: %v", r.Err)
+	}
+	r := pPoison.Wait()
+	if r.Err == nil || !r.Timing.Rejected {
+		t.Fatalf("poison request must fail, got %+v", r)
+	}
+	if got := len(rt0Tuples(t, s, "edge")); got != 2 {
+		t.Fatalf("edge has %d rows, want 2", got)
+	}
+	// path closure over 1→2→3 has 3 tuples; the poison write never landed.
+	if got := len(rt0Tuples(t, s, "path")); got != 3 {
+		t.Fatalf("path has %d rows, want 3", got)
+	}
+	m := s.Metrics()
+	if m.RejectedBatches != 1 || m.Retried != 3 || m.Failed != 1 {
+		t.Fatalf("rejected=%d retried=%d failed=%d, want 1/3/1", m.RejectedBatches, m.Retried, m.Failed)
+	}
+}
+
+// TestServeSerialMailboxes: non-monotone handlers lose updates when
+// batched (every invocation reads the same snapshot); listing their
+// mailbox in SerialMailboxes restores the serial schedule.
+func TestServeSerialMailboxes(t *testing.T) {
+	readCount := func(s *Server) int64 {
+		var v int64
+		if err := s.Sync(func(rt *transducer.Runtime) { v = rt.Var("count").(int64) }); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	// Batched: both incr invocations read count=0 from the shared
+	// snapshot — the lost update batching would silently introduce.
+	sB := New(newGraphRuntime(t, 1), Config{MaxBatch: 8, MaxWait: 20 * time.Millisecond, QueueDepth: 16})
+	releaseB := holdLoop(t, sB)
+	b1 := mustSubmit(t, sB, "incr", datalog.Tuple{})
+	b2 := mustSubmit(t, sB, "incr", datalog.Tuple{})
+	releaseB()
+	b1.Wait()
+	b2.Wait()
+	if got := readCount(sB); got != 1 {
+		t.Fatalf("batched non-monotone count = %d, want the lost-update 1", got)
+	}
+	sB.Close()
+
+	// Serial: the mailbox is declared order-sensitive, so each request
+	// ticks alone and the counter is exact.
+	sS := New(newGraphRuntime(t, 1), Config{
+		MaxBatch: 8, MaxWait: 20 * time.Millisecond, QueueDepth: 16,
+		SerialMailboxes: []string{"incr"},
+	})
+	releaseS := holdLoop(t, sS)
+	s1 := mustSubmit(t, sS, "incr", datalog.Tuple{})
+	s2 := mustSubmit(t, sS, "incr", datalog.Tuple{})
+	releaseS()
+	s1.Wait()
+	s2.Wait()
+	if got := readCount(sS); got != 2 {
+		t.Fatalf("serial count = %d, want 2", got)
+	}
+	if m := sS.Metrics(); m.SerialFlushes != 2 {
+		t.Fatalf("serialFlushes = %d, want 2", m.SerialFlushes)
+	}
+	sS.Close()
+}
+
+func TestServeReplyCorrelation(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{MaxBatch: 4, MaxWait: time.Millisecond})
+	defer s.Close()
+	for _, e := range [][2]int64{{1, 2}, {2, 3}} {
+		if r := mustSubmit(t, s, "add_edge", datalog.Tuple{e[0], e[1]}).Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		} else if len(r.Reply) != 1 || r.Reply[0] != "ok" {
+			t.Fatalf("add_edge reply = %v", r.Reply)
+		}
+	}
+	r := mustSubmit(t, s, "count_paths", datalog.Tuple{}).Wait()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if len(r.Reply) != 1 || r.Reply[0] != int64(3) {
+		t.Fatalf("count_paths reply = %v, want [3]", r.Reply)
+	}
+}
+
+func TestServeDrainMailboxes(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	var alerts []datalog.Tuple
+	s := New(rt, Config{
+		MaxBatch: 4, MaxWait: time.Millisecond,
+		DrainMailboxes: []string{"alert"},
+		OnDrain: func(mailbox string, msgs []transducer.Message) {
+			for _, m := range msgs {
+				alerts = append(alerts, m.Payload)
+			}
+		},
+	})
+	defer s.Close()
+	if r := mustSubmit(t, s, "fanout", datalog.Tuple{int64(7)}).Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// OnDrain runs on the serve loop; synchronize before reading.
+	var n int
+	s.Sync(func(*transducer.Runtime) { n = len(alerts) })
+	if n != 1 || alerts[0][0] != int64(7) {
+		t.Fatalf("alerts = %v, want [[7]]", alerts)
+	}
+}
+
+func TestServeNoHandlerAndClosed(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{})
+	if _, err := s.Submit(Request{Mailbox: "nope", Payload: datalog.Tuple{}}); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("unroutable mailbox must fail fast, got %v", err)
+	}
+	s.Close()
+	if _, err := s.Submit(Request{Mailbox: "add_edge", Payload: datalog.Tuple{int64(1), int64(2)}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed server must refuse, got %v", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestServeCloseDrains: every request admitted before Close is served.
+func TestServeCloseDrains(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	s := New(rt, Config{MaxBatch: 4, MaxWait: time.Hour, QueueDepth: 64})
+	release := holdLoop(t, s)
+	var ps []*Pending
+	for i := 0; i < 10; i++ {
+		ps = append(ps, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(i), int64(i + 1)}))
+	}
+	release()
+	s.Close()
+	for _, p := range ps {
+		if r := p.Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := len(s.Runtime().Table("edge").Tuples()); got != 10 {
+		t.Fatalf("edge has %d rows after close, want 10", got)
+	}
+}
+
+func TestServeTimingsAndCSVRoundTrip(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	var recorded []RequestTiming
+	s := New(rt, Config{
+		MaxBatch: 4, MaxWait: time.Millisecond,
+		OnTiming: func(tt RequestTiming) { recorded = append(recorded, tt) },
+	})
+	for i := 0; i < 6; i++ {
+		if r := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(i), int64(i + 1)}).Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	s.Close()
+	if len(recorded) != 6 {
+		t.Fatalf("recorded %d timings, want 6", len(recorded))
+	}
+	for _, tt := range recorded {
+		if tt.QueueNs < 0 || tt.FlushNs < 0 || tt.EvalNs <= 0 || tt.RespondNs < 0 {
+			t.Fatalf("implausible phases: %+v", tt)
+		}
+		if tt.TotalNs != tt.QueueNs+tt.FlushNs+tt.EvalNs+tt.RespondNs {
+			t.Fatalf("total != sum of phases: %+v", tt)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recorded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recorded) {
+		t.Fatalf("round-tripped %d rows, want %d", len(back), len(recorded))
+	}
+	for i := range back {
+		if back[i] != recorded[i] {
+			t.Fatalf("row %d: %+v != %+v", i, back[i], recorded[i])
+		}
+	}
+	sum := Summarize(back)
+	if sum.Count != 6 || len(sum.Phases) != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for _, p := range sum.Phases {
+		if p.P50 > p.P90 || p.P90 > p.P99 || p.P99 > p.Max {
+			t.Fatalf("non-monotone percentiles in %+v", p)
+		}
+	}
+	if sum.Render() == "" {
+		t.Fatal("summary must render")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"hydro/internal/datalog"
 )
@@ -110,6 +111,12 @@ type Runtime struct {
 	Remote func(node string, msg Message)
 
 	stats Stats
+	// timings, when enabled, makes every Tick record a per-phase wall-clock
+	// breakdown into lastTimings. Observability only: clocks are read
+	// around phases, never fed into control flow, so enabling timings
+	// cannot perturb determinism.
+	timings     bool
+	lastTimings TickTimings
 }
 
 type pendingSend struct {
@@ -166,13 +173,18 @@ func (rt *Runtime) RegisterHandler(mailbox string, h Handler) { rt.handlers[mail
 // RegisterQueries installs the datalog program evaluated to fixpoint each
 // tick (the compiled `query` declarations). The program is compiled to
 // plans here, once, so no tick ever pays stratification or rule-planning
-// costs (any compile error resurfaces from Eval inside Tick).
+// costs (any compile error resurfaces from Eval inside Tick). Derived
+// heads are tracked in full-eval mode too: a handler write into a query
+// head would land in the base database and re-enter every future snapshot
+// as if it were a base fact, so applyEffects rejects such ticks in both
+// execution modes.
 func (rt *Runtime) RegisterQueries(p *datalog.Program) {
 	rt.leaveIncremental()
 	if p != nil {
 		_ = p.Prepare()
 	}
 	rt.queries = p
+	rt.derived = rt.derivedPreds()
 }
 
 // leaveIncremental tears incremental mode down completely: the maintained
@@ -307,6 +319,39 @@ func (rt *Runtime) Inject(mailbox string, payload datalog.Tuple) uint64 {
 	return id
 }
 
+// Injection is one external message of a batch admission (InjectBatch).
+type Injection struct {
+	Mailbox string
+	Payload datalog.Tuple
+}
+
+// InjectBatch places a group of external messages into their mailboxes for
+// the next tick, assigning IDs in batch order. The whole batch becomes part
+// of one tick's snapshot, so a single tick — one snapshot, one atomic
+// end-of-tick apply, and in incremental mode one Incremental.Apply
+// maintenance pass — ingests every message, instead of paying the per-tick
+// fixed costs once per message. This is the admission path the serving
+// front-end (internal/serve) batches requests through.
+func (rt *Runtime) InjectBatch(batch []Injection) []uint64 {
+	ids := make([]uint64, len(batch))
+	for i, in := range batch {
+		ids[i] = rt.Inject(in.Mailbox, in.Payload)
+	}
+	return ids
+}
+
+// Handles reports whether a handler is registered for the mailbox —
+// admission control uses it to fail unroutable requests fast instead of
+// letting them pile up in a mailbox no tick will ever drain.
+func (rt *Runtime) Handles(mailbox string) bool {
+	_, ok := rt.handlers[mailbox]
+	return ok
+}
+
+// TableNames lists every relation currently in the runtime database (base
+// tables and materialized derived relations), in sorted order.
+func (rt *Runtime) TableNames() []string { return rt.db.Names() }
+
 // Deliver places a fully-formed message into a mailbox (used by the cluster
 // transport for inter-node sends).
 func (rt *Runtime) Deliver(msg Message) {
@@ -338,18 +383,51 @@ func (rt *Runtime) Peek(mailbox string) []Message {
 }
 
 // Idle reports no pending mailbox messages and no in-flight sends.
+// Messages in mailboxes no handler consumes (response and observation
+// boxes) never count as work. The length guard runs before any element
+// access: an empty (but present) mailbox slice is idle, not a panic.
 func (rt *Runtime) Idle() bool {
-	for _, msgs := range rt.mailboxes {
-		if _, handled := rt.handlers[msgs[0].Mailbox]; handled && len(msgs) > 0 {
+	for name, msgs := range rt.mailboxes {
+		if len(msgs) == 0 {
+			continue
+		}
+		if _, handled := rt.handlers[name]; handled {
 			return false
 		}
 	}
 	return len(rt.inflight) == 0
 }
 
+// TickTimings is one tick's per-phase wall-clock breakdown, recorded when
+// EnableTickTimings is on: delivering matured sends, building the snapshot,
+// running handlers (including any lazy query fixpoint they force), and
+// applying end-of-tick effects (which in incremental mode is the
+// Incremental.Apply maintenance pass — the "eval" cost a serving front-end
+// amortizes across a batch).
+type TickTimings struct {
+	Deliver  time.Duration
+	Snapshot time.Duration
+	Handlers time.Duration
+	Apply    time.Duration
+	Handled  int
+}
+
+// EnableTickTimings toggles per-tick phase timing capture. Purely
+// observational: clocks are read between phases and never influence
+// control flow, so enabling it cannot perturb determinism.
+func (rt *Runtime) EnableTickTimings(on bool) { rt.timings = on }
+
+// LastTickTimings returns the phase breakdown of the most recent Tick
+// (zero value if timings are disabled or no tick has run since enabling).
+func (rt *Runtime) LastTickTimings() TickTimings { return rt.lastTimings }
+
 // Tick runs one iteration of the event loop and returns the number of
 // messages handled.
 func (rt *Runtime) Tick() int {
+	var t0, t1, t2, t3 time.Time
+	if rt.timings {
+		t0 = time.Now()
+	}
 	rt.stats.Ticks++
 	// 1. Deliver matured in-flight sends into mailboxes (they become part
 	//    of this tick's snapshot).
@@ -362,6 +440,9 @@ func (rt *Runtime) Tick() int {
 		}
 	}
 	rt.inflight = still
+	if rt.timings {
+		t1 = time.Now()
+	}
 
 	// 2. Snapshot: handlers read a frozen copy of state; queries run to
 	//    fixpoint against the snapshot — lazily, on the first read, so
@@ -394,6 +475,9 @@ func (rt *Runtime) Tick() int {
 	for k, v := range rt.vars {
 		snapVars[k] = v
 	}
+	if rt.timings {
+		t2 = time.Now()
+	}
 
 	// 3. Handle every message in every handled mailbox against the
 	//    snapshot, accumulating deferred effects. Mailboxes are processed
@@ -425,19 +509,36 @@ func (rt *Runtime) Tick() int {
 		}
 	}
 
+	if rt.timings {
+		t3 = time.Now()
+	}
+
 	// 4. Apply effects atomically.
 	rt.applyEffects(eff)
+	if rt.timings {
+		t4 := time.Now()
+		rt.lastTimings = TickTimings{
+			Deliver:  t1.Sub(t0),
+			Snapshot: t2.Sub(t1),
+			Handlers: t3.Sub(t2),
+			Apply:    t4.Sub(t3),
+			Handled:  handled,
+		}
+	}
 	return handled
 }
 
 // RunUntilIdle ticks until no work remains or maxTicks elapses; it returns
-// the number of ticks executed.
+// the number of ticks executed. A runtime that is already idle executes no
+// tick at all — serving shells call this after every batch, and burning an
+// empty tick per call both skews the per-tick stats and costs a snapshot
+// clone in full-eval mode.
 func (rt *Runtime) RunUntilIdle(maxTicks int) int {
 	for i := 0; i < maxTicks; i++ {
-		rt.Tick()
 		if rt.Idle() {
-			return i + 1
+			return i
 		}
+		rt.Tick()
 	}
 	return maxTicks
 }
@@ -471,6 +572,24 @@ func splitAddr(addr string) (node, mailbox string, ok bool) {
 // whole (mutations, assigns, and sends all dropped) and the runtime keeps
 // serving — a bad tick costs that tick, not the node.
 func (rt *Runtime) applyEffects(eff *effects) {
+	// Admission check before any mutation lands: a write into a derived
+	// relation would corrupt the maintained fixpoint in incremental mode
+	// and would re-enter every future snapshot as a phantom base fact in
+	// full-eval mode (the compiler never emits either). Rejecting here,
+	// with the database still untouched, keeps the tick atomic in both
+	// modes — full-eval rejections have no recorded delta to roll back.
+	for _, ins := range eff.inserts {
+		if rt.derived[ins.table] {
+			rt.rejectTick(nil, fmt.Errorf("transducer %s: insert into derived relation %q", rt.Name, ins.table))
+			return
+		}
+	}
+	for _, fm := range eff.fieldMerges {
+		if rt.derived[fm.table] {
+			rt.rejectTick(nil, fmt.Errorf("transducer %s: field merge into derived relation %q", rt.Name, fm.table))
+			return
+		}
+	}
 	var delta *datalog.Delta
 	if rt.inc != nil {
 		delta = datalog.NewDelta()
@@ -478,20 +597,10 @@ func (rt *Runtime) applyEffects(eff *effects) {
 	}
 	muts := uint64(0) // counted into stats only if the tick commits
 	for _, ins := range eff.inserts {
-		if rt.derived[ins.table] {
-			// Writing a derived relation would corrupt the maintained
-			// fixpoint (the compiler never emits this).
-			rt.rejectTick(delta, fmt.Errorf("transducer %s: insert into derived relation %q", rt.Name, ins.table))
-			return
-		}
 		rt.applyInsert(ins.table, ins.row, delta)
 		muts++
 	}
 	for _, fm := range eff.fieldMerges {
-		if rt.derived[fm.table] {
-			rt.rejectTick(delta, fmt.Errorf("transducer %s: field merge into derived relation %q", rt.Name, fm.table))
-			return
-		}
 		rt.applyFieldMerge(fm, delta)
 		muts++
 	}
@@ -583,7 +692,13 @@ func (rt *Runtime) applyEffects(eff *effects) {
 // The runtime keeps serving; the rejection is visible in Stats.Rejected and
 // LastRejection.
 func (rt *Runtime) rejectTick(delta *datalog.Delta, err error) {
-	ops := delta.Ops()
+	// Full-eval rejection paths carry no recorded delta (delta stays nil
+	// when rt.inc is nil): nothing reached the base database yet, so there
+	// is nothing to undo.
+	var ops []datalog.DeltaOp
+	if delta != nil {
+		ops = delta.Ops()
+	}
 	for i := len(ops) - 1; i >= 0; i-- {
 		op := ops[i]
 		if op.Del {

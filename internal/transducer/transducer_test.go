@@ -559,3 +559,128 @@ func TestUnhandledMailboxAccumulates(t *testing.T) {
 		t.Fatalf("alerts mailbox has %d messages, want 2", got)
 	}
 }
+
+// TestIdleToleratesEmptyMailboxSlice is the regression test for the Idle
+// ordering bug: msgs[0] was indexed before the len(msgs) > 0 guard, so a
+// present-but-empty mailbox slice panicked instead of reading as idle.
+func TestIdleToleratesEmptyMailboxSlice(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterHandler("box", func(tx *Tx, msg Message) {})
+	rt.mailboxes["box"] = []Message{} // what a drained-in-place mailbox looks like
+	if !rt.Idle() {
+		t.Fatal("empty mailbox slice must read as idle")
+	}
+	rt.Inject("box", datalog.Tuple{int64(1)})
+	if rt.Idle() {
+		t.Fatal("pending handled message must read as busy")
+	}
+}
+
+// TestRejectTickFullEval pins the full-eval rejection path: a handler write
+// into a derived query head is rejected without a recorded delta
+// (rejectTick used to dereference the nil delta and panic), the whole tick
+// rolls back atomically, and the runtime keeps serving.
+func TestRejectTickFullEval(t *testing.T) {
+	rt := New("n1", 1)
+	rt.SetDelay(fixedDelay)
+	rt.RegisterTable(TableSchema{Name: "edge", Arity: 2})
+	rt.RegisterQueries(tcQueries(t))
+	if rt.IncrementalQueries() {
+		t.Fatal("test requires full-eval mode")
+	}
+	rt.RegisterHandler("add", func(tx *Tx, msg Message) {
+		tx.MergeTuple("edge", msg.Payload)
+	})
+	rt.RegisterHandler("poison", func(tx *Tx, msg Message) {
+		tx.MergeTuple("edge", datalog.Tuple{"x", "y"}) // innocent effect in the same tick
+		tx.MergeTuple("path", msg.Payload)             // write into a derived head
+		tx.Send("out", datalog.Tuple{"never"})
+	})
+	rt.Inject("poison", datalog.Tuple{"a", "b"})
+	rt.Tick()
+	if got := rt.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	if rt.LastRejection() == nil {
+		t.Fatal("LastRejection must report the rejected tick")
+	}
+	if got := rt.Table("edge").Tuples(); len(got) != 0 {
+		t.Fatalf("rejected tick must roll back atomically, edge = %v", got)
+	}
+	if len(rt.Peek("out")) != 0 || rt.Peek("path") != nil {
+		t.Fatal("rejected tick must drop its sends")
+	}
+	// The node keeps serving: a clean tick after the rejection commits.
+	rt.Inject("add", datalog.Tuple{"a", "b"})
+	rt.Tick()
+	if got := rt.Table("edge").Tuples(); len(got) != 1 {
+		t.Fatalf("post-rejection tick must commit, edge = %v", got)
+	}
+}
+
+// TestRunUntilIdleSkipsInitialTickWhenIdle: an already-idle runtime must
+// not burn a tick (serving shells settle after every batch, and the old
+// behavior inflated Stats.Ticks by one per call).
+func TestRunUntilIdleSkipsInitialTickWhenIdle(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterHandler("a", func(tx *Tx, msg Message) {})
+	if n := rt.RunUntilIdle(10); n != 0 {
+		t.Fatalf("idle runtime ran %d ticks, want 0", n)
+	}
+	if got := rt.Stats().Ticks; got != 0 {
+		t.Fatalf("idle RunUntilIdle must not tick, Ticks = %d", got)
+	}
+	rt.Inject("a", datalog.Tuple{})
+	if n := rt.RunUntilIdle(10); n != 1 {
+		t.Fatalf("one pending message needs 1 tick, got %d", n)
+	}
+}
+
+// TestInjectBatchSingleTick: a whole batch is ingested by one tick — one
+// snapshot, one atomic apply — with IDs assigned in batch order.
+func TestInjectBatchSingleTick(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterTable(TableSchema{Name: "facts", Arity: 1})
+	rt.RegisterHandler("a", func(tx *Tx, msg Message) { tx.MergeTuple("facts", msg.Payload) })
+	rt.RegisterHandler("b", func(tx *Tx, msg Message) { tx.MergeTuple("facts", msg.Payload) })
+	ids := rt.InjectBatch([]Injection{
+		{Mailbox: "a", Payload: datalog.Tuple{int64(1)}},
+		{Mailbox: "b", Payload: datalog.Tuple{int64(2)}},
+		{Mailbox: "a", Payload: datalog.Tuple{int64(3)}},
+	})
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("IDs must be assigned in batch order: %v", ids)
+		}
+	}
+	if handled := rt.Tick(); handled != 3 {
+		t.Fatalf("one tick must ingest the whole batch, handled %d", handled)
+	}
+	if got := rt.Stats().Ticks; got != 1 {
+		t.Fatalf("Ticks = %d, want 1", got)
+	}
+	if got := len(rt.Table("facts").Tuples()); got != 3 {
+		t.Fatalf("facts has %d rows, want 3", got)
+	}
+}
+
+// TestTickTimings: enabling timings records a per-phase breakdown without
+// changing behavior.
+func TestTickTimings(t *testing.T) {
+	rt := newTestRuntime()
+	rt.RegisterTable(TableSchema{Name: "facts", Arity: 1})
+	rt.RegisterHandler("a", func(tx *Tx, msg Message) { tx.MergeTuple("facts", msg.Payload) })
+	rt.EnableTickTimings(true)
+	rt.Inject("a", datalog.Tuple{int64(1)})
+	rt.Tick()
+	tt := rt.LastTickTimings()
+	if tt.Handled != 1 {
+		t.Fatalf("timings.Handled = %d, want 1", tt.Handled)
+	}
+	if tt.Deliver < 0 || tt.Snapshot < 0 || tt.Handlers < 0 || tt.Apply < 0 {
+		t.Fatalf("negative phase timing: %+v", tt)
+	}
+	if !rt.Handles("a") || rt.Handles("missing") {
+		t.Fatal("Handles must report handler registration")
+	}
+}
