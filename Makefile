@@ -2,7 +2,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test vet ci bench benchdiff tables fuzz soak testbin test-sharded serve-bench serve-soak
+.PHONY: build test vet ci bench benchdiff tables fuzz soak testbin test-sharded test-failover serve-bench serve-soak
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ SHARD_COUNTS ?= 1,2,4
 test-sharded:
 	SHARD_COUNTS=$(SHARD_COUNTS) $(GO) test -race -run 'TestSharded|TestSink|TestPlacement|TestDeclared|FuzzShardedEquivalence' ./internal/shard ./internal/simnet
 
+# test-failover is the replicated-control-plane gate (DESIGN.md §13): the
+# leader-kill/partition chaos suite at every coordinator stage, the 50-seed
+# randomized failover sweep against the single-coordinator oracle, the
+# epoch-fencing regression, and the 50-seed election-determinism sweep —
+# all under -race.
+test-failover:
+	$(GO) test -race -run 'TestFailover|TestDeposed|TestCoordinator|TestElectionDeterminism' ./internal/shard ./internal/consensus
+
 # testbin compiles every package's test binary (without running it) into
 # the git-ignored $(TESTBIN_DIR) — use this instead of bare `go test -c`,
 # which litters the repo root with *.test files.
@@ -65,7 +73,7 @@ testbin:
 # (DESIGN.md §10). SOAK_SEEDS/SOAK_TICKS scale the run.
 SOAK_SEEDS ?= 300
 SOAK_TICKS ?= 60
-soak:
+soak: test-failover
 	$(GO) test -race -run '^TestCrashRecovery$$' ./internal/durable -crash-seeds $(SOAK_SEEDS) -crash-ticks $(SOAK_TICKS) -crash-rand
 
 # serve-bench is the serving-path perf snapshot: the ingestion benchmarks

@@ -253,6 +253,7 @@ func main() {
 		{"E11", func() experiments.Table { return experiments.RunE11() }},
 		{"E12", func() experiments.Table { return experiments.RunE12(1000 / scale) }},
 		{"E13", func() experiments.Table { return experiments.RunE13(8/scale+1, 400/scale) }},
+		{"E14", func() experiments.Table { return experiments.RunE14(12 / scale) }},
 	}
 	ran := false
 	for _, r := range runs {
@@ -263,6 +264,6 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Printf("unknown experiment %q; known: E1..E13, E5b\n", *exp)
+		fmt.Printf("unknown experiment %q; known: E1..E14, E5b\n", *exp)
 	}
 }

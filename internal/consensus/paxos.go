@@ -56,6 +56,34 @@ type timeoutMsg struct {
 	Seq uint64
 }
 
+// learnReq asks a peer for its decided log — the catch-up path for a node
+// that recovered from a crash or partition and suspects it is behind.
+type learnReq struct{}
+
+// learnRsp carries the responder's decided slots. The map is a fresh copy:
+// the learner merges it into its own log without aliasing responder state.
+type learnRsp struct {
+	Slots map[int]entry
+}
+
+// noop fills a log hole: after winning phase 1, a leader seals every slot
+// below the highest known slot that no quorum member reported an accepted
+// value for. Such a slot cannot hold a chosen value (a chosen value is
+// accepted by a majority, which intersects the promise quorum), so a no-op
+// is safe — and without it the hole would stall contiguous application
+// forever. Noops are invisible to Log and OnDecide.
+type noop struct{}
+
+// IsMessage reports whether payload is consensus protocol traffic — used by
+// hosts that embed a Paxos node inside a larger handler to route messages.
+func IsMessage(payload any) bool {
+	switch payload.(type) {
+	case prepareMsg, promiseMsg, acceptMsg, acceptedMsg, decideMsg, nackMsg, timeoutMsg, learnReq, learnRsp:
+		return true
+	}
+	return false
+}
+
 type acceptedVal struct {
 	Ballot Ballot
 	Value  entry
@@ -115,10 +143,29 @@ type Group struct {
 
 // NewGroup wires n Paxos nodes named "p0".."p{n-1}" into the network.
 func NewGroup(net *simnet.Network, n int, seed int64) *Group {
-	g := &Group{Nodes: map[string]*Node{}, net: net}
+	var names []string
 	for i := 0; i < n; i++ {
-		g.names = append(g.names, fmt.Sprintf("p%d", i))
+		names = append(names, fmt.Sprintf("p%d", i))
 	}
+	g := newGroup(net, names, seed)
+	for _, name := range g.names {
+		net.AddNode(name, g.Nodes[name].handle)
+	}
+	return g
+}
+
+// NewEmbeddedGroup builds a Paxos group over caller-owned network nodes:
+// no handlers are registered, so a host that multiplexes consensus traffic
+// with its own protocol on one node name routes messages in via
+// Node.Handle (gated by IsMessage). Used by the replicated shard
+// coordinator, whose control decrees share the coordinator node with the
+// BSP data-plane protocol.
+func NewEmbeddedGroup(net *simnet.Network, names []string, seed int64) *Group {
+	return newGroup(net, append([]string(nil), names...), seed)
+}
+
+func newGroup(net *simnet.Network, names []string, seed int64) *Group {
+	g := &Group{Nodes: map[string]*Node{}, net: net, names: names}
 	for i, name := range g.names {
 		node := &Node{
 			name:        name,
@@ -135,7 +182,6 @@ func NewGroup(net *simnet.Network, n int, seed int64) *Group {
 			backoffBase: 2000,
 		}
 		g.Nodes[name] = node
-		net.AddNode(name, node.handle)
 	}
 	return g
 }
@@ -144,15 +190,11 @@ func NewGroup(net *simnet.Network, n int, seed int64) *Group {
 func (g *Group) Names() []string { return append([]string(nil), g.names...) }
 
 // Propose submits a value through the given node.
-func (g *Group) Propose(node string, value any) {
-	n := g.Nodes[node]
-	n.proposeSeq++
-	n.pending = append(n.pending, entry{ID: fmt.Sprintf("%s#%d", n.name, n.proposeSeq), Value: value})
-	n.kick()
-}
+func (g *Group) Propose(node string, value any) { g.Nodes[node].Propose(value) }
 
 // Log returns a node's decided command sequence: the dense slot prefix with
-// duplicate proposal IDs collapsed (at-most-once application order).
+// duplicate proposal IDs collapsed (at-most-once application order) and
+// no-op hole fillers skipped. The slice is freshly allocated.
 func (g *Group) Log(node string) []any {
 	n := g.Nodes[node]
 	var out []any
@@ -166,12 +208,60 @@ func (g *Group) Log(node string) []any {
 			continue
 		}
 		seen[e.ID] = true
+		if _, isNoop := e.Value.(noop); isNoop {
+			continue
+		}
 		out = append(out, e.Value)
 	}
 }
 
+// Slots returns a copy of a node's raw decided log keyed by slot, including
+// no-op fillers and duplicate-ID slots — the replay-debugging view. Mutating
+// the returned map cannot touch node state.
+func (g *Group) Slots(node string) map[int]any {
+	n := g.Nodes[node]
+	out := make(map[int]any, len(n.log))
+	for s, e := range n.log {
+		out[s] = e.Value
+	}
+	return out
+}
+
 // DecidedCount returns the number of decided slots at a node.
 func (g *Group) DecidedCount(node string) int { return g.Nodes[node].decided }
+
+// Propose submits a value through this node: it is queued with a unique
+// proposal ID and driven to a log slot by this node's proposer role.
+func (n *Node) Propose(value any) {
+	n.proposeSeq++
+	n.pending = append(n.pending, entry{ID: fmt.Sprintf("%s#%d", n.name, n.proposeSeq), Value: value})
+	n.kick()
+}
+
+// Handle feeds one network message to the node — the embedded-group entry
+// point for hosts that own the network handler themselves.
+func (n *Node) Handle(now simnet.Time, msg simnet.Message) { n.handle(now, msg) }
+
+// Name returns the node's network name.
+func (n *Node) Name() string { return n.name }
+
+// Applied returns how many contiguous log slots have been applied — a
+// cheap staleness signal two peers can compare to decide who needs to
+// catch up.
+func (n *Node) Applied() int { return n.applied }
+
+// RequestLearn asks peer for its decided log (crash/partition catch-up).
+// The response merges into this node's log and drives OnDecide forward.
+func (n *Node) RequestLearn(peer string) {
+	n.net.Send(n.name, peer, learnReq{})
+}
+
+// DebugString renders the node's proposer/learner state for test
+// post-mortems.
+func (n *Node) DebugString() string {
+	return fmt.Sprintf("%s: ballot=%d promised=%d leader=%v pending=%d inFlight=%v nextSlot=%d decided=%d applied=%d timeoutSeq=%d",
+		n.name, n.ballot, n.promised, n.leader, len(n.pending), n.inFlight, n.nextSlot, n.decided, n.applied, n.timeoutSeq)
+}
 
 func (n *Node) majority() int { return len(n.peers)/2 + 1 }
 
@@ -280,6 +370,28 @@ func (n *Node) handle(now simnet.Time, msg simnet.Message) {
 				}
 			}
 		}
+		// Values we were driving under the previous ballot lose their slot
+		// assignments: slots the quorum reported are re-driven with the
+		// reported value, and the rest get fresh slots via pending — never
+		// silently dropped, never left squatting on a slot the hole fill
+		// below is about to seal.
+		reproposed := map[string]bool{}
+		for _, av := range repropose {
+			reproposed[av.Value.ID] = true
+		}
+		var stranded []int
+		for s := range n.inFlight {
+			stranded = append(stranded, s)
+		}
+		sort.Ints(stranded)
+		for _, s := range stranded {
+			e := n.inFlight[s]
+			delete(n.inFlight, s)
+			delete(n.acceptVotes, s)
+			if !reproposed[e.ID] && !n.seenIDs[e.ID] {
+				n.pending = append(n.pending, e)
+			}
+		}
 		slots := make([]int, 0, len(repropose))
 		for s := range repropose {
 			slots = append(slots, s)
@@ -292,6 +404,30 @@ func (n *Node) handle(now simnet.Time, msg simnet.Message) {
 			if s >= n.nextSlot {
 				n.nextSlot = s + 1
 			}
+		}
+		// Seal holes: any slot below the highest known slot with no accepted
+		// value anywhere in the promise quorum is unchosen (choice requires a
+		// majority, which intersects the quorum), so a no-op can take it.
+		// Without this, a slot abandoned by a dead proposer would block
+		// contiguous application forever.
+		maxKnown := n.nextSlot - 1
+		for s := range n.log {
+			if s > maxKnown {
+				maxKnown = s
+			}
+		}
+		for s := 0; s <= maxKnown; s++ {
+			if _, done := n.log[s]; done {
+				continue
+			}
+			if _, busy := n.inFlight[s]; busy {
+				continue
+			}
+			n.proposeSeq++
+			e := entry{ID: fmt.Sprintf("%s#fill%d", n.name, n.proposeSeq), Value: noop{}}
+			n.inFlight[s] = e
+			n.acceptVotes[s] = map[string]bool{}
+			n.bcast(acceptMsg{Ballot: n.ballot, Slot: s, Value: e})
 		}
 		n.pump()
 	case acceptMsg:
@@ -318,13 +454,10 @@ func (n *Node) handle(now simnet.Time, msg simnet.Message) {
 			n.bcast(decideMsg{Slot: m.Slot, Value: v})
 		}
 	case decideMsg:
-		if _, done := n.log[m.Slot]; !done {
-			n.log[m.Slot] = m.Value
-			n.decided++
-			// Drop any local re-proposal of the now-decided command.
-			n.dropCommand(m.Value.ID)
-			n.applyContiguous()
+		if n.noteDecided(m.Slot, m.Value) {
+			n.kick()
 		}
+		n.applyContiguous()
 	case nackMsg:
 		if m.Promised > n.ballot {
 			n.leader = false
@@ -334,7 +467,24 @@ func (n *Node) handle(now simnet.Time, msg simnet.Message) {
 		if m.Seq != n.timeoutSeq {
 			return // stale timer
 		}
-		// Re-queue undecided in-flight values and retry leadership.
+		if n.leader && len(n.inFlight) > 0 {
+			// Still leader: retry the stuck slots in place. Re-queuing them
+			// would assign fresh slots (nextSlot never reuses an abandoned
+			// one), leaving permanent holes that stall OnDecide.
+			var slots []int
+			for s := range n.inFlight {
+				slots = append(slots, s)
+			}
+			sort.Ints(slots)
+			for _, s := range slots {
+				n.acceptVotes[s] = map[string]bool{}
+				n.bcast(acceptMsg{Ballot: n.ballot, Slot: s, Value: n.inFlight[s]})
+			}
+			n.pump() // flush anything pending; re-arms the timeout
+			return
+		}
+		// Not leader: re-queue undecided in-flight values and retry
+		// leadership — the phase 1 promises re-bind them to safe slots.
 		var slots []int
 		for s := range n.inFlight {
 			slots = append(slots, s)
@@ -348,6 +498,28 @@ func (n *Node) handle(now simnet.Time, msg simnet.Message) {
 		if len(n.pending) > 0 {
 			n.startPhase1()
 		}
+	case learnReq:
+		slots := make(map[int]entry, len(n.log))
+		for s, e := range n.log {
+			slots[s] = e
+		}
+		n.net.Send(n.name, msg.From, learnRsp{Slots: slots})
+	case learnRsp:
+		var slots []int
+		for s := range m.Slots {
+			slots = append(slots, s)
+		}
+		sort.Ints(slots)
+		requeued := false
+		for _, s := range slots {
+			if n.noteDecided(s, m.Slots[s]) {
+				requeued = true
+			}
+		}
+		if requeued {
+			n.kick()
+		}
+		n.applyContiguous()
 	}
 }
 
@@ -359,7 +531,7 @@ func (n *Node) applyContiguous() {
 		}
 		if !n.seenIDs[e.ID] {
 			n.seenIDs[e.ID] = true
-			if n.OnDecide != nil {
+			if _, isNoop := e.Value.(noop); !isNoop && n.OnDecide != nil {
 				n.OnDecide(n.applied, e.Value)
 			}
 		}
@@ -367,8 +539,35 @@ func (n *Node) applyContiguous() {
 	}
 }
 
+// noteDecided records a decided slot, drops local duplicates of the
+// decided command, and re-queues any competing in-flight value that just
+// lost this slot. Reports whether a value was re-queued (caller should
+// kick the proposer).
+func (n *Node) noteDecided(slot int, e entry) bool {
+	if _, done := n.log[slot]; done {
+		return false
+	}
+	n.log[slot] = e
+	n.decided++
+	n.dropCommand(e.ID)
+	if cur, busy := n.inFlight[slot]; busy && cur.ID != e.ID {
+		// Our proposal lost the slot race; drive it to a fresh slot.
+		delete(n.inFlight, slot)
+		delete(n.acceptVotes, slot)
+		n.pending = append(n.pending, cur)
+		return true
+	}
+	return false
+}
+
 // dropCommand removes a command from pending and in-flight proposals once
-// it is known decided (prevents duplicate slots where we can).
+// it is known decided (prevents duplicate slots where we can). A leader
+// that abandons an in-flight slot this way has already advertised the
+// slot — its own nextSlot is past it and peers may have accepted the
+// value — so it seals the slot with a no-op instead of leaving a
+// permanent hole that would stall contiguous application. (Safe for the
+// same reason as the phase-1 hole fill: the slot cannot have been chosen
+// below our ballot, and a higher ballot preempts our accepts.)
 func (n *Node) dropCommand(id string) {
 	kept := n.pending[:0]
 	for _, e := range n.pending {
@@ -377,10 +576,23 @@ func (n *Node) dropCommand(id string) {
 		}
 	}
 	n.pending = kept
+	var dropped []int
 	for slot, e := range n.inFlight {
 		if e.ID == id {
-			delete(n.inFlight, slot)
-			delete(n.acceptVotes, slot)
+			dropped = append(dropped, slot)
 		}
+	}
+	sort.Ints(dropped)
+	for _, slot := range dropped {
+		delete(n.inFlight, slot)
+		delete(n.acceptVotes, slot)
+		if _, done := n.log[slot]; done || !n.leader {
+			continue
+		}
+		n.proposeSeq++
+		fill := entry{ID: fmt.Sprintf("%s#fill%d", n.name, n.proposeSeq), Value: noop{}}
+		n.inFlight[slot] = fill
+		n.acceptVotes[slot] = map[string]bool{}
+		n.bcast(acceptMsg{Ballot: n.ballot, Slot: slot, Value: fill})
 	}
 }

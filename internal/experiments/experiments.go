@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"hydro/internal/lift/future"
 	"hydro/internal/lift/mpi"
 	"hydro/internal/replica"
+	"hydro/internal/shard"
 	"hydro/internal/simnet"
 	"hydro/internal/storage"
 	"hydro/internal/target"
@@ -821,6 +823,122 @@ func RunE13(chains, ops int) Table {
 		}
 		t.Rows = append(t.Rows, []string{mode, fmt.Sprint(contacts), fmt.Sprint(ops),
 			fmt.Sprintf("%.1f", perTick[incremental]), speedup})
+	}
+	return t
+}
+
+// --- E14: replicated coordinator — failover recovery windows ---
+
+// RunE14 measures the replicated control plane (DESIGN.md §13): a
+// transitive-closure deployment runs a tick sequence three times —
+// healthy, with the leader killed mid-tick, and with the leader
+// partitioned mid-tick — and reports elections, epoch movement, fenced
+// stale traffic, and the recovery window (virtual time for the faulted
+// tick versus a healthy one). Correctness under the same faults is pinned
+// by the failover chaos suite; this table is the cost side.
+func RunE14(ticks int) Table {
+	t := Table{
+		ID:     "E14",
+		Title:  "Replicated coordinator: leader failover recovery windows",
+		Header: []string{"mode", "ticks", "elections", "epoch", "attempts", "fenced", "healthy ms/tick", "faulted tick ms"},
+		Notes:  "virtual time; fault injected mid-tick at tick N/2, faulted coordinator recovered after the tick settles; byte-level equivalence under the same faults is asserted by the shard failover suite",
+	}
+	if ticks < 4 {
+		ticks = 4
+	}
+	rules := []datalog.Rule{
+		{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}},
+			Body: []datalog.Literal{{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}}},
+		},
+		{
+			Head: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("z")}},
+			Body: []datalog.Literal{
+				{Atom: datalog.Atom{Pred: "path", Args: []datalog.Term{datalog.V("x"), datalog.V("y")}}},
+				{Atom: datalog.Atom{Pred: "edge", Args: []datalog.Term{datalog.V("y"), datalog.V("z")}}},
+			},
+		},
+	}
+	edb := map[string]int{"edge": 2}
+	for _, mode := range []string{"healthy", "leader-kill", "leader-partition"} {
+		prog, err := datalog.NewProgram(rules...)
+		if err != nil {
+			panic(err)
+		}
+		topo := cluster.NewTopology(3, 2, 2, cluster.ClassSmall)
+		cl := cluster.New(topo, simnet.DefaultConfig(14))
+		machines, err := target.PlaceReplicas(topo, 3)
+		if err != nil {
+			panic(err)
+		}
+		dep, err := shard.Deploy(cl, "e14", prog, edb, machines, shard.Options{})
+		if err != nil {
+			panic(err)
+		}
+		faultTick := ticks / 2
+		var healthy []float64
+		faulted := 0.0
+		for i := 0; i < ticks; i++ {
+			ops := []datalog.DeltaOp{
+				{Pred: "edge", T: datalog.Tuple{int64(i), int64(i + 1)}},
+				{Pred: "edge", T: datalog.Tuple{int64(i + 1), int64((i + 7) % (ticks + 1))}},
+			}
+			if i > 0 && i%3 == 0 {
+				ops = append(ops, datalog.DeltaOp{Del: true, Pred: "edge", T: datalog.Tuple{int64(i - 3), int64(i - 2)}})
+			}
+			if err := dep.Submit(ops); err != nil {
+				panic(err)
+			}
+			victim := ""
+			if i == faultTick && mode != "healthy" {
+				victim = dep.Leader()
+				if mode == "leader-kill" {
+					dep.KillCoordinator(victim)
+				} else {
+					for _, other := range append(dep.Coordinators(), dep.Replicas()...) {
+						if other != victim {
+							cl.Net.Partition(victim, other)
+						}
+					}
+				}
+			}
+			start := cl.Net.Now()
+			if !dep.Settle(2_000_000) {
+				panic(fmt.Sprintf("E14 %s: tick %d did not settle", mode, i))
+			}
+			ms := float64(cl.Net.Now()-start) / 1000.0
+			if victim != "" {
+				faulted = ms
+				if mode == "leader-partition" {
+					for _, other := range append(dep.Coordinators(), dep.Replicas()...) {
+						if other != victim {
+							cl.Net.Heal(victim, other)
+						}
+					}
+				}
+				dep.RecoverCoordinator(victim)
+			} else {
+				healthy = append(healthy, ms)
+			}
+		}
+		med := 0.0
+		if len(healthy) > 0 {
+			sorted := append([]float64(nil), healthy...)
+			sort.Float64s(sorted)
+			med = sorted[len(sorted)/2]
+		}
+		m := dep.Metrics()
+		if m.DoubleCommits != 0 {
+			panic(fmt.Sprintf("E14 %s: double commits", mode))
+		}
+		faultedCell := "-"
+		if mode != "healthy" {
+			faultedCell = fmt.Sprintf("%.1f", faulted)
+		}
+		t.Rows = append(t.Rows, []string{mode, fmt.Sprint(ticks),
+			fmt.Sprint(m.Elections), fmt.Sprint(m.Epoch), fmt.Sprint(m.AttemptDecrees),
+			fmt.Sprint(m.FencedReqs + m.FencedCommits),
+			fmt.Sprintf("%.1f", med), faultedCell})
 	}
 	return t
 }

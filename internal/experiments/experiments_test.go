@@ -118,3 +118,23 @@ func TestE11AndE12Render(t *testing.T) {
 		t.Fatalf("E5b render:\n%s", s)
 	}
 }
+
+func TestE14FailoverColumns(t *testing.T) {
+	tab := RunE14(6)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("expected 3 modes, got %d", len(tab.Rows))
+	}
+	// Healthy run: no elections, epoch stays 1.
+	if tab.Rows[0][2] != "0" || tab.Rows[0][3] != "1" {
+		t.Fatalf("healthy row shows failover activity: %v", tab.Rows[0])
+	}
+	// Faulted runs: at least one election each, epoch moved.
+	for _, row := range tab.Rows[1:] {
+		if row[2] == "0" || row[3] == "1" {
+			t.Fatalf("faulted mode %s saw no election: %v", row[0], row)
+		}
+		if row[7] == "-" {
+			t.Fatalf("faulted mode %s has no recovery window: %v", row[0], row)
+		}
+	}
+}

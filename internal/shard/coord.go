@@ -2,10 +2,11 @@ package shard
 
 import (
 	"hydro/internal/datalog"
-	"hydro/internal/simnet"
 )
 
-// Coordinator stages, in tick order.
+// Coordinator stages, in tick order. stDecide sits between the last
+// component and commit: the driver has collected every replica's final
+// ack and is waiting for its commit decree to land on the quorum log.
 type stage int
 
 const (
@@ -16,28 +17,26 @@ const (
 	stRound
 	stApply
 	stRecompute
+	stDecide
 	stCommit
 )
 
-// coord sequences one BSP tick at a time: broadcast a request, collect N
-// acks, advance. Failures are handled by whole-attempt retry — a watchdog
-// timer fires if an attempt stalls (replica down, link partitioned, in
-// rare configurations a dropped message), bumps the attempt number and
-// restarts the tick from prepare; replicas roll their staging back, so a
-// retried attempt recomputes from the committed state. Once every replica
-// has finished the attempt, the commit broadcast is the only remaining
-// step, and it is retried in place (idempotently) rather than restarted —
-// so a tick either commits on all replicas or keeps retrying until the
-// fault heals. The coordinator itself is control-plane state outside the
-// failure domains (DESIGN.md §11 discusses lifting this).
+// coord is the volatile BSP driver the acting leader runs for one attempt:
+// broadcast a request, collect N acks, advance. It holds no durable truth —
+// tick admission, attempt numbers and commit decisions live on the
+// replicated control log (ctl.go); everything here is reconstructed after
+// failover by restarting the attempt from prepare. Failures are handled by
+// whole-attempt retry: a watchdog fires if the attempt stalls (replica
+// down, link partitioned), and the restart is itself a decree (attempt
+// bump), so a deposed leader's watchdog cannot fork the tick. Once every
+// replica has finished the attempt the driver proposes the commit decree
+// (stDecide); when it applies, the commit broadcast is the only remaining
+// step and is retried in place, idempotently.
 type coord struct {
-	dep *Deployment
+	cn *coordNode
 
-	queue     [][]datalog.DeltaOp
-	committed uint64
-
-	active  bool
 	t, a    uint64
+	epoch   uint64
 	seq     uint64 // progress counter; stale watchdogs are ignored
 	stg     stage
 	comp    int
@@ -49,38 +48,22 @@ type coord struct {
 	acks    map[int]rsp
 }
 
-func newCoord(dep *Deployment) *coord { return &coord{dep: dep} }
+func (c *coord) dep() *Deployment { return c.cn.dep }
 
-func (c *coord) handle(now simnet.Time, msg simnet.Message) {
-	switch m := msg.Payload.(type) {
-	case kickMsg:
-		if !c.active && len(c.queue) > 0 {
-			c.startTick()
-		}
-	case watchdogMsg:
-		// Only a genuinely stalled attempt restarts: any ack-set completion
-		// bumps seq and re-arms, so an attempt that is slow but moving never
-		// trips the watchdog.
-		if !c.active || m.Tick != c.t || m.Att != c.a || m.Seq != c.seq {
-			return
-		}
-		if c.stg == stCommit {
-			// Every replica finished the attempt; just re-push the commit.
-			c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCommit})
-			c.progress()
-		} else {
-			c.a++
-			c.startAttempt()
-		}
-	case rsp:
-		c.collect(m)
+func (c *coord) name() string { return c.cn.name() }
+
+// setStage advances the stage machine and fires the deployment's stage
+// hook — the chaos suite's injection point for killing or partitioning
+// the leader at an exact protocol position.
+func (c *coord) setStage(s stage) {
+	c.stg = s
+	if h := c.dep().stageHook; h != nil {
+		h(c.name(), c.t, c.a, int(s))
 	}
 }
 
-func (c *coord) name() string { return c.dep.coordName }
-
 func (c *coord) armWatchdog() {
-	c.dep.net.After(c.name(), c.dep.retryAfter, watchdogMsg{Tick: c.t, Att: c.a, Seq: c.seq})
+	c.dep().net.After(c.name(), c.dep().retryAfter, watchdogMsg{Tick: c.t, Att: c.a, Seq: c.seq})
 }
 
 // progress marks forward motion of the current attempt and re-arms the
@@ -91,42 +74,56 @@ func (c *coord) progress() {
 }
 
 func (c *coord) bcast(m req) {
+	m.Epoch = c.epoch
 	c.acks = map[int]rsp{}
-	for _, node := range c.dep.replicaNames {
-		c.dep.net.Send(c.name(), node, m)
+	for _, node := range c.dep().replicaNames {
+		c.dep().net.Send(c.name(), node, m)
 	}
 }
 
-func (c *coord) startTick() {
-	c.tickOps = c.queue[0]
-	c.queue = c.queue[1:]
-	c.active = true
-	c.t = c.committed + 1
-	c.a++
-	c.startAttempt()
+func (c *coord) watchdog(m watchdogMsg) {
+	if m.Tick != c.t || m.Att != c.a || m.Seq != c.seq {
+		return
+	}
+	switch c.stg {
+	case stCommit:
+		// Every replica finished the attempt and the commit is decreed;
+		// just re-push the broadcast.
+		c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCommit})
+		c.progress()
+	case stDecide:
+		// Waiting on the quorum log; the consensus layer retries the decree
+		// itself, so just keep the watchdog alive.
+		c.progress()
+	default:
+		// Genuinely stalled attempt: restart it through the log. The bump
+		// only takes effect if this leader's epoch is still current.
+		c.progress()
+		c.cn.proposeAttemptBump()
+	}
 }
 
 func (c *coord) startAttempt() {
 	// Route the tick's base ops once per attempt: sharded predicates go to
 	// the owning replica, mirrored ones to everybody.
-	c.routed = make([][]datalog.DeltaOp, c.dep.place.N)
+	c.routed = make([][]datalog.DeltaOp, c.dep().place.N)
 	for _, op := range c.tickOps {
-		if c.dep.place.Specs[op.Pred].Mirrored {
+		if c.dep().place.Specs[op.Pred].Mirrored {
 			for i := range c.routed {
 				c.routed[i] = append(c.routed[i], op)
 			}
 			continue
 		}
-		d := c.dep.place.Owner(op.Pred, op.T)
+		d := c.dep().place.Owner(op.Pred, op.T)
 		c.routed[d] = append(c.routed[d], op)
 	}
-	c.stg = stPrepare
+	c.setStage(stPrepare)
 	c.bcast(req{Tick: c.t, Att: c.a, Kind: reqPrepare})
 	c.progress()
 }
 
 func (c *coord) collect(m rsp) {
-	if !c.active || m.Tick != c.t || m.Att != c.a {
+	if m.Tick != c.t || m.Att != c.a {
 		return
 	}
 	want := map[stage]reqKind{
@@ -144,7 +141,7 @@ func (c *coord) collect(m rsp) {
 		return
 	}
 	c.acks[m.From] = m
-	if len(c.acks) < c.dep.place.N {
+	if len(c.acks) < c.dep().place.N {
 		return
 	}
 	c.progress()
@@ -154,17 +151,17 @@ func (c *coord) collect(m rsp) {
 func (c *coord) advance() {
 	switch c.stg {
 	case stPrepare:
-		c.stg = stOps
+		c.setStage(stOps)
 		c.acks = map[int]rsp{}
-		for i, node := range c.dep.replicaNames {
-			c.dep.net.Send(c.name(), node, req{Tick: c.t, Att: c.a, Kind: reqOps, Ops: c.routed[i]})
+		for i, node := range c.dep().replicaNames {
+			c.dep().net.Send(c.name(), node, req{Tick: c.t, Att: c.a, Epoch: c.epoch, Kind: reqOps, Ops: c.routed[i]})
 		}
 	case stOps:
 		c.comp = 0
 		c.beginComp()
 	case stCompBegin:
 		var hasAdd, hasDel bool
-		for i := 0; i < c.dep.place.N; i++ {
+		for i := 0; i < c.dep().place.N; i++ {
 			if c.acks[i].HasAdd {
 				hasAdd = true
 			}
@@ -172,13 +169,13 @@ func (c *coord) advance() {
 				hasDel = true
 			}
 		}
-		meta := c.dep.comps[c.comp]
+		meta := c.dep().comps[c.comp]
 		switch {
 		case !hasAdd && !hasDel:
 			c.comp++
 			c.beginComp()
 		case meta.nonMono:
-			c.stg = stRecompute
+			c.setStage(stRecompute)
 			c.bcast(req{Tick: c.t, Att: c.a, Kind: reqRecompute, Comp: c.comp})
 		case hasDel:
 			c.phase, c.round, c.seedIn = phaseDelete, 0, false
@@ -192,25 +189,25 @@ func (c *coord) advance() {
 		c.beginComp()
 	case stRound:
 		// Per-replica barrier size: how many peers shipped it traffic.
-		expect := make([]int, c.dep.place.N)
-		for s := 0; s < c.dep.place.N; s++ {
+		expect := make([]int, c.dep().place.N)
+		for s := 0; s < c.dep().place.N; s++ {
 			for d, sent := range c.acks[s].SentTo {
 				if sent {
 					expect[d]++
 				}
 			}
 		}
-		c.stg = stApply
+		c.setStage(stApply)
 		c.acks = map[int]rsp{}
-		for i, node := range c.dep.replicaNames {
-			c.dep.net.Send(c.name(), node, req{
-				Tick: c.t, Att: c.a, Kind: reqApply,
+		for i, node := range c.dep().replicaNames {
+			c.dep().net.Send(c.name(), node, req{
+				Tick: c.t, Att: c.a, Epoch: c.epoch, Kind: reqApply,
 				Comp: c.comp, Phase: c.phase, Round: c.round, Expect: expect[i],
 			})
 		}
 	case stApply:
 		total := 0
-		for i := 0; i < c.dep.place.N; i++ {
+		for i := 0; i < c.dep().place.N; i++ {
 			total += c.acks[i].Next
 		}
 		switch {
@@ -235,7 +232,7 @@ func (c *coord) advance() {
 		}
 	case stCommit:
 		allIn := true
-		for i := 0; i < c.dep.place.N; i++ {
+		for i := 0; i < c.dep().place.N; i++ {
 			if c.acks[i].Committed < c.t {
 				allIn = false
 			}
@@ -243,26 +240,35 @@ func (c *coord) advance() {
 		if !allIn {
 			return // commit retry will re-collect
 		}
-		c.committed = c.t
-		c.active = false
-		if len(c.queue) > 0 {
-			c.startTick()
-		}
+		c.cn.drv = nil
+		c.cn.maybeStartNext()
 	}
 }
 
 func (c *coord) beginComp() {
-	if c.comp >= len(c.dep.comps) {
-		c.stg = stCommit
-		c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCommit})
+	if c.comp >= len(c.dep().comps) {
+		// Every replica holds the fully staged attempt; seal the tick on
+		// the quorum log before telling anyone to commit, so a failover in
+		// the gap finalizes instead of re-driving.
+		c.setStage(stDecide)
+		c.cn.cons.Propose(decreeCommit{Tick: c.t, Att: c.a, Epoch: c.epoch})
+		c.progress()
 		return
 	}
-	c.stg = stCompBegin
+	c.setStage(stCompBegin)
 	c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCompBegin, Comp: c.comp})
 }
 
+// enterCommit broadcasts the decreed commit (called when the commit decree
+// applies, or by a recovered leader finalizing the last sealed tick).
+func (c *coord) enterCommit() {
+	c.setStage(stCommit)
+	c.bcast(req{Tick: c.t, Att: c.a, Kind: reqCommit})
+	c.progress()
+}
+
 func (c *coord) startRound() {
-	c.stg = stRound
+	c.setStage(stRound)
 	c.bcast(req{
 		Tick: c.t, Att: c.a, Kind: reqRound,
 		Comp: c.comp, Phase: c.phase, Round: c.round,

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hydro/internal/cluster"
+	"hydro/internal/consensus"
 	"hydro/internal/datalog"
 	"hydro/internal/simnet"
 )
@@ -19,12 +20,21 @@ type Options struct {
 	// Declared fixes partition columns for specific predicates (hlang
 	// `partition(col)` table annotations), overriding the compiled hints.
 	Declared map[string]int
+	// Coordinators is the size of the replicated control plane (DESIGN.md
+	// §13). Zero uses DefaultCoordinators; 1 is the degenerate
+	// single-coordinator deployment (no failover — the oracle configuration
+	// in the chaos suite).
+	Coordinators int
 }
 
 // DefaultRetryAfter is far above one healthy barrier round-trip (sub-ms at
 // LAN latencies) so only genuine stalls — down replicas, cut links — trip
 // the attempt restart.
 const DefaultRetryAfter simnet.Time = 1_000_000 // 1s virtual
+
+// DefaultCoordinators replicates the control plane three ways: one fault
+// leaves a quorum.
+const DefaultCoordinators = 3
 
 // Deployment is a datalog program running sharded across cluster-hosted
 // replicas. Submit queues base-relation ticks; the coordinator commits
@@ -39,10 +49,13 @@ type Deployment struct {
 	edb          map[string]int
 	replicas     []*replica
 	replicaNames []string
-	coordName    string
-	coord        *coord
+	coordNames   []string
+	coords       []*coordNode
+	group        *consensus.Group
 	retryAfter   simnet.Time
 	submitted    uint64
+	metrics      ctlMetrics
+	stageHook    func(node string, tick, att uint64, stg int) // test injection point
 }
 
 // Deploy hosts one replica of prog on each named machine of cl, sharding
@@ -87,6 +100,10 @@ func Deploy(cl *cluster.Cluster, name string, prog *datalog.Program, edb map[str
 		}
 	}
 
+	ncoord := opts.Coordinators
+	if ncoord <= 0 {
+		ncoord = DefaultCoordinators
+	}
 	d := &Deployment{
 		name:         name,
 		net:          cl.Net,
@@ -95,32 +112,96 @@ func Deploy(cl *cluster.Cluster, name string, prog *datalog.Program, edb map[str
 		arities:      arities,
 		edb:          edb,
 		replicaNames: machines,
-		coordName:    name + "-coord",
 		retryAfter:   opts.RetryAfter,
 	}
 	if d.retryAfter <= 0 {
 		d.retryAfter = DefaultRetryAfter
+	}
+	for i := 0; i < ncoord; i++ {
+		d.coordNames = append(d.coordNames, fmt.Sprintf("%s-coord%d", name, i))
 	}
 	for i := range machines {
 		r := newReplica(d, i)
 		d.replicas = append(d.replicas, r)
 		cl.HostNode(machines[i], r.handle)
 	}
-	d.coord = newCoord(d)
-	cl.Net.AddNode(d.coordName, d.coord.handle)
+	// The replicated control plane: one embedded Paxos participant per
+	// coordinator, multiplexed with the BSP protocol on the same node
+	// (coordNode.handle routes by message type). Coordinators live outside
+	// the machine failure domains on purpose — the chaos suites fault them
+	// independently of the data plane.
+	d.group = consensus.NewEmbeddedGroup(cl.Net, d.coordNames, ctlSeed(name))
+	for i, cname := range d.coordNames {
+		cn := &coordNode{dep: d, idx: i, cons: d.group.Nodes[cname], st: newCtlState()}
+		cn.cons.OnDecide = func(slot int, v any) { cn.applyDecree(v) }
+		d.coords = append(d.coords, cn)
+		cl.Net.AddNode(cname, cn.handle)
+	}
+	for _, cn := range d.coords {
+		cn.armTimer()
+	}
 	return d, nil
+}
+
+// ctlSeed derives the control plane's deterministic RNG seed from the
+// deployment name (FNV-1a), so same name + same simnet seed ⇒ same
+// election and backoff schedule.
+func ctlSeed(name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & (1<<62 - 1))
 }
 
 // Placement returns the deployment's predicate placement.
 func (d *Deployment) Placement() *Placement { return d.place }
 
-// Replicas returns the replica node names in replica-index order.
-func (d *Deployment) Replicas() []string { return d.replicaNames }
+// Replicas returns a copy of the replica node names in replica-index
+// order. (A fresh slice every call: callers shuffle or truncate these in
+// chaos tests, and aliasing the live routing table would corrupt the
+// deployment — the same live-slice bug class as the old consensus Peek.)
+func (d *Deployment) Replicas() []string { return append([]string(nil), d.replicaNames...) }
+
+// Coordinators returns a copy of the coordinator node names in index
+// order.
+func (d *Deployment) Coordinators() []string { return append([]string(nil), d.coordNames...) }
+
+// Leader returns the node name of the coordinator holding the current
+// epoch's lease, per the most-caught-up coordinator's view.
+func (d *Deployment) Leader() string { return d.coordNames[d.view().st.leader] }
+
+// view returns the coordinator with the longest applied decree prefix —
+// the freshest replicated view (ties break to the lowest index).
+func (d *Deployment) view() *coordNode {
+	best := d.coords[0]
+	for _, cn := range d.coords[1:] {
+		if cn.cons.Applied() > best.cons.Applied() {
+			best = cn
+		}
+	}
+	return best
+}
+
+// KillCoordinator takes a coordinator off the network (its timers are
+// discarded; state is kept, as with any simnet crash).
+func (d *Deployment) KillCoordinator(name string) { d.net.SetDown(name, true) }
+
+// RecoverCoordinator brings a killed coordinator back and re-arms it: a
+// recovered node first catches up on the decree log, then resumes
+// whatever role the log assigns it.
+func (d *Deployment) RecoverCoordinator(name string) {
+	d.net.SetDown(name, false)
+	d.net.After(name, 0, recoverKickMsg{})
+}
 
 // Submit queues one tick of base-relation ops (applied owner-side with
 // insert-if-absent / delete-if-present semantics, so redundant ops are
-// no-ops) and wakes the coordinator. The tick commits atomically on all
-// replicas once the simulation delivers the protocol traffic.
+// no-ops). Admission is a decree on the replicated control log, proposed
+// through every live coordinator so no single crash can lose the tick —
+// the sequence guard in ctlState collapses the duplicates. The ops slice
+// is copied: callers may reuse their buffer.
 func (d *Deployment) Submit(ops []datalog.DeltaOp) error {
 	for _, op := range ops {
 		ar, ok := d.edb[op.Pred]
@@ -131,30 +212,47 @@ func (d *Deployment) Submit(ops []datalog.DeltaOp) error {
 			return fmt.Errorf("shard: %s arity %d, got tuple %v", op.Pred, ar, op.T)
 		}
 	}
-	d.coord.queue = append(d.coord.queue, ops)
+	cp := append([]datalog.DeltaOp(nil), ops...)
+	seq := d.submitted
 	d.submitted++
-	d.net.After(d.coordName, 0, kickMsg{})
+	for _, cn := range d.coords {
+		if !d.net.Down(cn.name()) {
+			cn.cons.Propose(decreeSubmit{Seq: seq, Ops: cp})
+		}
+	}
 	return nil
 }
 
 // SubmittedTicks returns the number of ticks queued so far.
 func (d *Deployment) SubmittedTicks() uint64 { return d.submitted }
 
-// CommittedTicks returns the number of ticks committed on every replica.
-func (d *Deployment) CommittedTicks() uint64 { return d.coord.committed }
+// CommittedTicks returns the number of ticks committed on every data
+// replica — the convergence frontier Dump is valid for. (The replicated
+// control log can be ahead of this: a commit decree seals a tick before
+// the broadcast lands.)
+func (d *Deployment) CommittedTicks() uint64 {
+	min := ^uint64(0)
+	for _, r := range d.replicas {
+		if r.committed < min {
+			min = r.committed
+		}
+	}
+	return min
+}
 
-// Settle steps the network until every submitted tick has committed, up to
-// maxEvents deliveries. It reports whether the deployment converged.
+// Settle steps the network until every submitted tick has committed on
+// every replica, up to maxEvents deliveries. It reports whether the
+// deployment converged.
 func (d *Deployment) Settle(maxEvents int) bool {
 	for i := 0; i < maxEvents; i++ {
-		if d.coord.committed >= d.submitted {
+		if d.CommittedTicks() >= d.submitted {
 			return true
 		}
 		if !d.net.Step() {
-			return d.coord.committed >= d.submitted
+			return d.CommittedTicks() >= d.submitted
 		}
 	}
-	return d.coord.committed >= d.submitted
+	return d.CommittedTicks() >= d.submitted
 }
 
 // Dump returns the converged global contents of every predicate: the

@@ -16,14 +16,19 @@ func fuzzVal(b byte) any {
 }
 
 // decodeTicks interprets the fuzz byte stream as a tick sequence: each op
-// consumes three bytes (pred selector + flush bit + delete bit, then two
-// value bytes); deletes target an existing tuple via the shadow so DRed
-// paths actually fire.
-func decodeTicks(data []byte) [][]datalog.DeltaOp {
+// consumes three bytes (pred selector + flush bit + delete bit + kill
+// bit, then two value bytes); deletes target an existing tuple via the
+// shadow so DRed paths actually fire. The kill bit (0x10) marks the
+// tick for a leader kill: the acting coordinator is taken down while the
+// tick is in flight and recovered after it settles, so fuzzing also
+// explores failover interleavings.
+func decodeTicks(data []byte) ([][]datalog.DeltaOp, []bool) {
 	preds := []string{"edge", "edge", "attr", "node"}
 	sh := newShadow()
 	var ticks [][]datalog.DeltaOp
+	var kills []bool
 	var cur []datalog.DeltaOp
+	kill := false
 	for i := 0; i+2 < len(data) && len(ticks) < 12; i += 3 {
 		b0, b1, b2 := data[i], data[i+1], data[i+2]
 		pred := preds[int(b0)%len(preds)]
@@ -42,25 +47,34 @@ func decodeTicks(data []byte) [][]datalog.DeltaOp {
 		}
 		sh.apply(op)
 		cur = append(cur, op)
+		kill = kill || b0&0x10 != 0
 		if b0&0x20 != 0 {
 			ticks = append(ticks, cur)
-			cur = nil
+			kills = append(kills, kill)
+			cur, kill = nil, false
 		}
 	}
 	if len(cur) > 0 {
 		ticks = append(ticks, cur)
+		kills = append(kills, kill)
 	}
-	return ticks
+	return ticks, kills
 }
 
 // FuzzShardedEquivalence is the sharded-vs-single-node oracle: the seed
 // picks a random program shape AND the shard count, the byte stream picks
-// the tick sequence, and after every tick the distributed fixpoint must
-// be byte-identical to the single-node incremental one.
+// the tick sequence plus a leader-kill schedule, and after every tick the
+// distributed fixpoint must be byte-identical to the single-node
+// incremental one — failovers included.
 func FuzzShardedEquivalence(f *testing.F) {
 	f.Add(int64(1), []byte("\x20aa\x20ab\x20bc\x60aa"))
 	f.Add(int64(7), []byte("\x00ab\x01bc\x22cd\x20de\x60aa\x61bb"))
 	f.Add(int64(13), []byte("\x02aa\x03bb\x21ab\x23cd\x63aa\x62bb\x20xy"))
+	// Kill-bit seeds: leader killed during the second tick, during a
+	// delete-heavy tick, and on back-to-back ticks.
+	f.Add(int64(3), []byte("\x20aa\x30ab\x20bc\x60aa"))
+	f.Add(int64(9), []byte("\x00ab\x21bc\x20cd\x70aa\x31bb"))
+	f.Add(int64(21), []byte("\x30aa\x31bb\x32ab\x23cd\x73aa"))
 	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
 		if len(data) > 60 {
 			data = data[:60]
@@ -73,12 +87,21 @@ func FuzzShardedEquivalence(f *testing.F) {
 		}
 		_, dep := newDeployment(t, prog, tcEDB, n, seed)
 		ref := newOracle(t, prog, tcEDB)
-		for i, ops := range decodeTicks(data) {
+		ticks, kills := decodeTicks(data)
+		for i, ops := range ticks {
 			if err := dep.Submit(ops); err != nil {
 				t.Fatalf("tick %d: Submit: %v", i, err)
 			}
+			victim := ""
+			if kills[i] {
+				victim = dep.Leader()
+				dep.KillCoordinator(victim)
+			}
 			if !dep.Settle(settleBudget) {
-				t.Fatalf("tick %d did not settle (n=%d)", i, n)
+				t.Fatalf("tick %d did not settle (n=%d, killed=%q)", i, n, victim)
+			}
+			if victim != "" {
+				dep.RecoverCoordinator(victim)
 			}
 			ref.tick(t, ops)
 			want := ref.dump(dep.Placement().Preds)
@@ -88,6 +111,9 @@ func FuzzShardedEquivalence(f *testing.F) {
 		}
 		if err := dep.CheckMirrors(); err != nil {
 			t.Fatal(err)
+		}
+		if m := dep.Metrics(); m.DoubleCommits != 0 {
+			t.Fatalf("double commits: %d", m.DoubleCommits)
 		}
 	})
 }

@@ -1,0 +1,75 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"hydro/internal/simnet"
+)
+
+// ctlMetrics holds the control plane's observational counters — the ones
+// that are properties of message delivery rather than of the replicated
+// log (those live in ctlState, where they are deterministic and agreed).
+// Flat atomics in the internal/serve style: cheap to bump on the hot
+// path, snapshotted on demand.
+type ctlMetrics struct {
+	fencedReqs    atomic.Uint64 // replica-side drops of stale-epoch requests/exchanges
+	fencedCommits atomic.Uint64 // replica-side drops of stale-epoch commits
+	heartbeats    atomic.Uint64 // leader heartbeats sent
+	maxEpoch      atomic.Uint64 // highest epoch any coordinator has applied
+	lastChange    atomic.Int64  // virtual time the highest epoch was first applied
+}
+
+// noteLeaderChange records the first application time of each new epoch:
+// every coordinator applies the same elect decree, so a monotone
+// CAS-on-epoch keeps exactly one timestamp per election.
+func (m *ctlMetrics) noteLeaderChange(now simnet.Time, epoch uint64) {
+	for {
+		cur := m.maxEpoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if m.maxEpoch.CompareAndSwap(cur, epoch) {
+			m.lastChange.Store(int64(now))
+			return
+		}
+	}
+}
+
+// Metrics is a point-in-time snapshot of the replicated control plane,
+// read from the most-caught-up coordinator's replicated state plus the
+// delivery-side atomics. Rendered by `benchtab` (experiment E14).
+type Metrics struct {
+	Epoch            uint64      // current leadership epoch
+	Leader           string      // node name holding the epoch's lease
+	Elections        uint64      // elect decrees applied
+	LastLeaderChange simnet.Time // virtual time of the latest election
+	SubmitDecrees    uint64      // ticks admitted to the replicated queue
+	AttemptDecrees   uint64      // attempt starts/bumps on the log
+	CommitDecrees    uint64      // ticks sealed on the log
+	StaleDecrees     uint64      // decrees rejected by the state-machine guards
+	DoubleCommits    uint64      // commit decrees for an already-sealed tick (invariant: 0)
+	FencedReqs       uint64      // stale-epoch requests dropped by replicas
+	FencedCommits    uint64      // stale-epoch commits dropped by replicas
+	Heartbeats       uint64      // leader heartbeats sent
+	CommittedTicks   uint64      // ticks committed on every data replica
+}
+
+// Metrics snapshots the control plane.
+func (d *Deployment) Metrics() Metrics {
+	st := &d.view().st
+	return Metrics{
+		Epoch:            st.epoch,
+		Leader:           d.coordNames[st.leader],
+		Elections:        st.elections,
+		LastLeaderChange: simnet.Time(d.metrics.lastChange.Load()),
+		SubmitDecrees:    st.submits,
+		AttemptDecrees:   st.attempts,
+		CommitDecrees:    st.commits,
+		StaleDecrees:     st.stale,
+		DoubleCommits:    st.doubleCommits,
+		FencedReqs:       d.metrics.fencedReqs.Load(),
+		FencedCommits:    d.metrics.fencedCommits.Load(),
+		Heartbeats:       d.metrics.heartbeats.Load(),
+		CommittedTicks:   d.CommittedTicks(),
+	}
+}

@@ -2,17 +2,24 @@ package shard
 
 import "hydro/internal/datalog"
 
-// Wire protocol. One coordinator sequences BSP ticks over N replicas:
+// Wire protocol. The elected coordinator leader sequences BSP ticks over N
+// replicas:
 //
 //	prepare → ops → per component: compBegin → (recompute |
-//	  phase rounds: round → xch* → apply) → … → commit
+//	  phase rounds: round → xch* → apply) → … → decide → commit
 //
 // Every request and response carries (Tick, Att); a replica drops
 // anything that is not its current attempt, and the coordinator drops
 // stale acks — so a timed-out attempt can be restarted wholesale (Att+1)
-// without fencing individual messages. Commit is the only stage retried
-// in place: by the time it starts every replica has finished the attempt,
-// so resending commit{t} until all ack is idempotent.
+// without fencing individual messages. Attempt numbers are globally
+// monotone (bumped through the replicated control log, DESIGN.md §13), so
+// an (Tick, Att) pair is never reused across leaders. Requests also carry
+// the leader's Epoch: replicas remember the highest epoch seen and drop
+// anything older, so a deposed leader's stale broadcasts are fenced even
+// when they race a new leader's traffic. Commit is the only stage retried
+// in place: it is broadcast only after the commit decree is on the quorum
+// log (every replica has fully staged the attempt by then), so resending
+// commit{t} until all ack is idempotent.
 
 type reqKind int
 
@@ -36,6 +43,7 @@ const (
 
 type req struct {
 	Tick, Att          uint64
+	Epoch              uint64 // leadership epoch of the sending coordinator
 	Kind               reqKind
 	Comp, Phase, Round int
 	Ops                []datalog.DeltaOp // reqOps: this replica's routed slice
@@ -62,8 +70,11 @@ type xchItem struct {
 }
 
 // xchMsg carries one round's emissions from one replica to one peer.
+// (Tick, Att) alone fences stale batches — attempts are globally unique —
+// but Epoch rides along as defense in depth and for fence accounting.
 type xchMsg struct {
 	Tick, Att          uint64
+	Epoch              uint64
 	Comp, Phase, Round int
 	From               int
 	Items              []xchItem
@@ -76,4 +87,23 @@ type rkey struct {
 }
 
 type watchdogMsg struct{ Tick, Att, Seq uint64 }
-type kickMsg struct{}
+
+// hbMsg is a coordinator-to-coordinator heartbeat: the sender's view of
+// the leadership epoch and how many control-log slots it has applied.
+// Receivers use it both as a liveness signal (standbys reset their
+// election timer on heartbeats from the current leader) and as a
+// staleness probe (either side requests a log catch-up when the other is
+// ahead).
+type hbMsg struct {
+	Epoch   uint64
+	Applied int
+	From    int // coordinator index
+}
+
+// ctlTimerMsg drives a coordinator's periodic duties: leaders send
+// heartbeats and nudge the next tick; standbys check the election timeout.
+type ctlTimerMsg struct{ Seq uint64 }
+
+// recoverKickMsg re-arms a recovered coordinator: simnet discards timers
+// on down nodes, so without a kick a recovered coordinator would be inert.
+type recoverKickMsg struct{}

@@ -21,6 +21,8 @@ type replica struct {
 
 	committed       uint64 // last committed tick
 	curTick, curAtt uint64
+	curEpoch        uint64 // highest coordinator epoch seen; older traffic is fenced
+	coordFrom       string // coordinator that prepared the current attempt (reply target)
 
 	// Staging for the current attempt.
 	undo       []datalog.DeltaOp // realized changes in application order
@@ -31,7 +33,7 @@ type replica struct {
 }
 
 func newReplica(dep *Deployment, self int) *replica {
-	r := &replica{dep: dep, self: self, db: datalog.NewDatabase()}
+	r := &replica{dep: dep, self: self, db: datalog.NewDatabase(), coordFrom: dep.coordNames[0]}
 	for pred, arity := range dep.arities {
 		r.db.Ensure(pred, arity)
 	}
@@ -91,25 +93,34 @@ func (r *replica) name() string { return r.dep.replicaNames[r.self] }
 func (r *replica) reply(m rsp) {
 	m.From = r.self
 	m.Committed = r.committed
-	r.dep.net.Send(r.name(), r.dep.coordName, m)
+	r.dep.net.Send(r.name(), r.coordFrom, m)
 }
 
 func (r *replica) handle(now simnet.Time, msg simnet.Message) {
 	switch m := msg.Payload.(type) {
 	case req:
-		r.handleReq(m)
+		r.handleReq(msg.From, m)
 	case xchMsg:
 		r.handleXch(m)
 	}
 }
 
-func (r *replica) handleReq(m req) {
+func (r *replica) handleReq(from string, m req) {
 	switch m.Kind {
 	case reqPrepare:
+		// Epoch fence: a prepare from a deposed leader must not reset
+		// staging a newer leader set up. Prepare and commit are the only
+		// requests allowed to raise the epoch — both are safe entry points
+		// for a newly elected leader.
+		if m.Epoch < r.curEpoch {
+			r.dep.metrics.fencedReqs.Add(1)
+			return
+		}
+		r.curEpoch = m.Epoch
+		r.coordFrom = from
 		if m.Tick <= r.committed {
-			// Already folded in (a commit retry crossed a newer prepare
-			// cannot happen — the coordinator never re-prepares a committed
-			// tick — but answer honestly anyway).
+			// Already folded in; answer honestly so a finalizing leader's
+			// collect sees Committed.
 			r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqPrepare})
 			return
 		}
@@ -117,7 +128,17 @@ func (r *replica) handleReq(m req) {
 		r.curTick, r.curAtt = m.Tick, m.Att
 		r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqPrepare})
 	case reqCommit:
-		if r.committed < m.Tick && r.curTick == m.Tick {
+		if m.Epoch < r.curEpoch {
+			r.dep.metrics.fencedCommits.Add(1)
+			return
+		}
+		r.curEpoch = m.Epoch
+		r.coordFrom = from
+		// Attempt fencing on commit: the commit decree names the exact
+		// attempt every replica fully staged; anything else (a stale
+		// leader's retry racing an attempt bump) must not seal partial
+		// staging.
+		if r.committed < m.Tick && r.curTick == m.Tick && r.curAtt == m.Att {
 			r.committed = m.Tick
 			r.undo = nil
 			r.adds = map[string]*tset{}
@@ -128,6 +149,12 @@ func (r *replica) handleReq(m req) {
 		}
 		r.reply(rsp{Tick: m.Tick, Att: m.Att, Kind: reqCommit})
 	default:
+		if m.Epoch != r.curEpoch {
+			if m.Epoch < r.curEpoch {
+				r.dep.metrics.fencedReqs.Add(1)
+			}
+			return // mid-attempt traffic never changes the epoch
+		}
 		if m.Tick != r.curTick || m.Att != r.curAtt || r.committed >= m.Tick {
 			return // stale attempt
 		}
@@ -267,7 +294,7 @@ func (r *replica) runRound(m req) {
 		if len(items) == 0 {
 			continue
 		}
-		x := xchMsg{Tick: m.Tick, Att: m.Att, Comp: m.Comp, Phase: m.Phase, Round: m.Round, From: r.self, Items: items}
+		x := xchMsg{Tick: m.Tick, Att: m.Att, Epoch: r.curEpoch, Comp: m.Comp, Phase: m.Phase, Round: m.Round, From: r.self, Items: items}
 		if d == r.self {
 			r.inbox[k] = append(r.inbox[k], x)
 			continue
@@ -295,6 +322,12 @@ func (r *replica) filterDriven(c *compMeta, ri, pos int, frontier []datalog.Tupl
 }
 
 func (r *replica) handleXch(m xchMsg) {
+	if m.Epoch != r.curEpoch {
+		if m.Epoch < r.curEpoch {
+			r.dep.metrics.fencedReqs.Add(1)
+		}
+		return
+	}
 	if m.Tick != r.curTick || m.Att != r.curAtt || r.committed >= m.Tick {
 		return
 	}

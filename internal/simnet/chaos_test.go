@@ -449,7 +449,6 @@ func TestShardedTCFlappingLinksChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := newShardOracle(t, shardTCRules, edb)
-	coord := "tcflap-coord"
 
 	ticks := [][]datalog.DeltaOp{
 		{edgeIns(1, 2), edgeIns(2, 3), edgeIns(3, 4)},
@@ -461,9 +460,12 @@ func TestShardedTCFlappingLinksChurn(t *testing.T) {
 		if err := dep.Submit(ops); err != nil {
 			t.Fatal(err)
 		}
-		// Flap a rotating set of links while the tick runs: coordinator
-		// to one replica, plus one replica pair.
+		// Flap a rotating set of links while the tick runs: the acting
+		// leader to one replica, plus one replica pair. The leader is
+		// looked up per flap — the control plane is replicated now, and a
+		// flap that costs the leader its lease moves the target.
 		for flap := 0; flap < 3; flap++ {
+			coord := dep.Leader()
 			a := machines[(i+flap)%len(machines)]
 			b := machines[(i+flap+1)%len(machines)]
 			cl.Net.Partition(coord, a)
