@@ -38,9 +38,14 @@ type acceptMsg struct {
 	Value  entry
 }
 
+// acceptedMsg is an acceptor's phase-2 vote. ID identifies the value voted
+// for: a leader only credits votes whose ID matches what it is currently
+// driving at the slot, so a vote for a value the slot no longer carries
+// can never count toward a different value's quorum.
 type acceptedMsg struct {
 	Ballot Ballot
 	Slot   int
+	ID     string
 }
 
 type decideMsg struct {
@@ -385,13 +390,26 @@ func (n *Node) handle(now simnet.Time, msg simnet.Message) {
 		}
 		sort.Ints(stranded)
 		for _, s := range stranded {
-			e := n.inFlight[s]
+			n.pending = append(n.pending, n.inFlight[s])
 			delete(n.inFlight, s)
 			delete(n.acceptVotes, s)
-			if !reproposed[e.ID] && !n.seenIDs[e.ID] {
-				n.pending = append(n.pending, e)
-			}
 		}
+		// Filter the WHOLE pending queue, not just the stranded values above:
+		// the non-leader timeout path also re-queues in-flight values into
+		// pending, and a command the promise quorum reported must never be
+		// driven at a second fresh slot under this ballot — one decide would
+		// abandon the other copy's slot with no safe way to seal it. Dedupe
+		// by ID for the same reason.
+		queued := map[string]bool{}
+		kept := n.pending[:0]
+		for _, e := range n.pending {
+			if reproposed[e.ID] || n.seenIDs[e.ID] || queued[e.ID] {
+				continue
+			}
+			queued[e.ID] = true
+			kept = append(kept, e)
+		}
+		n.pending = kept
 		slots := make([]int, 0, len(repropose))
 		for s := range repropose {
 			slots = append(slots, s)
@@ -434,13 +452,16 @@ func (n *Node) handle(now simnet.Time, msg simnet.Message) {
 		if m.Ballot >= n.promised {
 			n.promised = m.Ballot
 			n.accepted[m.Slot] = acceptedVal{Ballot: m.Ballot, Value: m.Value}
-			n.net.Send(n.name, msg.From, acceptedMsg{Ballot: m.Ballot, Slot: m.Slot})
+			n.net.Send(n.name, msg.From, acceptedMsg{Ballot: m.Ballot, Slot: m.Slot, ID: m.Value.ID})
 		} else {
 			n.net.Send(n.name, msg.From, nackMsg{Promised: n.promised})
 		}
 	case acceptedMsg:
 		if m.Ballot != n.ballot || !n.leader {
 			return
+		}
+		if cur, busy := n.inFlight[m.Slot]; !busy || cur.ID != m.ID {
+			return // vote for a value this slot is no longer driving
 		}
 		votes, ok := n.acceptVotes[m.Slot]
 		if !ok {
@@ -539,36 +560,44 @@ func (n *Node) applyContiguous() {
 	}
 }
 
-// noteDecided records a decided slot, drops local duplicates of the
+// noteDecided records a decided slot, drops pending duplicates of the
 // decided command, and re-queues any competing in-flight value that just
 // lost this slot. Reports whether a value was re-queued (caller should
 // kick the proposer).
+//
+// An in-flight copy of the decided command at a DIFFERENT slot is left
+// running: its accepts may already hold a majority there, and replacing
+// an in-flight value at the same ballot would put two different values
+// under one (ballot, slot) — acceptors overwrite on m.Ballot >= promised,
+// so a quorum could be split across both values yet report the same
+// ballot to a later phase 1, letting different leaders resurrect
+// different values for the slot (divergent decides). A duplicate decide
+// is harmless instead — the learner dedupes by proposal ID at apply
+// time — and if this node dies first, the next leader's phase-1 hole
+// fill seals the slot under a strictly higher ballot with quorum
+// evidence it is unchosen.
 func (n *Node) noteDecided(slot int, e entry) bool {
 	if _, done := n.log[slot]; done {
 		return false
 	}
 	n.log[slot] = e
 	n.decided++
-	n.dropCommand(e.ID)
-	if cur, busy := n.inFlight[slot]; busy && cur.ID != e.ID {
-		// Our proposal lost the slot race; drive it to a fresh slot.
+	n.dropPending(e.ID)
+	if cur, busy := n.inFlight[slot]; busy {
 		delete(n.inFlight, slot)
 		delete(n.acceptVotes, slot)
-		n.pending = append(n.pending, cur)
-		return true
+		if cur.ID != e.ID {
+			// Our proposal lost the slot race; drive it to a fresh slot.
+			n.pending = append(n.pending, cur)
+			return true
+		}
 	}
 	return false
 }
 
-// dropCommand removes a command from pending and in-flight proposals once
-// it is known decided (prevents duplicate slots where we can). A leader
-// that abandons an in-flight slot this way has already advertised the
-// slot — its own nextSlot is past it and peers may have accepted the
-// value — so it seals the slot with a no-op instead of leaving a
-// permanent hole that would stall contiguous application. (Safe for the
-// same reason as the phase-1 hole fill: the slot cannot have been chosen
-// below our ballot, and a higher ballot preempts our accepts.)
-func (n *Node) dropCommand(id string) {
+// dropPending removes a command from the pending queue once it is known
+// decided, so it is never assigned a fresh slot.
+func (n *Node) dropPending(id string) {
 	kept := n.pending[:0]
 	for _, e := range n.pending {
 		if e.ID != id {
@@ -576,23 +605,4 @@ func (n *Node) dropCommand(id string) {
 		}
 	}
 	n.pending = kept
-	var dropped []int
-	for slot, e := range n.inFlight {
-		if e.ID == id {
-			dropped = append(dropped, slot)
-		}
-	}
-	sort.Ints(dropped)
-	for _, slot := range dropped {
-		delete(n.inFlight, slot)
-		delete(n.acceptVotes, slot)
-		if _, done := n.log[slot]; done || !n.leader {
-			continue
-		}
-		n.proposeSeq++
-		fill := entry{ID: fmt.Sprintf("%s#fill%d", n.name, n.proposeSeq), Value: noop{}}
-		n.inFlight[slot] = fill
-		n.acceptVotes[slot] = map[string]bool{}
-		n.bcast(acceptMsg{Ballot: n.ballot, Slot: slot, Value: fill})
-	}
 }

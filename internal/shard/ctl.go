@@ -147,7 +147,8 @@ type coordNode struct {
 	st   ctlState
 	drv  *coord // non-nil only on the acting leader, while driving
 
-	attPending       bool // an attempt decree of ours is in flight
+	attPending       bool          // an attempt decree of ours is in flight
+	attProposed      decreeAttempt // the exact decree attPending latches on
 	lastHB           simnet.Time
 	timerSeq         uint64
 	electProposedFor uint64 // highest epoch we already proposed an election for
@@ -273,7 +274,9 @@ func (cn *coordNode) applyDecree(v any) {
 			cn.recoverDrive()
 		}
 	case applyAttemptStarted:
-		cn.attPending = false
+		if d, isAttempt := v.(decreeAttempt); isAttempt && d == cn.attProposed {
+			cn.attPending = false
+		}
 		if cn.isLeader() {
 			cn.startDrive()
 		}
@@ -285,9 +288,12 @@ func (cn *coordNode) applyDecree(v any) {
 			cn.finalizeCommit()
 		}
 	case applyStale:
-		if _, isAttempt := v.(decreeAttempt); isAttempt {
-			// Our own attempt proposal may be the one that went stale; clear
-			// the latch so the next nudge can re-propose under the live state.
+		if d, isAttempt := v.(decreeAttempt); isAttempt && d == cn.attProposed {
+			// OUR in-flight attempt proposal went stale; clear the latch so
+			// the next nudge can re-propose under the live state. A deposed
+			// leader's stale attempt must not release the latch — the current
+			// leader's own proposal may still be in flight, and dropping the
+			// latch early would double-propose and restart the whole attempt.
 			cn.attPending = false
 		}
 	}
@@ -315,8 +321,16 @@ func (cn *coordNode) maybeStartNext() {
 	if uint64(len(cn.st.queue)) <= cn.st.committed {
 		return
 	}
+	cn.proposeAttempt()
+}
+
+// proposeAttempt latches attPending on the exact decree being proposed:
+// only that decree applying or going stale releases the latch, so a
+// deposed leader's stale attempts cannot unlatch a live proposal.
+func (cn *coordNode) proposeAttempt() {
 	cn.attPending = true
-	cn.cons.Propose(decreeAttempt{Tick: cn.st.committed + 1, Att: cn.st.att + 1, Epoch: cn.st.epoch})
+	cn.attProposed = decreeAttempt{Tick: cn.st.committed + 1, Att: cn.st.att + 1, Epoch: cn.st.epoch}
+	cn.cons.Propose(cn.attProposed)
 }
 
 // proposeAttemptBump restarts a stalled attempt through the log — the
@@ -325,8 +339,7 @@ func (cn *coordNode) proposeAttemptBump() {
 	if !cn.isLeader() || cn.attPending {
 		return
 	}
-	cn.attPending = true
-	cn.cons.Propose(decreeAttempt{Tick: cn.st.committed + 1, Att: cn.st.att + 1, Epoch: cn.st.epoch})
+	cn.proposeAttempt()
 }
 
 // startDrive installs a fresh BSP driver for the attempt the log just

@@ -1,0 +1,31 @@
+package shard
+
+import "testing"
+
+// TestStaleForeignAttemptKeepsLatch pins the attempt-latch identity fix:
+// only THIS node's in-flight attempt decree applying or going stale may
+// release attPending. A deposed leader's stale attempt decree landing
+// while the current leader's own proposal is still in flight must not
+// unlatch it — that would double-propose and restart the whole attempt.
+func TestStaleForeignAttemptKeepsLatch(t *testing.T) {
+	cn := &coordNode{st: newCtlState()}
+	cn.st.epoch = 2
+	cn.st.leader = cn.idx
+	cn.st.queue = append(cn.st.queue, nil)
+	cn.attPending = true
+	cn.attProposed = decreeAttempt{Tick: 1, Att: 1, Epoch: 2}
+
+	// A deposed epoch-1 leader's attempt goes stale at the epoch guard.
+	cn.applyDecree(decreeAttempt{Tick: 1, Att: 1, Epoch: 1})
+	if !cn.attPending {
+		t.Fatal("stale foreign attempt released the current leader's latch")
+	}
+
+	// The node's own decree going stale (attempt counter moved past it)
+	// does release the latch so the next nudge can re-propose.
+	cn.st.att = 3
+	cn.applyDecree(cn.attProposed)
+	if cn.attPending {
+		t.Fatal("own stale attempt decree did not release the latch")
+	}
+}

@@ -212,13 +212,22 @@ func (d *Deployment) Submit(ops []datalog.DeltaOp) error {
 			return fmt.Errorf("shard: %s arity %d, got tuple %v", op.Pred, ar, op.T)
 		}
 	}
+	var live []*coordNode
+	for _, cn := range d.coords {
+		if !d.net.Down(cn.name()) {
+			live = append(live, cn)
+		}
+	}
+	if len(live) == 0 {
+		// Never count a tick no coordinator heard about: Settle would wait
+		// forever for a submission that exists only in this counter.
+		return fmt.Errorf("shard: no live coordinator to accept tick %d", d.submitted+1)
+	}
 	cp := append([]datalog.DeltaOp(nil), ops...)
 	seq := d.submitted
 	d.submitted++
-	for _, cn := range d.coords {
-		if !d.net.Down(cn.name()) {
-			cn.cons.Propose(decreeSubmit{Seq: seq, Ops: cp})
-		}
+	for _, cn := range live {
+		cn.cons.Propose(decreeSubmit{Seq: seq, Ops: cp})
 	}
 	return nil
 }

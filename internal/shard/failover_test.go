@@ -461,3 +461,35 @@ func TestCoordinatorObservability(t *testing.T) {
 		t.Fatalf("leader-change timestamp not recorded: %+v", m)
 	}
 }
+
+// TestSubmitFailsWithEveryCoordinatorDown pins the Submit liveness
+// contract: a tick no coordinator heard about must be rejected (and not
+// counted), or Settle would wait forever on a submission that exists only
+// in the client-side counter.
+func TestSubmitFailsWithEveryCoordinatorDown(t *testing.T) {
+	prog, err := datalog.NewProgram(tcRules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dep := newDeploymentOpts(t, prog, tcEDB, 2, 77, shard.Options{})
+	coords := dep.Coordinators()
+	for _, c := range coords {
+		dep.KillCoordinator(c)
+	}
+	before := dep.SubmittedTicks()
+	if err := dep.Submit([]datalog.DeltaOp{ins("edge", "a", "b")}); err == nil {
+		t.Fatal("Submit with every coordinator down returned nil")
+	}
+	if dep.SubmittedTicks() != before {
+		t.Fatal("rejected submit still counted a tick")
+	}
+	// Restore a quorum; the deployment must accept and converge again.
+	dep.RecoverCoordinator(coords[0])
+	dep.RecoverCoordinator(coords[1])
+	if err := dep.Submit([]datalog.DeltaOp{ins("edge", "a", "b")}); err != nil {
+		t.Fatalf("Submit after quorum recovery: %v", err)
+	}
+	if !dep.Settle(settleBudget) {
+		t.Fatalf("tick did not settle after quorum recovery:\n%s", dep.DebugString())
+	}
+}
