@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"hydro/internal/datalog"
@@ -35,11 +37,15 @@ func main() {
 		keys   = flag.Int("keys", 5000, "person-ID universe")
 		zipfS  = flag.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
 		zipfV  = flag.Float64("zipf-v", 1.0, "zipf value offset (>=1)")
-		batch  = flag.Int("batch", 128, "serve batch size (MaxBatch)")
-		wait   = flag.Duration("wait", 500*time.Microsecond, "serve flush deadline (MaxWait)")
-		queue  = flag.Int("queue", 1024, "admission queue depth")
-		policy = flag.String("policy", "shed", "backpressure policy when the queue fills: shed|block")
-		csvOut = flag.String("csv", "", "write the per-request timing CSV to this file")
+		batch      = flag.Int("batch", 128, "serve batch size (MaxBatch)")
+		wait       = flag.Duration("wait", 500*time.Microsecond, "serve flush deadline (MaxWait)")
+		queue      = flag.Int("queue", 1024, "admission queue depth")
+		policy     = flag.String("policy", "shed", "backpressure policy when the queue fills: shed|block")
+		lanes      = flag.Bool("lanes", true, "route serializable mailboxes through their own admission lane")
+		deadline   = flag.Duration("deadline", 0, "per-request deadline (0 = none): older queued requests are shed")
+		quota      = flag.String("quota", "", "per-mailbox admission quotas, e.g. 'vaccinate=8,diagnosed=64'")
+		singleLoop = flag.Bool("single-loop", false, "collapse the collect/eval pipeline onto one goroutine (A/B baseline)")
+		csvOut     = flag.String("csv", "", "write the per-request timing CSV to this file")
 	)
 	flag.Parse()
 	if *zipfS <= 1 || *zipfV < 1 || *keys < 2 {
@@ -52,6 +58,17 @@ func main() {
 		pol = serve.Block
 	default:
 		fatal(fmt.Errorf("unknown -policy %q", *policy))
+	}
+	quotas := map[string]int{}
+	if *quota != "" {
+		for _, kv := range strings.Split(*quota, ",") {
+			mb, val, ok := strings.Cut(kv, "=")
+			nq, err := strconv.Atoi(val)
+			if !ok || err != nil || nq <= 0 {
+				fatal(fmt.Errorf("bad -quota entry %q (want mailbox=n)", kv))
+			}
+			quotas[mb] = nq
+		}
 	}
 
 	c, err := hydrolysis.Compile(hlang.CovidSource, hydrolysis.Options{
@@ -78,6 +95,10 @@ func main() {
 		// vaccinate is the pipeline's serializable handler: it must tick
 		// alone or concurrent decrements collapse into one.
 		SerialMailboxes: []string{"vaccinate"},
+		Lanes:           *lanes,
+		MailboxQuota:    quotas,
+		DefaultDeadline: *deadline,
+		NoPipeline:      *singleLoop,
 		DrainMailboxes:  []string{"alert", "trace_response"},
 		OnDrain: func(mailbox string, msgs []transducer.Message) {
 			if mailbox == "alert" {
@@ -116,7 +137,7 @@ func main() {
 			time.Sleep(d)
 		}
 		if _, err := s.Submit(mix()); err != nil {
-			if errors.Is(err, serve.ErrOverload) {
+			if errors.Is(err, serve.ErrOverload) || errors.Is(err, serve.ErrOverQuota) {
 				shed++
 				continue
 			}
@@ -124,7 +145,10 @@ func main() {
 		}
 	}
 	offerWall := time.Since(start)
-	s.Close() // flush and serve everything admitted
+	// Under Block, Close drains and serves the whole backlog; under Shed it
+	// abandons queued requests with ErrClosed (reported as closed-unserved
+	// below) — open loop: the measurement window is the offered load.
+	s.Close()
 	wall := time.Since(start)
 
 	m := s.Metrics()
@@ -136,6 +160,21 @@ func main() {
 	fmt.Printf("batches=%d (size=%d deadline=%d serial=%d) rejected=%d retried=%d unsettled=%d queue high-water=%d\n",
 		m.Batches, m.SizeFlushes, m.DeadlineFlushes, m.SerialFlushes,
 		m.RejectedBatches, m.Retried, m.Unsettled, m.QueueHighWater)
+	fmt.Printf("admission: lanes=%v over-quota=%d deadline-shed=%d closed-unserved=%d\n",
+		*lanes, m.OverQuota, m.DeadlineShed, m.ClosedUnserved)
+	if *singleLoop {
+		fmt.Printf("pipeline: single-loop baseline (no overlap), eval busy %v\n",
+			time.Duration(m.EvalBusyNs).Round(time.Millisecond))
+	} else {
+		// Overlap health: collect-wait is eval stalled on the collector;
+		// handoff-block is the collector stalled on eval (the backpressure
+		// path). At saturation collect-wait should be well under eval busy.
+		fmt.Printf("pipeline: eval busy %v, collect-wait %v, handoff-block %v (overlap engaged: %v)\n",
+			time.Duration(m.EvalBusyNs).Round(time.Millisecond),
+			time.Duration(m.CollectWaitNs).Round(time.Millisecond),
+			time.Duration(m.HandoffBlockNs).Round(time.Millisecond),
+			m.CollectWaitNs < m.EvalBusyNs)
+	}
 	if m.Ticks > 0 {
 		perTick := func(ns int64) time.Duration { return time.Duration(ns / int64(m.Ticks)) }
 		fmt.Printf("tick phases (mean over %d ticks): deliver=%v snapshot=%v handlers=%v apply=%v\n",

@@ -6,11 +6,17 @@ import "sync/atomic"
 // monotone counters, all atomics so Submit-side goroutines and the serve
 // loop update them without locks.
 type metrics struct {
-	queueDepth     atomic.Int64 // gauge: requests admitted but not yet flushed
+	// queueDepth counts admission attempts holding or seeking a queue
+	// slot: Submit increments before the channel send (so the collector's
+	// decrement can never outrun it and the gauge never reads negative)
+	// and decrements on the shed path. The high-water mark therefore
+	// includes momentary refused attempts.
+	queueDepth     atomic.Int64
 	queueHighWater atomic.Int64
 
 	submitted       atomic.Uint64
-	shed            atomic.Uint64
+	shed            atomic.Uint64 // submissions refused by the Shed policy (queue full)
+	overQuota       atomic.Uint64 // submissions refused by a mailbox admission quota
 	responded       atomic.Uint64
 	batches         atomic.Uint64
 	sizeFlushes     atomic.Uint64 // batches flushed because they hit MaxBatch
@@ -20,6 +26,18 @@ type metrics struct {
 	retried         atomic.Uint64 // messages re-injected one-per-tick after a rejected batch
 	failed          atomic.Uint64 // requests answered with a rejection error
 	unsettled       atomic.Uint64 // batches whose cascade did not quiesce within SettleTicks
+	deadlineShed    atomic.Uint64 // admitted requests shed past their deadline before a tick slot
+	closedUnserved  atomic.Uint64 // admitted requests abandoned with ErrClosed at Shed-policy Close
+
+	// Pipeline overlap instrumentation: collectWaitNs is time the eval
+	// stage spent waiting on the handoff (the collector was the
+	// bottleneck), handoffBlockNs is time the collector spent blocked on
+	// the full handoff (eval was the bottleneck), evalBusyNs is total
+	// eval-stage work time. At saturation a healthy pipeline shows
+	// collectWaitNs << evalBusyNs: collection fully hides behind eval.
+	collectWaitNs  atomic.Int64
+	handoffBlockNs atomic.Int64
+	evalBusyNs     atomic.Int64
 
 	// Cumulative per-phase tick time across all batch ticks (from the
 	// runtime's TickTimings), for the tick-level breakdown underneath the
@@ -33,11 +51,12 @@ type metrics struct {
 
 // Metrics is a point-in-time snapshot of the server's gauges and counters.
 type Metrics struct {
-	QueueDepth     int64 // current admission-queue depth (gauge)
+	QueueDepth     int64 // current admission-queue gauge (attempts holding/seeking a slot)
 	QueueHighWater int64
 
 	Submitted       uint64
 	Shed            uint64 // submissions refused by the Shed policy
+	OverQuota       uint64 // submissions refused by a mailbox admission quota
 	Responded       uint64
 	Batches         uint64
 	SizeFlushes     uint64
@@ -47,6 +66,14 @@ type Metrics struct {
 	Retried         uint64
 	Failed          uint64
 	Unsettled       uint64
+	DeadlineShed    uint64 // admitted requests shed past their deadline
+	ClosedUnserved  uint64 // admitted requests abandoned at Shed-policy Close
+
+	// Pipeline overlap: eval-stage wait on the collector vs collector
+	// block on the full handoff vs total eval-stage busy time.
+	CollectWaitNs  int64
+	HandoffBlockNs int64
+	EvalBusyNs     int64
 
 	// Cumulative runtime tick-phase time across batch and settle ticks.
 	TickDeliverNs  int64
@@ -62,6 +89,7 @@ func (m *metrics) snapshot() Metrics {
 		QueueHighWater:  m.queueHighWater.Load(),
 		Submitted:       m.submitted.Load(),
 		Shed:            m.shed.Load(),
+		OverQuota:       m.overQuota.Load(),
 		Responded:       m.responded.Load(),
 		Batches:         m.batches.Load(),
 		SizeFlushes:     m.sizeFlushes.Load(),
@@ -71,6 +99,11 @@ func (m *metrics) snapshot() Metrics {
 		Retried:         m.retried.Load(),
 		Failed:          m.failed.Load(),
 		Unsettled:       m.unsettled.Load(),
+		DeadlineShed:    m.deadlineShed.Load(),
+		ClosedUnserved:  m.closedUnserved.Load(),
+		CollectWaitNs:   m.collectWaitNs.Load(),
+		HandoffBlockNs:  m.handoffBlockNs.Load(),
+		EvalBusyNs:      m.evalBusyNs.Load(),
 		TickDeliverNs:   m.tickDeliverNs.Load(),
 		TickSnapshotNs:  m.tickSnapshotNs.Load(),
 		TickHandlersNs:  m.tickHandlersNs.Load(),

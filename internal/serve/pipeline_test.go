@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hydro/internal/datalog"
+	"hydro/internal/transducer"
+)
+
+// TestServeLanes: with Config.Lanes a serializable burst cannot convoy
+// monotone traffic — interleaved serializable requests drain through their
+// own lane while the monotone batch keeps filling, instead of cutting it
+// into fragments the way in-place (lanes-off) serialization does.
+func TestServeLanes(t *testing.T) {
+	submitMix := func(s *Server) []*Pending {
+		var ps []*Pending
+		// a, i, a, i, a, a: two serializable incrs interleaved into four adds.
+		ps = append(ps, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(1), int64(2)}))
+		ps = append(ps, mustSubmit(t, s, "incr", datalog.Tuple{}))
+		ps = append(ps, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(2), int64(3)}))
+		ps = append(ps, mustSubmit(t, s, "incr", datalog.Tuple{}))
+		ps = append(ps, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(3), int64(4)}))
+		ps = append(ps, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(4), int64(5)}))
+		return ps
+	}
+
+	// Lanes off (the default): each serializable request cuts the monotone
+	// batch in place, fragmenting the adds.
+	sOff := New(newGraphRuntime(t, 1), Config{
+		MaxBatch: 4, MaxWait: 50 * time.Millisecond, QueueDepth: 16,
+		SerialMailboxes: []string{"incr"},
+	})
+	releaseOff := holdLoop(t, sOff)
+	psOff := submitMix(sOff)
+	releaseOff()
+	maxAddBatch := 0
+	for _, p := range psOff {
+		r := p.Wait()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Timing.Mailbox == "add_edge" && r.Timing.BatchSize > maxAddBatch {
+			maxAddBatch = r.Timing.BatchSize
+		}
+	}
+	if maxAddBatch >= 4 {
+		t.Fatalf("lanes-off: serial cuts should fragment the adds, got a batch of %d", maxAddBatch)
+	}
+	sOff.Close()
+
+	// Lanes on: the four adds ride one full batch despite the interleaved
+	// serializable traffic, and the incrs still tick alone (exact counter).
+	sOn := New(newGraphRuntime(t, 1), Config{
+		MaxBatch: 4, MaxWait: 50 * time.Millisecond, QueueDepth: 16,
+		SerialMailboxes: []string{"incr"}, Lanes: true,
+	})
+	releaseOn := holdLoop(t, sOn)
+	psOn := submitMix(sOn)
+	releaseOn()
+	for _, p := range psOn {
+		r := p.Wait()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		switch r.Timing.Mailbox {
+		case "add_edge":
+			if r.Timing.BatchSize != 4 {
+				t.Fatalf("lanes-on add batch size = %d, want the un-convoyed 4", r.Timing.BatchSize)
+			}
+		case "incr":
+			if r.Timing.BatchSize != 1 {
+				t.Fatalf("serializable request batched at size %d", r.Timing.BatchSize)
+			}
+		}
+	}
+	m := sOn.Metrics()
+	if m.SizeFlushes != 1 || m.SerialFlushes != 2 {
+		t.Fatalf("lanes-on: size=%d serial=%d flushes, want 1/2", m.SizeFlushes, m.SerialFlushes)
+	}
+	var count int64
+	if err := sOn.Sync(func(rt *transducer.Runtime) { count = rt.Var("count").(int64) }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("serializable counter = %d, want 2 (one tick per incr)", count)
+	}
+	sOn.Close()
+}
+
+// TestServeQuota: a mailbox at its admission quota fails fast with
+// ErrOverQuota, and the slot frees when the request is responded to.
+func TestServeQuota(t *testing.T) {
+	s := New(newGraphRuntime(t, 1), Config{
+		MaxBatch: 4, MaxWait: time.Millisecond, QueueDepth: 16,
+		MailboxQuota: map[string]int{"add_edge": 2},
+	})
+	defer s.Close()
+	release := holdLoop(t, s)
+	p1 := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(1), int64(2)})
+	p2 := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(2), int64(3)})
+	if _, err := s.Submit(Request{Mailbox: "add_edge", Payload: datalog.Tuple{int64(3), int64(4)}}); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("third in-flight add_edge must trip the quota, got %v", err)
+	}
+	// The quota is per mailbox: other traffic is unaffected.
+	p3 := mustSubmit(t, s, "count_paths", datalog.Tuple{})
+	release()
+	for _, p := range []*Pending{p1, p2, p3} {
+		if r := p.Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	// Responded → slots free → admission works again.
+	if r := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(3), int64(4)}).Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if m := s.Metrics(); m.OverQuota != 1 {
+		t.Fatalf("OverQuota = %d, want 1", m.OverQuota)
+	}
+}
+
+// TestServeDeadlineShed: a request whose enqueue age exceeds its deadline
+// is shed with ErrDeadlineExceeded before occupying a tick slot; fresh
+// batchmates are unaffected.
+func TestServeDeadlineShed(t *testing.T) {
+	s := New(newGraphRuntime(t, 1), Config{MaxBatch: 4, MaxWait: time.Millisecond, QueueDepth: 16})
+	defer s.Close()
+	release := holdLoop(t, s)
+	stale, err := s.Submit(Request{Mailbox: "add_edge", Payload: datalog.Tuple{int64(1), int64(2)}, Deadline: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(2), int64(3)})
+	time.Sleep(5 * time.Millisecond) // let the stale request's deadline lapse in the queue
+	release()
+	if r := stale.Wait(); !errors.Is(r.Err, ErrDeadlineExceeded) || !r.Timing.Rejected {
+		t.Fatalf("stale request resp = %+v, want ErrDeadlineExceeded", r)
+	}
+	if r := fresh.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if m := s.Metrics(); m.DeadlineShed != 1 {
+		t.Fatalf("DeadlineShed = %d, want 1", m.DeadlineShed)
+	}
+	if got := len(rt0Tuples(t, s, "edge")); got != 1 {
+		t.Fatalf("edge has %d rows, want only the fresh request's 1", got)
+	}
+}
+
+// TestServeDefaultDeadline: Config.DefaultDeadline applies to requests
+// that don't carry their own.
+func TestServeDefaultDeadline(t *testing.T) {
+	s := New(newGraphRuntime(t, 1), Config{
+		MaxBatch: 4, MaxWait: time.Millisecond, QueueDepth: 16,
+		DefaultDeadline: time.Millisecond,
+	})
+	defer s.Close()
+	release := holdLoop(t, s)
+	p := mustSubmit(t, s, "add_edge", datalog.Tuple{int64(1), int64(2)})
+	time.Sleep(5 * time.Millisecond)
+	release()
+	if r := p.Wait(); !errors.Is(r.Err, ErrDeadlineExceeded) {
+		t.Fatalf("resp = %+v, want the default deadline to shed it", r)
+	}
+}
+
+// TestServeGaugeNeverNegative is the regression for the queue-depth gauge
+// race: Submit used to increment after the channel send, so the
+// collector's decrement could land first and QueueDepth() could read
+// negative. Hammer concurrent submitters against the dequeuing collector
+// and sample the gauge throughout (run under -race in CI).
+func TestServeGaugeNeverNegative(t *testing.T) {
+	s := New(newGraphRuntime(t, 1), Config{
+		MaxBatch: 8, MaxWait: 50 * time.Microsecond, QueueDepth: 8, Policy: Shed,
+	})
+	defer s.Close()
+
+	stopSampling := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			if d := s.QueueDepth(); d < 0 {
+				t.Errorf("QueueDepth = %d, gauge went negative", d)
+				return
+			}
+		}
+	}()
+
+	const submitters, perSubmitter = 4, 500
+	var wg sync.WaitGroup
+	pending := make(chan *Pending, submitters*perSubmitter)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				p, err := s.Submit(Request{Mailbox: "add_edge", Payload: datalog.Tuple{int64(g*perSubmitter + i), int64(1 << 30)}})
+				if err != nil {
+					continue // shed under pressure: expected
+				}
+				pending <- p
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(pending)
+	for p := range pending {
+		if r := p.Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	close(stopSampling)
+	sampler.Wait()
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("drained gauge = %d, want 0", d)
+	}
+	if hw := s.Metrics().QueueHighWater; hw < 1 || hw > 8+1 {
+		// QueueDepth slots + at most simultaneous refused attempts; a value
+		// past QueueDepth+submitters would mean lost decrements.
+		if hw > 8+submitters {
+			t.Fatalf("QueueHighWater = %d, beyond QueueDepth+submitters", hw)
+		}
+	}
+}
+
+// TestServeCloseDuringInflightBatch: Close while a batch is mid-tick. The
+// in-flight batch (and anything already handed off) always completes;
+// the queued backlog is served under Block and resolved with ErrClosed
+// under Shed. Either way no goroutine is left blocked in Pending.Wait.
+func TestServeCloseDuringInflightBatch(t *testing.T) {
+	for _, policy := range []Policy{Block, Shed} {
+		name := map[Policy]string{Block: "Block", Shed: "Shed"}[policy]
+		t.Run(name, func(t *testing.T) {
+			rt := newGraphRuntime(t, 1)
+			entered := make(chan struct{})
+			resume := make(chan struct{}, 16)
+			var once sync.Once
+			rt.RegisterHandler("slow", func(tx *transducer.Tx, msg transducer.Message) {
+				once.Do(func() { close(entered) })
+				<-resume
+			})
+			s := New(rt, Config{MaxBatch: 1, MaxWait: time.Hour, QueueDepth: 16, Policy: policy})
+
+			pSlow1 := mustSubmit(t, s, "slow", datalog.Tuple{})
+			<-entered // eval is now blocked mid-tick on batch 1
+			pSlow2 := mustSubmit(t, s, "slow", datalog.Tuple{})
+			var tail []*Pending
+			for i := 0; i < 3; i++ {
+				tail = append(tail, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(i), int64(i + 1)}))
+			}
+			// Wait for the collector to wedge: slow2 fills the handoff, the
+			// first add blocks in emit, the rest sit in the queue.
+			deadline := time.Now().Add(2 * time.Second)
+			for s.QueueDepth() > 2 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+
+			closed := make(chan struct{})
+			go func() { s.Close(); close(closed) }()
+			// Close latches admission and fires stop even though the
+			// pipeline is still wedged mid-tick; only then release the
+			// handler so the shutdown drain is what serves the backlog.
+			select {
+			case <-s.stop:
+			case <-time.After(2 * time.Second):
+				t.Fatal("Close did not fire stop while a batch was in flight")
+			}
+			for i := 0; i < 16; i++ {
+				resume <- struct{}{}
+			}
+			<-closed
+			if _, err := s.Submit(Request{Mailbox: "add_edge", Payload: datalog.Tuple{int64(99), int64(100)}}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("submit after Close = %v, want ErrClosed", err)
+			}
+
+			// The mid-tick batch and everything handed off complete under
+			// both policies.
+			if r := pSlow1.Wait(); r.Err != nil {
+				t.Fatalf("in-flight batch failed at Close: %v", r.Err)
+			}
+			if r := pSlow2.Wait(); r.Err != nil {
+				t.Fatalf("handed-off batch failed at Close: %v", r.Err)
+			}
+			served, closedOut := 0, 0
+			for _, p := range tail {
+				switch r := p.Wait(); {
+				case r.Err == nil:
+					served++
+				case errors.Is(r.Err, ErrClosed):
+					closedOut++
+				default:
+					t.Fatalf("tail request: %v", r.Err)
+				}
+			}
+			if policy == Block && (served != 3 || closedOut != 0) {
+				t.Fatalf("Block close: served=%d closed=%d, want the whole backlog served", served, closedOut)
+			}
+			if policy == Shed {
+				// The add that was mid-emit when Close hit is served; the
+				// two still queued are abandoned by the shutdown drain.
+				if served != 1 || closedOut != 2 {
+					t.Fatalf("Shed close: served=%d closed=%d, want 1/2", served, closedOut)
+				}
+				if got := int(s.Metrics().ClosedUnserved); got != closedOut {
+					t.Fatalf("ClosedUnserved = %d, want %d", got, closedOut)
+				}
+			}
+		})
+	}
+}
+
+// TestServeRetrySingletonTimingsAndDrainOnce covers the rejected-batch
+// retry path crossing DrainMailboxes and OnTiming: each re-injected
+// singleton is its own batch (fresh sequence number, size 1, Retried
+// set), and observation messages drained after the flush are delivered
+// exactly once — the rejected batch tick's rolled-back sends must not
+// reappear next to the retry ticks' real ones.
+func TestServeRetrySingletonTimingsAndDrainOnce(t *testing.T) {
+	rt := newGraphRuntime(t, 1)
+	// Like add_edge, but each ingested edge also emits one observation.
+	rt.RegisterHandler("noisy_add", func(tx *transducer.Tx, msg transducer.Message) {
+		tx.MergeTuple("edge", msg.Payload)
+		tx.Send("obs", msg.Payload)
+	})
+	var obs []datalog.Tuple
+	var timings []RequestTiming
+	s := New(rt, Config{
+		MaxBatch: 8, MaxWait: 10 * time.Millisecond, QueueDepth: 16,
+		DrainMailboxes: []string{"obs"},
+		OnDrain: func(mailbox string, msgs []transducer.Message) {
+			for _, m := range msgs {
+				obs = append(obs, m.Payload)
+			}
+		},
+		OnTiming: func(tt RequestTiming) { timings = append(timings, tt) },
+	})
+	defer s.Close()
+	release := holdLoop(t, s)
+	pG1 := mustSubmit(t, s, "noisy_add", datalog.Tuple{int64(1), int64(2)})
+	pPoison := mustSubmit(t, s, "poison", datalog.Tuple{int64(9), int64(9)})
+	pG2 := mustSubmit(t, s, "noisy_add", datalog.Tuple{int64(2), int64(3)})
+	release()
+	if r := pG1.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := pPoison.Wait(); r.Err == nil {
+		t.Fatal("poison must fail")
+	}
+	if r := pG2.Wait(); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// Synchronize with the eval goroutine before reading the callbacks.
+	var gotObs []datalog.Tuple
+	var gotTimings []RequestTiming
+	s.Sync(func(*transducer.Runtime) { gotObs, gotTimings = obs, timings })
+
+	// Exactly one observation per committed edge: the rejected batch
+	// tick's sends rolled back with it.
+	if len(gotObs) != 2 {
+		t.Fatalf("obs = %v, want exactly the two retry ticks' observations", gotObs)
+	}
+	if gotObs[0][0] == gotObs[1][0] {
+		t.Fatalf("obs double-delivered: %v", gotObs)
+	}
+
+	if len(gotTimings) != 3 {
+		t.Fatalf("recorded %d timings, want 3", len(gotTimings))
+	}
+	batches := map[uint64]bool{}
+	for _, tt := range gotTimings {
+		if !tt.Retried {
+			t.Fatalf("retried singleton not flagged: %+v", tt)
+		}
+		if tt.BatchSize != 1 || tt.Index != 0 {
+			t.Fatalf("retried singleton not its own batch: %+v", tt)
+		}
+		if batches[tt.Batch] {
+			t.Fatalf("two retried singletons share batch %d", tt.Batch)
+		}
+		batches[tt.Batch] = true
+		if (tt.Mailbox == "poison") != tt.Rejected {
+			t.Fatalf("rejection flag wrong: %+v", tt)
+		}
+	}
+}
+
+// TestPipelineOverlap is the tentpole's acceptance gate: at saturation the
+// eval stage must not wait on the collector — batch assembly hides behind
+// tick evaluation (CollectWaitNs << EvalBusyNs), and the collector spends
+// time blocked on the full handoff (eval is the bottleneck, as it should
+// be).
+func TestPipelineOverlap(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("pipeline overlap needs two runnable goroutines")
+	}
+	rt := benchRuntime(t)
+	s := New(rt, Config{MaxBatch: 64, MaxWait: 100 * time.Microsecond, QueueDepth: 4096})
+	const n = 4096
+	release := holdLoop(t, s)
+	ps := make([]*Pending, n)
+	for i := range ps {
+		ps[i] = mustSubmit(t, s, "add_edge", benchEdge(i))
+	}
+	release()
+	for _, p := range ps {
+		if r := p.Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	m := s.Metrics() // snapshot before Close: the final idle handoff wait never lands
+	s.Close()
+	t.Logf("collectWait=%v handoffBlock=%v evalBusy=%v batches=%d",
+		time.Duration(m.CollectWaitNs), time.Duration(m.HandoffBlockNs), time.Duration(m.EvalBusyNs), m.Batches)
+	if m.EvalBusyNs <= 0 || m.Batches == 0 {
+		t.Fatalf("pipeline did not run: %+v", m)
+	}
+	if m.CollectWaitNs >= m.EvalBusyNs {
+		t.Fatalf("eval waited on the collector (%v) as long as it worked (%v): no overlap",
+			time.Duration(m.CollectWaitNs), time.Duration(m.EvalBusyNs))
+	}
+}
+
+// TestServeNoPipelineMode: the A/B baseline collapses both stages onto one
+// goroutine with identical semantics.
+func TestServeNoPipelineMode(t *testing.T) {
+	s := New(newGraphRuntime(t, 1), Config{
+		MaxBatch: 4, MaxWait: time.Millisecond, QueueDepth: 16, NoPipeline: true,
+		SerialMailboxes: []string{"incr"},
+	})
+	var ps []*Pending
+	for i := 0; i < 8; i++ {
+		ps = append(ps, mustSubmit(t, s, "add_edge", datalog.Tuple{int64(i), int64(i + 1)}))
+	}
+	ps = append(ps, mustSubmit(t, s, "incr", datalog.Tuple{}))
+	for _, p := range ps {
+		if r := p.Wait(); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := len(rt0Tuples(t, s, "edge")); got != 8 {
+		t.Fatalf("edge has %d rows, want 8", got)
+	}
+	s.Close()
+}

@@ -17,9 +17,10 @@ import (
 // deliberately flat and numeric so a run dumps straight to CSV and any
 // spreadsheet/benchtab can aggregate it.
 type RequestTiming struct {
-	ID            uint64 // runtime message ID assigned at flush
+	ID            uint64 // runtime message ID assigned at flush (0 if shed before flush)
 	Mailbox       string
-	Batch         uint64 // batch sequence number
+	Batch         uint64 // batch sequence number (a retried singleton's own tick)
+	Index         int    // position within the batch (0 for singletons)
 	BatchSize     int
 	EnqueueUnixNs int64 // admission wall-clock timestamp
 	QueueNs       int64 // enqueue → flush
@@ -27,13 +28,25 @@ type RequestTiming struct {
 	EvalNs        int64 // batch tick + settle (shared across the batch)
 	RespondNs     int64 // settle end → response delivered
 	TotalNs       int64
-	Rejected      bool // the request's tick was rejected by the evaluator/sink
+	Rejected      bool // rejected tick, deadline shed, or abandoned at Close
+	Retried       bool // re-injected as a singleton after its batch tick was rejected
+}
+
+// ExecOrder orders timings by executed schedule — batch sequence, then
+// position within the batch. With Config.Lanes on, admission order and
+// executed order differ across lanes; this is the order the recorded-order
+// equivalence oracle replays serially.
+func ExecOrder(a, b RequestTiming) bool {
+	if a.Batch != b.Batch {
+		return a.Batch < b.Batch
+	}
+	return a.Index < b.Index
 }
 
 // csvHeader is the column order every timing CSV uses.
 var csvHeader = []string{
-	"id", "mailbox", "batch", "batch_size", "enqueue_unix_ns",
-	"queue_ns", "flush_ns", "eval_ns", "respond_ns", "total_ns", "rejected",
+	"id", "mailbox", "batch", "index", "batch_size", "enqueue_unix_ns",
+	"queue_ns", "flush_ns", "eval_ns", "respond_ns", "total_ns", "rejected", "retried",
 }
 
 // CSVHeader returns the header row for WriteCSV output.
@@ -45,6 +58,7 @@ func (t RequestTiming) Row() []string {
 		strconv.FormatUint(t.ID, 10),
 		t.Mailbox,
 		strconv.FormatUint(t.Batch, 10),
+		strconv.Itoa(t.Index),
 		strconv.Itoa(t.BatchSize),
 		strconv.FormatInt(t.EnqueueUnixNs, 10),
 		strconv.FormatInt(t.QueueNs, 10),
@@ -53,6 +67,7 @@ func (t RequestTiming) Row() []string {
 		strconv.FormatInt(t.RespondNs, 10),
 		strconv.FormatInt(t.TotalNs, 10),
 		strconv.FormatBool(t.Rejected),
+		strconv.FormatBool(t.Retried),
 	}
 }
 
@@ -94,14 +109,16 @@ func ReadCSV(r io.Reader) ([]RequestTiming, error) {
 		t.ID, _ = strconv.ParseUint(row[0], 10, 64)
 		t.Mailbox = row[1]
 		t.Batch, _ = strconv.ParseUint(row[2], 10, 64)
-		t.BatchSize, _ = strconv.Atoi(row[3])
-		t.EnqueueUnixNs, _ = strconv.ParseInt(row[4], 10, 64)
-		t.QueueNs, _ = strconv.ParseInt(row[5], 10, 64)
-		t.FlushNs, _ = strconv.ParseInt(row[6], 10, 64)
-		t.EvalNs, _ = strconv.ParseInt(row[7], 10, 64)
-		t.RespondNs, _ = strconv.ParseInt(row[8], 10, 64)
-		t.TotalNs, _ = strconv.ParseInt(row[9], 10, 64)
-		t.Rejected = row[10] == "true"
+		t.Index, _ = strconv.Atoi(row[3])
+		t.BatchSize, _ = strconv.Atoi(row[4])
+		t.EnqueueUnixNs, _ = strconv.ParseInt(row[5], 10, 64)
+		t.QueueNs, _ = strconv.ParseInt(row[6], 10, 64)
+		t.FlushNs, _ = strconv.ParseInt(row[7], 10, 64)
+		t.EvalNs, _ = strconv.ParseInt(row[8], 10, 64)
+		t.RespondNs, _ = strconv.ParseInt(row[9], 10, 64)
+		t.TotalNs, _ = strconv.ParseInt(row[10], 10, 64)
+		t.Rejected = row[11] == "true"
+		t.Retried = row[12] == "true"
 		out = append(out, t)
 	}
 	return out, nil

@@ -42,9 +42,14 @@ func (s *Sink) AbortLast() error {
 }
 
 // Committed submits every staged tick to the deployment, preserving order.
+// On a Submit failure the already-submitted prefix is dropped from the
+// stage — keeping it would re-Submit those ticks on the next Committed and
+// double-apply them on the cluster — while the failed tick and its
+// successors stay staged for retry.
 func (s *Sink) Committed(*datalog.Incremental) error {
-	for _, ops := range s.staged {
+	for i, ops := range s.staged {
 		if err := s.dep.Submit(ops); err != nil {
+			s.staged = s.staged[i:]
 			return err
 		}
 	}
